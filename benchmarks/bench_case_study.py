@@ -1,0 +1,102 @@
+"""E11 — the Lin et al.-style case study the paper's introduction invokes.
+
+Regenerates the "value of right-sizing" table: cost savings of the
+optimal offline schedule, LCP and the rounded 2-competitive algorithm
+relative to static provisioning, across trace families and switching
+costs.  Expected shape (Lin et al. Sections V-VI): savings are positive
+and substantial on high-PMR traces, shrink as beta grows, and the online
+algorithms capture part but not all of the offline savings.
+"""
+
+import numpy as np
+
+from repro.analysis import optimal_cost
+from repro.online import (LCP, RandomizedRounding, ThresholdFractional,
+                          run_online, solve_static)
+from repro.workloads import (capacity_for, hotmail_like_loads,
+                             instance_from_loads, msr_like_loads,
+                             peak_to_mean_ratio)
+
+from conftest import record
+
+
+def _build(trace: str, beta: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    gen = msr_like_loads if trace == "msr-like" else hotmail_like_loads
+    loads = gen(24 * 7, peak=30.0, rng=rng)
+    m = capacity_for(loads)
+    inst = instance_from_loads(loads, m=m, beta=beta, delay_weight=10.0)
+    return loads, inst
+
+
+def test_e11_savings_table(benchmark):
+    rows = []
+    for trace in ("msr-like", "hotmail-like"):
+        for beta in (1.0, 4.0, 16.0):
+            loads, inst = _build(trace, beta)
+            static = solve_static(inst).cost
+            opt = optimal_cost(inst)
+            lcp = run_online(inst, LCP()).cost
+            rr = run_online(inst, RandomizedRounding(ThresholdFractional(),
+                                                     rng=0)).cost
+            rows.append({
+                "trace": trace, "PMR": peak_to_mean_ratio(loads),
+                "beta": beta,
+                "opt_saving_%": 100 * (1 - opt / static),
+                "lcp_saving_%": 100 * (1 - lcp / static),
+                "rand_saving_%": 100 * (1 - rr / static),
+            })
+    record("E11_savings", rows,
+           title="E11: right-sizing savings vs static provisioning")
+    # Shape: offline savings positive everywhere and decreasing in beta.
+    for trace in ("msr-like", "hotmail-like"):
+        sub = [r for r in rows if r["trace"] == trace]
+        assert all(r["opt_saving_%"] > 0 for r in sub)
+        assert sub[0]["opt_saving_%"] >= sub[-1]["opt_saving_%"] - 1e-9
+        # Online algorithms never beat offline.
+        for r in sub:
+            assert r["lcp_saving_%"] <= r["opt_saving_%"] + 1e-9
+    _, inst = _build("hotmail-like", 4.0)
+    benchmark(run_online, inst, LCP())
+
+
+def test_e11_beta_envelope(benchmark):
+    """OPT(beta) is a concave nondecreasing envelope whose slope is the
+    optimal power-up count — the structural sensitivity behind 'savings
+    shrink as beta grows'."""
+    from repro.analysis import beta_sweep, is_concave_sequence
+    _, inst = _build("hotmail-like", 1.0)
+    betas = np.linspace(0.25, 24.0, 12)
+    rows = beta_sweep(inst, betas)
+    record("E11_beta_envelope",
+           [{"beta": r["beta"], "opt_cost": r["opt_cost"],
+             "power_ups": r["power_ups"],
+             "switching_share": r["switching_share"]} for r in rows],
+           title="E11: OPT(beta) envelope")
+    costs = [r["opt_cost"] for r in rows]
+    ups = [r["power_ups"] for r in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(costs, costs[1:]))
+    assert is_concave_sequence(costs)
+    assert all(b <= a + 1e-9 for a, b in zip(ups, ups[1:]))
+    benchmark(beta_sweep, inst, [1.0, 4.0])
+
+
+def test_e11_higher_pmr_bigger_savings(benchmark):
+    """Spikier traces leave more idle capacity on the table, so
+    right-sizing saves more (Lin et al.'s PMR observation)."""
+    rows = []
+    for trace in ("msr-like", "hotmail-like"):
+        savings = []
+        pmrs = []
+        for seed in range(3):
+            loads, inst = _build(trace, 4.0, seed=seed)
+            static = solve_static(inst).cost
+            savings.append(1 - optimal_cost(inst) / static)
+            pmrs.append(peak_to_mean_ratio(loads))
+        rows.append({"trace": trace, "mean_PMR": float(np.mean(pmrs)),
+                     "mean_opt_saving_%": 100 * float(np.mean(savings))})
+    record("E11_pmr", rows, title="E11: savings grow with PMR")
+    assert rows[1]["mean_PMR"] > rows[0]["mean_PMR"]
+    assert rows[1]["mean_opt_saving_%"] > rows[0]["mean_opt_saving_%"]
+    _, inst = _build("msr-like", 4.0)
+    benchmark(solve_static, inst)

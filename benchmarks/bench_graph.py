@@ -1,0 +1,46 @@
+"""E1 — Figure 1: the layered graph construction.
+
+Reproduces the structure of Figure 1 (vertex/edge census for a range of
+(T, m)) and validates that a shortest path through the explicit graph
+equals the DP optimum, i.e. that paths really are schedules.
+"""
+
+import numpy as np
+
+from repro.offline import (build_graph, edge_count, solve_dp, solve_graph,
+                           vertex_count)
+
+from conftest import random_convex_instance, record
+
+
+def test_e1_figure1_census(benchmark, rng):
+    """Vertex/edge counts match the closed forms of Figure 1."""
+    inst = random_convex_instance(rng, T=64, m=48, beta=2.0)
+    graph = benchmark(build_graph, inst)
+    rows = []
+    for T, m in [(1, 1), (4, 4), (16, 8), (64, 48), (100, 100)]:
+        rows.append({
+            "T": T, "m": m,
+            "|V| = T(m+1)+2": vertex_count(T, m),
+            "|E| = 2(m+1)+(T-1)(m+1)^2": edge_count(T, m),
+        })
+    record("E1_census", rows, title="E1: Figure-1 graph census")
+    assert graph.num_vertices == vertex_count(64, 48)
+    assert graph.num_edges == edge_count(64, 48)
+
+
+def test_e1_shortest_path_equals_dp(benchmark, rng):
+    """Shortest v_{0,0} -> v_{T+1,0} path cost == optimal schedule cost."""
+    inst = random_convex_instance(rng, T=48, m=32, beta=1.5)
+    res = benchmark(solve_graph, inst)
+    dp = solve_dp(inst)
+    rows = [{
+        "graph_sp_cost": res.cost,
+        "dp_cost": dp.cost,
+        "equal": bool(abs(res.cost - dp.cost) < 1e-9),
+    }]
+    record("E1_shortest_path", rows,
+           title="E1: shortest path vs DP optimum")
+    assert abs(res.cost - dp.cost) < 1e-9
+    assert np.array_equal(
+        np.sort(res.schedule), np.sort(res.schedule))  # schedule well-formed

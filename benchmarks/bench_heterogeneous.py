@@ -1,0 +1,64 @@
+"""E14 — extension demo: heterogeneous fleets (two server types).
+
+Not a paper experiment (the paper is homogeneous; the authors develop
+the heterogeneous case in follow-up work) — this bench demonstrates and
+times the exact product-space DP and records the fleet-mix behavior:
+the frugal type carries the base load, the fast type rides the peaks,
+and the exact DP beats static pairs and per-step greedy.
+"""
+
+import numpy as np
+
+from repro.extensions import (hetero_cost, hetero_instance_from_loads,
+                              solve_dp_hetero, solve_greedy_hetero,
+                              solve_static_hetero)
+from repro.workloads import diurnal_loads
+
+from conftest import record
+
+
+def _instance(T=96, seed=0):
+    rng = np.random.default_rng(seed)
+    loads = diurnal_loads(T, peak=8.0, base_frac=0.2, noise=0.05, rng=rng)
+    return hetero_instance_from_loads(loads, m1=10, m2=12, beta1=4.0,
+                                      beta2=1.0)
+
+
+def test_e14_policy_table(benchmark):
+    inst = _instance()
+    X1, X2, opt = solve_dp_hetero(inst)
+    sX1, sX2, static = solve_static_hetero(inst)
+    gX1, gX2, greedy = solve_greedy_hetero(inst)
+    rows = [
+        {"policy": "product DP (exact)", "cost": opt,
+         "type1_mean": float(X1.mean()), "type2_mean": float(X2.mean())},
+        {"policy": "best static pair", "cost": static,
+         "type1_mean": float(sX1.mean()), "type2_mean": float(sX2.mean())},
+        {"policy": "greedy per-step", "cost": greedy,
+         "type1_mean": float(gX1.mean()), "type2_mean": float(gX2.mean())},
+    ]
+    record("E14_hetero_policies", rows,
+           title="E14: two-type fleet policies (extension)")
+    assert opt <= static + 1e-9
+    assert opt <= greedy + 1e-9
+    assert hetero_cost(inst, X1, X2) == np.float64(opt) or \
+        abs(hetero_cost(inst, X1, X2) - opt) < 1e-9
+    benchmark(solve_dp_hetero, inst)
+
+
+def test_e14_mix_shifts_with_demand(benchmark):
+    """The optimal mix uses proportionally more fast servers at peak."""
+    inst = _instance(seed=3)
+    X1, X2, _ = solve_dp_hetero(inst)
+    # Peak hours (around t = 12 mod 24) vs trough hours (t = 0 mod 24).
+    peak_idx = [t for t in range(inst.T) if 8 <= t % 24 <= 16]
+    trough_idx = [t for t in range(inst.T) if t % 24 <= 4]
+    peak_fast = float(np.mean(X1[peak_idx]))
+    trough_fast = float(np.mean(X1[trough_idx]))
+    rows = [{"window": "peak hours", "type1_mean": peak_fast,
+             "type2_mean": float(np.mean(X2[peak_idx]))},
+            {"window": "trough hours", "type1_mean": trough_fast,
+             "type2_mean": float(np.mean(X2[trough_idx]))}]
+    record("E14_mix_shift", rows, title="E14: fleet mix by time of day")
+    assert peak_fast > trough_fast
+    benchmark(solve_static_hetero, inst)

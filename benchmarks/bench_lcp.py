@@ -1,0 +1,90 @@
+"""E4 — Theorem 2: discrete LCP is 3-competitive.
+
+Regenerates the empirical competitive-ratio table of LCP across workload
+families and switching costs: every ratio must stay below 3, with the
+adversarial hinge family pushing toward it.
+"""
+
+import numpy as np
+
+from repro.analysis import optimal_cost
+from repro.core.instance import Instance
+from repro.online import LCP, run_online
+
+from conftest import random_convex_instance, record, trace_suite
+
+
+def _hinge_instance(T: int, eps: float) -> Instance:
+    """The trace the Theorem-4 adversary produces against LCP, replayed
+    non-adaptively: blocks of ~2/eps identical hinges, flipping right
+    after LCP's laziness threshold (k eps >= beta) so LCP pays waiting
+    cost ~beta, then switching beta, every block."""
+    block = int(np.ceil(2.0 / eps)) + 1
+    rows = np.empty((T, 2))
+    for t in range(T):
+        up_phase = (t // block) % 2 == 0
+        rows[t] = [eps, 0.0] if up_phase else [0.0, eps]
+    return Instance(beta=2.0, F=rows)
+
+
+def test_e4_ratio_table(benchmark):
+    rows = []
+    worst = 0.0
+    for name, inst in trace_suite(T=168):
+        res = run_online(inst, LCP())
+        opt = optimal_cost(inst)
+        rows.append({"workload": name, "beta": inst.beta,
+                     "lcp_cost": res.cost, "opt_cost": opt,
+                     "ratio": res.cost / opt})
+        worst = max(worst, res.cost / opt)
+    rng = np.random.default_rng(21)
+    for i in range(3):
+        inst = random_convex_instance(rng, 100, 20,
+                                      float(rng.uniform(0.5, 6)))
+        res = run_online(inst, LCP())
+        opt = optimal_cost(inst)
+        rows.append({"workload": f"random-{i}", "beta": inst.beta,
+                     "lcp_cost": res.cost, "opt_cost": opt,
+                     "ratio": res.cost / opt})
+        worst = max(worst, res.cost / opt)
+    record("E4_lcp_ratios", rows, title="E4: LCP competitive ratios")
+    assert worst <= 3.0 + 1e-7
+    # Timing: LCP replay on a long trace.
+    name, inst = trace_suite(T=2000)[1]
+    benchmark(run_online, inst, LCP())
+
+
+def test_e4_adversarial_ratio_approaches_three(benchmark):
+    rows = []
+    for eps in (0.2, 0.1, 0.05, 0.02):
+        T = int(6 / eps ** 2)
+        inst = _hinge_instance(T, eps)
+        res = run_online(inst, LCP())
+        opt = optimal_cost(inst)
+        rows.append({"eps": eps, "T": T, "ratio": res.cost / opt})
+    record("E4_lcp_adversarial", rows,
+           title="E4: LCP on the worst-case hinge pattern")
+    ratios = [r["ratio"] for r in rows]
+    assert ratios[-1] > 2.8
+    assert all(r <= 3.0 + 1e-7 for r in ratios)
+    benchmark(run_online, _hinge_instance(2000, 0.05), LCP())
+
+
+def test_e4_beta_sweep(benchmark):
+    """Ratio vs switching cost: LCP's laziness is hardest hit at
+    moderate beta."""
+    from repro.workloads import (capacity_for, hotmail_like_loads,
+                                 instance_from_loads)
+    rng = np.random.default_rng(22)
+    loads = hotmail_like_loads(168, peak=24.0, rng=rng)
+    m = capacity_for(loads)
+    rows = []
+    for beta in (0.5, 2.0, 8.0, 32.0):
+        inst = instance_from_loads(loads, m=m, beta=beta, delay_weight=10.0)
+        res = run_online(inst, LCP())
+        opt = optimal_cost(inst)
+        rows.append({"beta": beta, "ratio": res.cost / opt,
+                     "lcp_cost": res.cost, "opt_cost": opt})
+    record("E4_beta_sweep", rows, title="E4: LCP ratio vs beta")
+    assert all(r["ratio"] <= 3.0 + 1e-7 for r in rows)
+    benchmark(run_online, inst, LCP())

@@ -1,0 +1,46 @@
+"""E8 — Theorem 6: continuous-setting lower bound 2.
+
+Regenerates Lemma 21/23's curves: algorithm B's ratio approaches
+2 - eps/2 on the adaptive adversary, and algorithms that deviate from B
+(memoryless balance, eager followers) only do worse.
+"""
+
+from repro.lower_bounds import ContinuousAdversary, play_game
+from repro.online import AlgorithmB, MemorylessBalance, ThresholdFractional
+
+from conftest import record
+
+
+def test_e8_algorithm_B_curve(benchmark):
+    rows = []
+    for eps in (0.2, 0.1, 0.05, 0.02):
+        adv = ContinuousAdversary(eps)
+        T = min(adv.horizon(), 60000)
+        res = play_game(adv, AlgorithmB(), T)
+        rows.append({"eps": eps, "T": T, "ratio": res.ratio,
+                     "lemma21_target": 2 - eps / 2})
+    record("E8_continuous_B", rows,
+           title="E8: continuous bound, algorithm B (-> 2)")
+    assert rows[-1]["ratio"] > 1.95
+    for row in rows:
+        assert row["ratio"] <= 2.0 + 1e-7
+    benchmark(play_game, ContinuousAdversary(0.05), AlgorithmB(), 4000)
+
+
+def test_e8_deviating_algorithms_do_worse(benchmark):
+    """Lemma 23: any algorithm that leaves B's trajectory pays at least
+    as much; eager algorithms overshoot well past 2."""
+    eps = 0.05
+    rows = []
+    for make, name in ((AlgorithmB, "algorithm-B"),
+                       (ThresholdFractional, "threshold"),
+                       (MemorylessBalance, "memoryless")):
+        adv = ContinuousAdversary(eps)
+        res = play_game(adv, make(), 20000)
+        rows.append({"algorithm": name, "ratio": res.ratio})
+    record("E8_deviation", rows,
+           title="E8: deviating from B never helps")
+    b_ratio = rows[0]["ratio"]
+    for row in rows[1:]:
+        assert row["ratio"] >= b_ratio - 1e-6, row
+    benchmark(play_game, ContinuousAdversary(eps), MemorylessBalance(), 2000)

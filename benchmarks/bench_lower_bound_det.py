@@ -1,0 +1,51 @@
+"""E6 — Theorem 4: deterministic lower bound 3 (discrete setting).
+
+Regenerates the ratio-vs-eps curve of the adaptive two-state adversary
+against LCP (the optimal deterministic algorithm) and against naive
+baselines: all curves approach 3 from below as eps -> 0 and the explicit
+proof bound 3 - eps - 6/(T eps/2 + 2) is met.
+"""
+
+from repro.lower_bounds import DeterministicDiscreteAdversary, play_game
+from repro.online import LCP, FollowTheMinimizer
+
+from conftest import record
+
+
+def proof_bound(eps: float, T: int) -> float:
+    return 3 - eps - (2 * (1 - eps) + 4) / (T * eps / 2 + 2)
+
+
+def test_e6_ratio_curve(benchmark):
+    rows = []
+    for eps in (0.2, 0.1, 0.05, 0.02):
+        adv = DeterministicDiscreteAdversary(eps)
+        T = min(adv.horizon(), 40000)
+        res = play_game(adv, LCP(), T)
+        rows.append({"eps": eps, "T": T, "lcp_ratio": res.ratio,
+                     "proof_bound": proof_bound(eps, T)})
+    record("E6_det_lower_bound", rows,
+           title="E6: deterministic lower bound (-> 3)")
+    for row in rows:
+        assert row["lcp_ratio"] >= row["proof_bound"] - 1e-9
+        assert row["lcp_ratio"] <= 3.0 + 1e-7
+    assert rows[-1]["lcp_ratio"] > 2.9
+    adv = DeterministicDiscreteAdversary(0.05)
+    benchmark(play_game, adv, LCP(), 2000)
+
+
+def test_e6_any_algorithm_bounded(benchmark):
+    """The adversary defeats other deterministic algorithms too."""
+    rows = []
+    for make, name in ((LCP, "lcp"), (FollowTheMinimizer, "follow-min")):
+        adv = DeterministicDiscreteAdversary(0.05)
+        T = min(adv.horizon(), 20000)
+        res = play_game(adv, make(), T)
+        rows.append({"algorithm": name, "ratio": res.ratio,
+                     "proof_bound": proof_bound(0.05, T)})
+    record("E6_all_algorithms", rows,
+           title="E6: the bound binds every deterministic algorithm")
+    for row in rows:
+        assert row["ratio"] >= row["proof_bound"] - 1e-9
+    benchmark(play_game, DeterministicDiscreteAdversary(0.05),
+              FollowTheMinimizer(), 2000)

@@ -1,0 +1,45 @@
+"""E9 — Theorem 8: randomized lower bound 2 (discrete, oblivious).
+
+Regenerates the reduction of Section 5.3: the oblivious adversary plays
+against the expected trajectory; the exact expected cost of the rounded
+algorithm (Lemma 24 with equality for the Section 4 rounding) over the
+offline optimum approaches 2.
+"""
+
+from repro.lower_bounds import (ContinuousAdversary, play_game,
+                                play_randomized_game)
+from repro.online import ThresholdFractional
+
+from conftest import record
+
+
+def test_e9_randomized_curve(benchmark):
+    rows = []
+    for eps in (0.2, 0.1, 0.05, 0.02):
+        adv = ContinuousAdversary(eps)
+        T = min(adv.horizon(), 60000)
+        res = play_randomized_game(adv, ThresholdFractional(), T)
+        rows.append({"eps": eps, "T": T, "expected_ratio": res.ratio})
+    record("E9_randomized_lb", rows,
+           title="E9: randomized lower bound (-> 2)")
+    assert rows[-1]["expected_ratio"] > 1.95
+    assert all(r["expected_ratio"] <= 2 + 1e-7 for r in rows)
+    benchmark(play_randomized_game, ContinuousAdversary(0.05),
+              ThresholdFractional(), 4000)
+
+
+def test_e9_lemma24_equality_for_our_rounding(benchmark):
+    """E[C(X)] = C(x-bar) for the Section 4 rounding: the reduction's
+    inequality (Lemma 24) is tight here."""
+    eps = 0.1
+    frac = play_game(ContinuousAdversary(eps), ThresholdFractional(), 10000)
+    rand = play_randomized_game(ContinuousAdversary(eps),
+                                ThresholdFractional(), 10000)
+    record("E9_lemma24", [{
+        "fractional_cost": frac.algorithm_cost,
+        "expected_rounded_cost": rand.algorithm_cost,
+        "difference": abs(frac.algorithm_cost - rand.algorithm_cost),
+    }], title="E9: Lemma 24 equality check")
+    assert abs(frac.algorithm_cost - rand.algorithm_cost) < 1e-6
+    from repro.online import expected_cost_exact
+    benchmark(expected_cost_exact, frac.instance, frac.schedule)

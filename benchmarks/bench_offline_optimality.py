@@ -1,0 +1,47 @@
+"""E2 — Theorem 1: the binary-search algorithm is optimal.
+
+Regenerates the optimality table: across instance families, the
+O(T log m) algorithm, the O(Tm) DP, the explicit graph shortest path and
+(on tiny instances) brute force all report the same optimum.
+"""
+
+import numpy as np
+
+from repro.offline import (solve_binary_search, solve_bruteforce, solve_dp,
+                           solve_graph)
+
+from conftest import random_convex_instance, record, trace_suite
+
+
+def test_e2_optimality_table(benchmark):
+    rng = np.random.default_rng(7)
+    rows = []
+    # Tiny instances: include brute force.
+    for i in range(4):
+        inst = random_convex_instance(rng, T=5, m=4, beta=1.0 + i)
+        bs = solve_binary_search(inst).cost
+        rows.append({
+            "family": f"tiny-{i}", "T": inst.T, "m": inst.m,
+            "binary_search": bs,
+            "dp": solve_dp(inst).cost,
+            "graph": solve_graph(inst).cost,
+            "bruteforce": solve_bruteforce(inst).cost,
+        })
+    # Trace instances: polynomial solvers only.
+    for name, inst in trace_suite(T=96):
+        rows.append({
+            "family": name, "T": inst.T, "m": inst.m,
+            "binary_search": solve_binary_search(inst).cost,
+            "dp": solve_dp(inst).cost,
+            "graph": solve_graph(inst).cost,
+            "bruteforce": float("nan"),
+        })
+    record("E2_optimality", rows, title="E2: offline optimality (Theorem 1)")
+    for row in rows:
+        assert abs(row["binary_search"] - row["dp"]) < 1e-6 * max(
+            1.0, row["dp"])
+    # Timing: the headline solver on a mid-size instance.
+    inst = random_convex_instance(np.random.default_rng(8), T=256, m=1024,
+                                  beta=3.0)
+    res = benchmark(solve_binary_search, inst)
+    assert abs(res.cost - solve_dp(inst, return_schedule=False).cost) < 1e-6

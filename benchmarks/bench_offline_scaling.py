@@ -1,0 +1,101 @@
+"""E3 — Section 2.2: O(T log m) runtime scaling.
+
+Regenerates the runtime comparison implicit in the paper's complexity
+claims: the binary-search algorithm scales logarithmically in m while the
+DP is linear in m (and the explicit graph quadratic).  Absolute times are
+machine-specific; the *shape* — binary search flat in m, DP growing
+linearly, crossover at moderate m — is the reproduced result.
+"""
+
+import time
+
+import numpy as np
+
+from repro.offline import solve_binary_search, solve_dp, solve_graph
+
+from conftest import random_convex_instance, record
+
+
+def _time(fn, *args, repeats=3, **kwargs) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_e3_scaling_in_m(benchmark):
+    """Fixed T, growing m: binary search ~log m, DP ~m.
+
+    NumPy's vectorized DP has a tiny per-state constant, so the crossover
+    sits at large m (hundreds of thousands of states) — exactly the
+    pseudo-polynomial-vs-polynomial story of Section 2: the DP's work is
+    linear in m while the binary search pays log m times a fixed
+    per-step cost.
+    """
+    rng = np.random.default_rng(11)
+    T = 128
+    rows = []
+    for m in (1024, 8192, 65536, 262144):
+        inst = random_convex_instance(rng, T, m, 2.0)
+        t_bs = _time(solve_binary_search, inst, repeats=2)
+        t_dp = _time(lambda i: solve_dp(i, return_schedule=False), inst,
+                     repeats=2)
+        rows.append({"T": T, "m": m,
+                     "binary_search_s": t_bs, "dp_s": t_dp,
+                     "speedup_dp/bs": t_dp / t_bs})
+    record("E3_scaling_m", rows, title="E3: runtime vs m (T = 128)")
+    # Shape assertions: binary search wins at the largest m, and its
+    # growth from the smallest to the largest m is far below the DP's.
+    assert rows[-1]["binary_search_s"] < rows[-1]["dp_s"]
+    bs_growth = rows[-1]["binary_search_s"] / rows[0]["binary_search_s"]
+    dp_growth = rows[-1]["dp_s"] / rows[0]["dp_s"]
+    assert bs_growth < dp_growth
+    # Benchmark the headline configuration.
+    inst = random_convex_instance(rng, T, 262144, 2.0)
+    benchmark.pedantic(solve_binary_search, args=(inst,), rounds=3,
+                       iterations=1)
+
+
+def test_e3_scaling_in_T(benchmark):
+    """Fixed m, growing T: both solvers are ~linear in T."""
+    rng = np.random.default_rng(12)
+    m = 512
+    rows = []
+    for T in (32, 128, 512, 2048):
+        inst = random_convex_instance(rng, T, m, 2.0)
+        rows.append({
+            "T": T, "m": m,
+            "binary_search_s": _time(solve_binary_search, inst),
+            "dp_s": _time(lambda i: solve_dp(i, return_schedule=False),
+                          inst),
+        })
+    record("E3_scaling_T", rows, title="E3: runtime vs T (m = 512)")
+    # Linearity in T (loose factor-of-4 sanity window around 64x work).
+    ratio = rows[-1]["binary_search_s"] / max(rows[0]["binary_search_s"],
+                                              1e-9)
+    assert ratio < 64 * 8
+    inst = random_convex_instance(rng, 2048, m, 2.0)
+    benchmark.pedantic(solve_binary_search, args=(inst,), rounds=3,
+                       iterations=1)
+
+
+def test_e3_graph_quadratic_reference(benchmark):
+    """The explicit Figure-1 relaxation is the O(T m^2) strawman."""
+    rng = np.random.default_rng(13)
+    rows = []
+    T = 64
+    for m in (64, 128, 256):
+        inst = random_convex_instance(rng, T, m, 2.0)
+        rows.append({
+            "T": T, "m": m,
+            "graph_s": _time(solve_graph, inst, repeats=2),
+            "dp_s": _time(lambda i: solve_dp(i, return_schedule=False),
+                          inst, repeats=2),
+        })
+    record("E3_graph_reference", rows,
+           title="E3: explicit-graph relaxation vs DP")
+    assert rows[-1]["dp_s"] < rows[-1]["graph_s"]
+    inst = random_convex_instance(rng, T, 256, 2.0)
+    benchmark(solve_graph, inst)

@@ -1,0 +1,83 @@
+"""E5 — Theorem 3: the randomized algorithm is 2-competitive.
+
+Regenerates the expected-ratio table of the rounded threshold algorithm
+(exact expectations via the closed-form chain, no Monte Carlo noise) and
+the Lemma 18–20 identity residuals.
+"""
+
+import numpy as np
+
+from repro.analysis import optimal_cost
+from repro.online import (RandomizedRounding, ThresholdFractional,
+                          exact_rounding_distribution, expected_cost_exact,
+                          run_online)
+
+from conftest import random_convex_instance, record, trace_suite
+
+
+def test_e5_expected_ratio_table(benchmark):
+    rows = []
+    worst = 0.0
+    for name, inst in trace_suite(T=168):
+        fr = run_online(inst, ThresholdFractional())
+        exp = expected_cost_exact(inst, fr.schedule)
+        opt = optimal_cost(inst)
+        ratio = exp["total"] / opt
+        rows.append({"workload": name,
+                     "fractional_cost": fr.cost,
+                     "expected_rounded": exp["total"],
+                     "opt": opt, "ratio": ratio})
+        worst = max(worst, ratio)
+    record("E5_randomized_ratios", rows,
+           title="E5: rounded-threshold expected ratios (exact)")
+    assert worst <= 2.0 + 1e-7
+    name, inst = trace_suite(T=2000)[2]
+    benchmark(run_online, inst, RandomizedRounding(ThresholdFractional(),
+                                                   rng=0))
+
+
+def test_e5_lemma_identities(benchmark):
+    """Residuals of Lemmas 18 (marginals), 19 (operating), 20 (switching)
+    on random instances — all zero to numerical precision."""
+    rng = np.random.default_rng(31)
+    worst18 = worst19 = worst20 = 0.0
+    for _ in range(10):
+        inst = random_convex_instance(rng, 60, 10, 2.0)
+        fr = run_online(inst, ThresholdFractional())
+        xb = fr.schedule
+        dist = exact_rounding_distribution(xb)
+        snapped = np.where(np.abs(xb - np.round(xb)) <= 1e-9,
+                           np.round(xb), xb)
+        worst18 = max(worst18, float(np.max(np.abs(
+            dist.p_upper - (snapped - np.floor(snapped))))))
+        exp = expected_cost_exact(inst, xb)
+        worst19 = max(worst19, abs(exp["operating"]
+                                   - exp["fractional_operating"]))
+        worst20 = max(worst20, abs(exp["switching"]
+                                   - exp["fractional_switching"]))
+    record("E5_lemma_residuals", [{
+        "lemma18_max_residual": worst18,
+        "lemma19_max_residual": worst19,
+        "lemma20_max_residual": worst20,
+    }], title="E5: rounding identity residuals (Lemmas 18-20)")
+    assert worst18 < 1e-8 and worst19 < 1e-8 and worst20 < 1e-8
+    benchmark(exact_rounding_distribution, xb)
+
+
+def test_e5_sampled_vs_exact(benchmark):
+    """Monte Carlo sanity: sampled mean cost converges to the exact
+    expectation (tabulated for three sample sizes)."""
+    name, inst = trace_suite(T=96, seed=4)[0]
+    fr = run_online(inst, ThresholdFractional())
+    exact = expected_cost_exact(inst, fr.schedule)["total"]
+    rows = []
+    for n in (10, 100, 1000):
+        costs = [run_online(inst, RandomizedRounding(ThresholdFractional(),
+                                                     rng=s)).cost
+                 for s in range(n)]
+        rows.append({"samples": n, "mean_cost": float(np.mean(costs)),
+                     "exact_expectation": exact,
+                     "rel_err": abs(np.mean(costs) - exact) / exact})
+    record("E5_monte_carlo", rows, title="E5: sampled cost vs exact")
+    assert rows[-1]["rel_err"] < 0.05
+    benchmark(expected_cost_exact, inst, fr.schedule)

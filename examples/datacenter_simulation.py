@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Case study: a week of data-center operation on realistic traces.
+
+Reproduces the shape of Lin et al.'s evaluation (the study the paper's
+introduction builds on): how much does right-sizing save relative to
+static provisioning, across trace families and switching costs?  Also
+reports where the savings come from (operating vs switching) and what
+each online algorithm leaves on the table.
+
+Run:  python examples/datacenter_simulation.py
+"""
+
+import numpy as np
+
+from repro import LCP, RandomizedRounding, ThresholdFractional, run_online
+from repro.analysis import format_table, optimal_cost, savings_vs_static
+from repro.offline import solve_dp
+from repro.online import solve_static
+from repro.workloads import (capacity_for, hotmail_like_loads,
+                             instance_from_loads, msr_like_loads,
+                             peak_to_mean_ratio)
+
+
+def build(trace: str, beta: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    gen = msr_like_loads if trace == "msr" else hotmail_like_loads
+    loads = gen(24 * 7, peak=40.0, rng=rng)
+    inst = instance_from_loads(loads, m=capacity_for(loads), beta=beta,
+                               delay_weight=10.0)
+    return loads, inst
+
+
+def main() -> None:
+    rows = []
+    for trace in ("msr", "hotmail"):
+        for beta in (1.0, 4.0, 16.0):
+            loads, inst = build(trace, beta)
+            opt_schedule = solve_dp(inst).schedule
+            lcp = run_online(inst, LCP())
+            rand = run_online(
+                inst, RandomizedRounding(ThresholdFractional(), rng=1))
+            base = solve_static(inst)
+            rows.append({
+                "trace": trace,
+                "PMR": peak_to_mean_ratio(loads),
+                "beta": beta,
+                "static": base.cost,
+                "opt_saving_%":
+                    100 * savings_vs_static(inst, opt_schedule)["saving"],
+                "lcp_saving_%":
+                    100 * savings_vs_static(inst, lcp.schedule)["saving"],
+                "rand_saving_%":
+                    100 * savings_vs_static(inst, rand.schedule)["saving"],
+            })
+    print(format_table(
+        rows, title="right-sizing savings vs static provisioning (one week)"))
+
+    # Zoom into one configuration: where does the optimum spend money?
+    loads, inst = build("hotmail", 4.0)
+    res = solve_dp(inst)
+    from repro.analysis import schedule_stats
+    stats = schedule_stats(inst, res.schedule)
+    print("\nhotmail-like, beta=4 — optimal schedule anatomy:")
+    print(f"  operating cost: {stats['operating']:.1f}")
+    print(f"  switching cost: {stats['switching']:.1f}")
+    print(f"  servers powered up over the week: {stats['power_ups']:.0f}")
+    print(f"  peak active servers: {stats['peak']:.0f} "
+          f"(capacity {inst.m})")
+    print(f"  LCP ratio vs optimal: "
+          f"{run_online(inst, LCP()).cost / optimal_cost(inst):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Compare every online algorithm in the library across workload regimes.
+
+For each workload family the script reports cost over the offline
+optimum for: LCP (with and without a prediction window), the fractional
+threshold rule, its randomized rounding (exact expectation), the
+memoryless balancer, and the naive baselines.  The guarantees (3x for
+LCP, 2x for the threshold family) frame the numbers.
+
+Run:  python examples/online_comparison.py
+"""
+
+import numpy as np
+
+from repro import LCP, ThresholdFractional, run_online
+from repro.analysis import format_table, optimal_cost
+from repro.online import (FollowTheMinimizer, MemorylessBalance,
+                          expected_cost_exact)
+from repro.workloads import (bursty_loads, capacity_for, diurnal_loads,
+                             hotmail_like_loads, instance_from_loads,
+                             onoff_loads, sawtooth_loads)
+
+
+def workloads(T=168, seed=0):
+    rng = np.random.default_rng(seed)
+    yield "diurnal", diurnal_loads(T, peak=24.0, rng=rng)
+    yield "hotmail-like", hotmail_like_loads(T, peak=24.0, rng=rng)
+    yield "bursty", bursty_loads(T, peak=24.0, rng=rng)
+    yield "on/off", onoff_loads(T, peak=24.0, rng=rng)
+    yield "sawtooth", sawtooth_loads(T, peak=24.0, period=8)
+
+
+def main() -> None:
+    rows = []
+    for name, loads in workloads():
+        inst = instance_from_loads(loads, m=capacity_for(loads), beta=4.0,
+                                   delay_weight=10.0)
+        opt = optimal_cost(inst)
+        frac = run_online(inst, ThresholdFractional())
+        expected = expected_cost_exact(inst, frac.schedule)["total"]
+        rows.append({
+            "workload": name,
+            "LCP": run_online(inst, LCP()).cost / opt,
+            "LCP(w=6)": run_online(inst, LCP(lookahead=6)).cost / opt,
+            "threshold": frac.cost / opt,
+            "E[rounded]": expected / opt,
+            "memoryless": run_online(inst, MemorylessBalance()).cost / opt,
+            "follow-min": run_online(inst, FollowTheMinimizer()).cost / opt,
+        })
+    print(format_table(rows, floatfmt=".3f",
+                       title="cost / offline optimum (guarantees: LCP<=3, "
+                             "threshold & E[rounded]<=2)"))
+    print("\nNotes:")
+    print("- LCP's laziness shines on oscillating loads (sawtooth, on/off)")
+    print("- the prediction window w=6 narrows the gap to the optimum")
+    print("- E[rounded] equals the fractional cost exactly (Lemmas 19-20)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: right-size a small data center, offline and online.
+
+Builds a one-day diurnal workload, prices it with an energy + latency
+cost model, and compares:
+
+* the optimal offline schedule (the paper's O(T log m) algorithm),
+* LCP, the 3-competitive online algorithm,
+* the 2-competitive randomized algorithm (threshold rule + rounding),
+* static provisioning (no right-sizing).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (LCP, RandomizedRounding, ThresholdFractional, run_online,
+                   solve_binary_search)
+from repro.analysis import format_table, optimal_cost, schedule_stats
+from repro.online import solve_static
+from repro.workloads import capacity_for, diurnal_loads, instance_from_loads
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # A day of hourly load observations for a service peaking at ~20
+    # servers' worth of work, with the usual day/night swing.
+    loads = diurnal_loads(24, peak=20.0, base_frac=0.2, rng=rng)
+    m = capacity_for(loads)           # data-center size (25 servers)
+    beta = 6.0                        # cost of powering a server up
+
+    inst = instance_from_loads(loads, m=m, beta=beta, delay_weight=10.0)
+    print(f"instance: T={inst.T} steps, m={inst.m} servers, beta={beta}")
+
+    # --- offline optimum (Section 2) -----------------------------------
+    offline = solve_binary_search(inst)
+    print(f"\noptimal offline cost: {offline.cost:.2f} "
+          f"({offline.iterations} refinement iterations)")
+    print("optimal schedule:", offline.schedule.tolist())
+
+    # --- online algorithms (Sections 3 and 4) --------------------------
+    lcp = run_online(inst, LCP())
+    randomized = run_online(
+        inst, RandomizedRounding(ThresholdFractional(), rng=0))
+    static = solve_static(inst)
+
+    opt = optimal_cost(inst)
+    rows = []
+    for name, sched, cost in [
+        ("offline optimal", offline.schedule, offline.cost),
+        ("LCP (3-competitive)", lcp.schedule, lcp.cost),
+        ("randomized (2-competitive)", randomized.schedule, randomized.cost),
+        ("static provisioning", static.schedule, static.cost),
+    ]:
+        stats = schedule_stats(inst, sched)
+        rows.append({
+            "algorithm": name,
+            "cost": cost,
+            "vs_opt": cost / opt,
+            "peak": stats["peak"],
+            "power_ups": stats["power_ups"],
+        })
+    print("\n" + format_table(rows, title="cost comparison"))
+
+    print("\nLCP schedule:       ", lcp.schedule.astype(int).tolist())
+    print("randomized schedule:",
+          randomized.schedule.astype(int).tolist())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup entry point.
+
+The project intentionally ships setup.py/setup.cfg instead of a
+pyproject.toml build-system table so that `pip install -e .` works in
+fully offline environments: PEP 517/660 editable builds spawn an isolated
+environment and try to download build requirements, which fails without
+network access, whereas the legacy path builds against the interpreter's
+installed setuptools.  All metadata lives in setup.cfg.
+"""
+
+from setuptools import setup
+
+setup()

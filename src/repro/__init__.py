@@ -1,0 +1,63 @@
+"""repro — reproduction of *Optimal Algorithms for Right-Sizing Data
+Centers* (Albers & Quedenfeld, SPAA 2018 / arXiv:1807.05112).
+
+The library implements the discrete data-center optimization problem
+end to end:
+
+* :mod:`repro.core` — convex cost toolkit, problem instances (general and
+  restricted models), cost functionals, instance transforms.
+* :mod:`repro.offline` — optimal offline solvers: the O(T log m)
+  binary-search algorithm of Section 2, the O(Tm) DP, the explicit
+  Figure-1 graph, brute force, and the fractional/Lemma-4 machinery.
+* :mod:`repro.online` — LCP (3-competitive, Section 3), the fractional
+  threshold rule + randomized rounding (2-competitive, Section 4),
+  algorithm B, work functions, and baselines.
+* :mod:`repro.lower_bounds` — the Section 5 adversaries and game harness
+  (lower bounds 3, 2, 2 and the prediction-window dilation).
+* :mod:`repro.workloads` — synthetic traces (diurnal, bursty, ...).
+* :mod:`repro.analysis` — ratios, sweeps, text tables.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Instance, solve_binary_search, LCP, run_online
+
+    rng = np.random.default_rng(0)
+    from repro.workloads import diurnal_loads, instance_from_loads
+    loads = diurnal_loads(96, peak=20, rng=rng)
+    inst = instance_from_loads(loads, m=25, beta=6.0)
+
+    opt = solve_binary_search(inst)           # optimal offline schedule
+    online = run_online(inst, LCP())          # 3-competitive online
+    print(online.cost / opt.cost)
+"""
+
+from .core import (AbsCost, AffineEnergyCost, ConstantCost, CostFunction,
+                   Instance, PerspectiveCost, PiecewiseLinearCost,
+                   QuadraticCost, QueueingDelayCost, RestrictedInstance,
+                   SLAHingeCost, ScaledCost, SumCost, TabulatedCost, cost,
+                   cost_L, cost_U, phi0, phi1)
+from .offline import (OfflineResult, solve_binary_search, solve_bruteforce,
+                      solve_dp, solve_fractional, solve_graph)
+from .online import (LCP, AlgorithmB, FollowTheMinimizer, MemorylessBalance,
+                     NeverSwitchOn, OnlineAlgorithm, OnlineResult,
+                     RandomizedRounding, ThresholdFractional, WorkFunctions,
+                     run_online, solve_static)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "AbsCost", "AffineEnergyCost", "ConstantCost", "CostFunction",
+    "Instance", "PerspectiveCost", "PiecewiseLinearCost", "QuadraticCost",
+    "QueueingDelayCost", "RestrictedInstance", "SLAHingeCost", "ScaledCost",
+    "SumCost", "TabulatedCost", "cost", "cost_L", "cost_U", "phi0", "phi1",
+    # offline
+    "OfflineResult", "solve_binary_search", "solve_bruteforce", "solve_dp",
+    "solve_fractional", "solve_graph",
+    # online
+    "LCP", "AlgorithmB", "FollowTheMinimizer", "MemorylessBalance",
+    "NeverSwitchOn", "OnlineAlgorithm", "OnlineResult", "RandomizedRounding",
+    "ThresholdFractional", "WorkFunctions", "run_online", "solve_static",
+]

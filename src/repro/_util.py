@@ -1,0 +1,60 @@
+"""Small vectorized numeric kernels shared across solvers.
+
+All kernels are NumPy-vectorized along the state axis (length ``m+1``)
+following the project's HPC conventions: the time loop is sequential by
+nature of the DP recurrences, so per-step work must be branch-free array
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "prefix_min",
+    "suffix_min",
+    "prefix_argmin",
+    "suffix_argmin",
+    "argmin_first",
+    "argmin_last",
+]
+
+
+def prefix_min(v: np.ndarray) -> np.ndarray:
+    """``out[j] = min(v[0..j])`` (running minimum)."""
+    return np.minimum.accumulate(v)
+
+
+def suffix_min(v: np.ndarray) -> np.ndarray:
+    """``out[j] = min(v[j..])`` (reverse running minimum)."""
+    return np.minimum.accumulate(v[::-1])[::-1]
+
+
+def prefix_argmin(v: np.ndarray) -> np.ndarray:
+    """``out[j] = smallest index i <= j with v[i] == min(v[0..j])``."""
+    pm = np.minimum.accumulate(v)
+    idx = np.arange(v.size, dtype=np.int64)
+    # A strict improvement at i starts a new prefix minimum; ties keep the
+    # earlier index, so carrying the last strict-improvement index forward
+    # yields the smallest index attaining each prefix minimum.
+    strict = np.empty(v.size, dtype=bool)
+    strict[0] = True
+    strict[1:] = v[1:] < pm[:-1]
+    first = np.where(strict, idx, 0)
+    return np.maximum.accumulate(first)
+
+
+def suffix_argmin(v: np.ndarray) -> np.ndarray:
+    """``out[j] = largest index i >= j with v[i] == min(v[j..])``."""
+    r = prefix_argmin(v[::-1])
+    return v.size - 1 - r[::-1]
+
+
+def argmin_first(v: np.ndarray) -> int:
+    """Index of the first (smallest-index) minimum of ``v``."""
+    return int(np.argmin(v))
+
+
+def argmin_last(v: np.ndarray) -> int:
+    """Index of the last (largest-index) minimum of ``v``."""
+    return int(v.size - 1 - np.argmin(v[::-1]))

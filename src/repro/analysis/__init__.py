@@ -1,0 +1,21 @@
+"""Analysis utilities: metrics, sweeps, text tables."""
+
+from .metrics import (competitive_ratio, empirical_ratios, optimal_cost,
+                      regret_vs_static, savings_vs_static, schedule_stats)
+from .plotting import block_chart, schedule_chart, sparkline
+from .report import (EXPERIMENTS, assemble_report, headline_numbers,
+                     load_results, missing_experiments)
+from .sensitivity import beta_sweep, capacity_sweep, is_concave_sequence
+from .sweep import sweep
+from .tables import format_series, format_table
+
+__all__ = [
+    "competitive_ratio", "empirical_ratios", "optimal_cost",
+    "regret_vs_static", "savings_vs_static", "schedule_stats",
+    "block_chart", "schedule_chart", "sparkline",
+    "EXPERIMENTS", "assemble_report", "headline_numbers", "load_results",
+    "missing_experiments",
+    "beta_sweep", "capacity_sweep", "is_concave_sequence",
+    "sweep",
+    "format_series", "format_table",
+]

@@ -1,0 +1,103 @@
+"""Metrics: competitive ratios, cost breakdowns, right-sizing savings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.schedule import cost as schedule_cost
+from ..core.schedule import cost_breakdown
+from ..offline.dp import solve_dp
+from ..online.base import OnlineAlgorithm, run_online
+from ..online.greedy import solve_static
+
+__all__ = [
+    "optimal_cost",
+    "competitive_ratio",
+    "empirical_ratios",
+    "savings_vs_static",
+    "schedule_stats",
+    "regret_vs_static",
+]
+
+
+def optimal_cost(instance: Instance) -> float:
+    """Offline optimum of eq. (1) (via the O(Tm) DP)."""
+    return solve_dp(instance, return_schedule=False).cost
+
+
+def competitive_ratio(instance: Instance, algorithm: OnlineAlgorithm,
+                      opt: float | None = None) -> float:
+    """Empirical competitive ratio of one algorithm on one instance."""
+    res = run_online(instance, algorithm)
+    opt = optimal_cost(instance) if opt is None else opt
+    if opt <= 0:
+        raise ValueError("optimal cost must be positive for a ratio")
+    return res.cost / opt
+
+
+def empirical_ratios(instances, algorithms) -> list[dict]:
+    """Ratio table: one row per (instance, algorithm) pair.
+
+    ``instances`` is an iterable of ``(label, Instance)``; ``algorithms``
+    an iterable of factories ``() -> OnlineAlgorithm`` or instances.
+    """
+    rows = []
+    for label, inst in instances:
+        opt = optimal_cost(inst)
+        for alg in algorithms:
+            algo = alg() if callable(alg) else alg
+            res = run_online(inst, algo)
+            rows.append({
+                "instance": label,
+                "algorithm": res.name,
+                "cost": res.cost,
+                "opt": opt,
+                "ratio": res.cost / opt if opt > 0 else np.inf,
+            })
+    return rows
+
+
+def savings_vs_static(instance: Instance, schedule) -> dict:
+    """Relative saving of a schedule against best static provisioning.
+
+    This is the headline quantity of Lin et al.'s evaluation ("how much
+    does right-sizing save?"); the case-study benchmark sweeps it over
+    traces and switching costs.
+    """
+    static = solve_static(instance)
+    mine = schedule_cost(instance, np.asarray(schedule, dtype=np.float64),
+                         integral=False)
+    return {
+        "cost": mine,
+        "static_cost": static.cost,
+        "static_level": int(static.schedule[0]),
+        "saving": 1.0 - mine / static.cost if static.cost > 0 else 0.0,
+    }
+
+
+def regret_vs_static(instance: Instance, schedule) -> float:
+    """Additive regret against the best static schedule in hindsight.
+
+    Andrew et al. [1] (cited in the paper's related work) study the
+    tension between competitive ratio and this regret notion: O(1)
+    competitiveness and sublinear regret cannot be achieved
+    simultaneously.  The metric makes that trade-off measurable here:
+    ``regret = cost(X) − min_j cost(constant j)`` (may be negative —
+    right-sizing usually beats every static level).
+    """
+    static = solve_static(instance)
+    mine = schedule_cost(instance, np.asarray(schedule, dtype=np.float64),
+                         integral=False)
+    return float(mine - static.cost)
+
+
+def schedule_stats(instance: Instance, schedule) -> dict:
+    """Cost breakdown plus switching activity of a schedule."""
+    x = np.asarray(schedule, dtype=np.float64)
+    stats = cost_breakdown(instance, x, integral=False)
+    d = np.diff(np.concatenate([[0.0], x]))
+    stats["power_ups"] = float(np.sum(np.maximum(d, 0.0)))
+    stats["power_downs"] = float(np.sum(np.maximum(-d, 0.0)))
+    stats["changes"] = int(np.count_nonzero(d))
+    return stats

@@ -1,0 +1,60 @@
+"""Dependency-free text plots for schedules and traces.
+
+The repository has no plotting dependency; examples and benchmarks
+render loads and schedules as Unicode sparklines and block charts so
+results are inspectable in a terminal and in the persisted artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "block_chart", "schedule_chart"]
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, *, lo: float | None = None,
+              hi: float | None = None) -> str:
+    """One-line sparkline of a sequence (8 height levels)."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return ""
+    lo = float(np.min(v)) if lo is None else lo
+    hi = float(np.max(v)) if hi is None else hi
+    if hi <= lo:
+        return _SPARKS[0] * v.size
+    idx = np.clip(((v - lo) / (hi - lo) * (len(_SPARKS) - 1)).round(), 0,
+                  len(_SPARKS) - 1).astype(int)
+    return "".join(_SPARKS[i] for i in idx)
+
+
+def block_chart(values, *, width: int = 40, label: str = "",
+                unit: str = "") -> str:
+    """Horizontal bar for a single scalar relative to ``width``."""
+    v = float(values)
+    if v < 0:
+        raise ValueError("block_chart draws non-negative values")
+    bar = "#" * max(int(round(v)), 0)
+    return f"{label:>16s} {bar[:width]} {v:g}{unit}"
+
+
+def schedule_chart(loads, schedule, *, height_labels: bool = True,
+                   every: int = 1) -> str:
+    """Two aligned sparklines: demand vs active servers.
+
+    Both series are scaled to the same range so over/under-provisioning
+    is visible at a glance.
+    """
+    loads = np.asarray(loads, dtype=np.float64)[::every]
+    schedule = np.asarray(schedule, dtype=np.float64)[::every]
+    if loads.shape != schedule.shape:
+        raise ValueError("loads and schedule must have equal length")
+    hi = float(max(loads.max(initial=0.0), schedule.max(initial=0.0)))
+    lines = [
+        "load     " + sparkline(loads, lo=0.0, hi=hi),
+        "servers  " + sparkline(schedule, lo=0.0, hi=hi),
+    ]
+    if height_labels:
+        lines.append(f"scale    0..{hi:g}")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Sensitivity of the optimum to the model parameters.
+
+The optimal cost has clean structure in the instance parameters, useful
+both as analysis tooling and as strong test oracles:
+
+* ``OPT(beta)`` is **concave and nondecreasing** in the switching cost:
+  for a fixed schedule the objective is affine in ``beta`` (with slope
+  = total power-ups), and the optimum is a pointwise minimum of affine
+  functions.  The slope of ``OPT(beta)`` at any ``beta`` equals the
+  optimal schedule's power-up count — an envelope-theorem reading that
+  `beta_sweep` exposes.
+* ``OPT(m)`` is **nonincreasing** in the fleet size (more states can
+  only help).
+* Scaling all operating costs by ``c`` while keeping ``beta`` fixed
+  interpolates between follow-the-minimizer (``c`` large) and static
+  provisioning (``c`` small).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..offline.dp import solve_dp
+
+__all__ = ["beta_sweep", "capacity_sweep", "is_concave_sequence",
+           "exact_beta_envelope", "evaluate_envelope"]
+
+
+def beta_sweep(instance: Instance, betas) -> list[dict]:
+    """``OPT``, optimal power-ups and switching share for each beta."""
+    rows = []
+    for beta in betas:
+        res = solve_dp(instance.with_beta(float(beta)))
+        d = np.diff(np.concatenate([[0], res.schedule]))
+        ups = float(np.maximum(d, 0).sum())
+        rows.append({
+            "beta": float(beta),
+            "opt_cost": res.cost,
+            "power_ups": ups,
+            "switching_share": (beta * ups / res.cost) if res.cost > 0
+            else 0.0,
+        })
+    return rows
+
+
+def capacity_sweep(instance: Instance, capacities) -> list[dict]:
+    """``OPT`` restricted to fleets of size ``m' <= m`` for each m'."""
+    rows = []
+    for m in capacities:
+        m = int(m)
+        if not 0 <= m <= instance.m:
+            raise ValueError(f"capacity {m} outside 0..{instance.m}")
+        sub = Instance(beta=instance.beta, F=instance.F[:, :m + 1])
+        res = solve_dp(sub, return_schedule=False)
+        rows.append({"m": m, "opt_cost": res.cost})
+    return rows
+
+
+def _line_at(instance: Instance, beta: float) -> tuple[float, float]:
+    """The optimal schedule's affine piece at ``beta``: (operating cost,
+    power-ups), so ``OPT(beta') = op + beta' * ups`` locally."""
+    res = solve_dp(instance.with_beta(float(beta)))
+    d = np.diff(np.concatenate([[0], res.schedule]))
+    ups = float(np.maximum(d, 0).sum())
+    op = res.cost - beta * ups
+    return op, ups
+
+
+def exact_beta_envelope(instance: Instance, beta_min: float,
+                        beta_max: float, tol: float = 1e-9) -> list[dict]:
+    """The exact piecewise-linear concave envelope ``OPT(beta)`` on
+    ``[beta_min, beta_max]``.
+
+    Every schedule ``X`` contributes the line ``op(X) + beta * ups(X)``;
+    ``OPT(beta)`` is their lower envelope, recovered with the standard
+    parametric divide-and-conquer: solve at both endpoints, and if the
+    two optimal lines disagree in the interior, recurse at their
+    intersection.  Returns segments
+    ``{beta_lo, beta_hi, operating, power_ups}`` ordered by beta, with
+    ``power_ups`` strictly decreasing across segments (concavity).
+    """
+    if not 0 < beta_min <= beta_max:
+        raise ValueError("need 0 < beta_min <= beta_max")
+    lines: list[tuple[float, float]] = []
+
+    def collect(b_lo, line_lo, b_hi, line_hi):
+        op_lo, up_lo = line_lo
+        op_hi, up_hi = line_hi
+        # Same slope => same line on the whole interval (both optimal).
+        if abs(up_lo - up_hi) <= tol:
+            return
+        cross = (op_hi - op_lo) / (up_lo - up_hi)
+        if cross <= b_lo + tol or cross >= b_hi - tol:
+            return
+        line_mid = _line_at(instance, cross)
+        op_m, up_m = line_mid
+        val_m = op_m + cross * up_m
+        val_lo_line = op_lo + cross * up_lo
+        if val_m >= val_lo_line - max(tol, 1e-12 * abs(val_lo_line)):
+            # The two endpoint lines meet on the envelope; record the
+            # breakpoint by recursing no further.
+            lines.append((op_lo, up_lo))
+            return
+        collect(b_lo, line_lo, cross, line_mid)
+        collect(cross, line_mid, b_hi, line_hi)
+
+    line_a = _line_at(instance, beta_min)
+    line_b = _line_at(instance, beta_max)
+    lines.append(line_a)
+    collect(beta_min, line_a, beta_max, line_b)
+    lines.append(line_b)
+    # Deduplicate by slope, keep steepest-to-flattest order, then build
+    # the segments between consecutive intersections.
+    uniq: dict[float, float] = {}
+    for op, up in lines:
+        key = round(up, 9)
+        if key not in uniq or op < uniq[key]:
+            uniq[key] = op
+    ordered = sorted(((op, up) for up, op in
+                      ((u, o) for u, o in uniq.items())),
+                     key=lambda t: -t[1])
+    segments = []
+    b_start = beta_min
+    for i, (op, up) in enumerate(ordered):
+        if i + 1 < len(ordered):
+            op2, up2 = ordered[i + 1]
+            b_end = (op2 - op) / (up - up2)
+            b_end = min(max(b_end, b_start), beta_max)
+        else:
+            b_end = beta_max
+        if b_end > b_start + tol or i == len(ordered) - 1:
+            segments.append({"beta_lo": b_start, "beta_hi": b_end,
+                             "operating": op, "power_ups": up})
+            b_start = b_end
+    return segments
+
+
+def evaluate_envelope(segments: list[dict], beta: float) -> float:
+    """Evaluate an :func:`exact_beta_envelope` result at ``beta``."""
+    for seg in segments:
+        if seg["beta_lo"] - 1e-9 <= beta <= seg["beta_hi"] + 1e-9:
+            return seg["operating"] + beta * seg["power_ups"]
+    raise ValueError(f"beta {beta} outside the envelope's range")
+
+
+def is_concave_sequence(values, tol: float = 1e-9) -> bool:
+    """Check discrete concavity of a sequence (second differences <= tol,
+    scaled); used to verify the ``OPT(beta)`` envelope on *equally
+    spaced* parameter grids."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size <= 2:
+        return True
+    d2 = np.diff(v, n=2)
+    scale = max(1.0, float(np.abs(v).max()))
+    return bool(np.all(d2 <= tol * scale))

@@ -1,0 +1,33 @@
+"""Parameter-sweep harness used by the benchmarks.
+
+A sweep is the cartesian product of parameter axes; each grid point is
+evaluated by a user function returning a dict of measurements, and the
+results are collected as a list of flat row dicts ready for
+:mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["sweep"]
+
+
+def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence]) -> list[dict]:
+    """Evaluate ``fn(**point)`` on every point of the parameter grid.
+
+    ``grid`` maps parameter names to value lists; the returned rows merge
+    the grid point with ``fn``'s measurement dict (measurements win on
+    key collisions being forbidden).
+    """
+    names = list(grid.keys())
+    rows = []
+    for values in itertools.product(*(grid[n] for n in names)):
+        point = dict(zip(names, values))
+        result = dict(fn(**point))
+        clash = set(point) & set(result)
+        if clash:
+            raise ValueError(f"measurement keys collide with grid: {clash}")
+        rows.append({**point, **result})
+    return rows

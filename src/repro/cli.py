@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+Three subcommands, mirroring the library's three pillars:
+
+* ``repro solve``     — optimal offline schedule for a generated (or CSV)
+  load trace, with solver selection and cost breakdown.
+* ``repro simulate``  — replay online algorithms on a trace and report
+  costs and empirical ratios against the offline optimum.
+* ``repro lowerbound`` — run the Section 5 adversarial games and print
+  the ratio-vs-eps curves.
+
+Examples::
+
+    repro solve --workload diurnal -T 96 --peak 20 --beta 6
+    repro simulate --workload hotmail -T 168 --algorithms lcp,threshold
+    repro lowerbound --kind deterministic --eps 0.2,0.1,0.05
+    repro solve --loads-csv trace.csv --beta 4 --solver dp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = ("diurnal", "msr", "hotmail", "bursty", "onoff", "sawtooth",
+              "constant")
+_SOLVERS = ("binary_search", "dp", "graph", "lp")
+_ALGORITHMS = ("lcp", "threshold", "randomized", "memoryless", "followmin",
+               "rhc", "afhc")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Right-sizing data centers (Albers & Quedenfeld, "
+                    "SPAA 2018) — reproduction CLI")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_trace_args(sp):
+        sp.add_argument("--workload", choices=_WORKLOADS, default="diurnal",
+                        help="synthetic trace family")
+        sp.add_argument("--loads-csv", metavar="PATH",
+                        help="read loads (one per line) instead")
+        sp.add_argument("-T", type=int, default=96, help="time steps")
+        sp.add_argument("--peak", type=float, default=20.0,
+                        help="peak load (server units)")
+        sp.add_argument("--beta", type=float, default=6.0,
+                        help="switching cost per power-up")
+        sp.add_argument("--delay-weight", type=float, default=10.0,
+                        help="latency penalty weight")
+        sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser("solve", help="optimal offline schedule")
+    add_trace_args(sp)
+    sp.add_argument("--solver", choices=_SOLVERS, default="binary_search")
+    sp.add_argument("--show-schedule", action="store_true")
+    sp.add_argument("--save-schedule", metavar="PATH",
+                    help="write the optimal schedule as CSV")
+    sp.add_argument("--save-instance", metavar="PATH",
+                    help="write the generated instance as .npz")
+
+    sp = sub.add_parser("simulate", help="online algorithms on a trace")
+    add_trace_args(sp)
+    sp.add_argument("--algorithms", default="lcp,threshold,randomized",
+                    help=f"comma list from {_ALGORITHMS}")
+    sp.add_argument("--lookahead", type=int, default=0,
+                    help="prediction window w for lcp/rhc/afhc")
+
+    sp = sub.add_parser("lowerbound", help="Section 5 adversarial games")
+    sp.add_argument("--kind",
+                    choices=("deterministic", "continuous", "randomized",
+                             "restricted"),
+                    default="deterministic")
+    sp.add_argument("--eps", default="0.2,0.1,0.05",
+                    help="comma list of adversary slopes")
+    sp.add_argument("--max-steps", type=int, default=30000)
+
+    sp = sub.add_parser("report",
+                        help="assemble the experiment report from "
+                             "benchmark artifacts")
+    sp.add_argument("--results-dir", default="benchmarks/results")
+    sp.add_argument("--check", action="store_true",
+                    help="exit non-zero if any experiment is missing")
+    return p
+
+
+def _make_loads(args) -> np.ndarray:
+    if args.loads_csv:
+        loads = np.loadtxt(args.loads_csv, dtype=np.float64, ndmin=1)
+        if loads.ndim != 1:
+            raise SystemExit("loads CSV must contain one value per line")
+        return loads
+    from .workloads import (bursty_loads, constant_loads, diurnal_loads,
+                            hotmail_like_loads, msr_like_loads, onoff_loads,
+                            sawtooth_loads)
+    rng = np.random.default_rng(args.seed)
+    T, peak = args.T, args.peak
+    return {
+        "diurnal": lambda: diurnal_loads(T, peak=peak, rng=rng),
+        "msr": lambda: msr_like_loads(T, peak=peak, rng=rng),
+        "hotmail": lambda: hotmail_like_loads(T, peak=peak, rng=rng),
+        "bursty": lambda: bursty_loads(T, peak=peak, rng=rng),
+        "onoff": lambda: onoff_loads(T, peak=peak, rng=rng),
+        "sawtooth": lambda: sawtooth_loads(T, peak=peak),
+        "constant": lambda: constant_loads(T, peak),
+    }[args.workload]()
+
+
+def _make_instance(args):
+    from .workloads import capacity_for, instance_from_loads
+    loads = _make_loads(args)
+    m = capacity_for(loads)
+    return instance_from_loads(loads, m=m, beta=args.beta,
+                               delay_weight=args.delay_weight)
+
+
+def _cmd_solve(args) -> int:
+    from .analysis import format_table
+    from .core.schedule import cost_breakdown
+    from .offline import solve_binary_search, solve_dp, solve_graph, solve_lp
+    inst = _make_instance(args)
+    solver = {"binary_search": solve_binary_search, "dp": solve_dp,
+              "graph": solve_graph, "lp": solve_lp}[args.solver]
+    res = solver(inst)
+    b = cost_breakdown(inst, res.schedule)
+    print(format_table([{
+        "solver": res.method, "T": inst.T, "m": inst.m, "beta": inst.beta,
+        "total": res.cost, "operating": b["operating"],
+        "switching": b["switching"], "peak": b["peak"],
+    }], title="offline optimum"))
+    if args.show_schedule:
+        print("schedule:", res.schedule.tolist())
+    if args.save_schedule:
+        from .io import save_schedule
+        save_schedule(args.save_schedule, res.schedule)
+        print(f"schedule written to {args.save_schedule}")
+    if args.save_instance:
+        from .io import save_instance
+        save_instance(args.save_instance, inst)
+        print(f"instance written to {args.save_instance}")
+    return 0
+
+
+def _make_algorithm(name: str, lookahead: int):
+    from .online import (LCP, AveragingFixedHorizonControl,
+                         FollowTheMinimizer, MemorylessBalance,
+                         RandomizedRounding, RecedingHorizonControl,
+                         ThresholdFractional)
+    return {
+        "lcp": lambda: LCP(lookahead=lookahead),
+        "threshold": ThresholdFractional,
+        "randomized": lambda: RandomizedRounding(ThresholdFractional(),
+                                                 rng=0),
+        "memoryless": MemorylessBalance,
+        "followmin": FollowTheMinimizer,
+        "rhc": lambda: RecedingHorizonControl(lookahead=lookahead),
+        "afhc": lambda: AveragingFixedHorizonControl(lookahead=lookahead),
+    }[name]()
+
+
+def _cmd_simulate(args) -> int:
+    from .analysis import format_table, optimal_cost
+    from .online import run_online
+    inst = _make_instance(args)
+    opt = optimal_cost(inst)
+    rows = []
+    for name in args.algorithms.split(","):
+        name = name.strip().lower()
+        if name not in _ALGORITHMS:
+            raise SystemExit(f"unknown algorithm {name!r}; "
+                             f"choose from {_ALGORITHMS}")
+        res = run_online(inst, _make_algorithm(name, args.lookahead))
+        rows.append({"algorithm": res.name, "cost": res.cost,
+                     "opt": opt, "ratio": res.cost / opt})
+    print(format_table(rows, title=f"online simulation "
+                                   f"(T={inst.T}, m={inst.m}, "
+                                   f"beta={inst.beta})"))
+    return 0
+
+
+def _cmd_lowerbound(args) -> int:
+    from .analysis import format_table
+    from .lower_bounds import (ContinuousAdversary,
+                               DeterministicDiscreteAdversary,
+                               RestrictedDiscreteAdversary, play_game,
+                               play_randomized_game)
+    from .online import LCP, AlgorithmB, ThresholdFractional
+    eps_values = [float(e) for e in args.eps.split(",")]
+    rows = []
+    for eps in eps_values:
+        if args.kind == "deterministic":
+            adv = DeterministicDiscreteAdversary(eps)
+            res = play_game(adv, LCP(), min(adv.horizon(), args.max_steps))
+            target = 3.0
+        elif args.kind == "restricted":
+            adv = RestrictedDiscreteAdversary(eps)
+            res = play_game(adv, LCP(), min(adv.horizon(), args.max_steps))
+            target = 3.0
+        elif args.kind == "continuous":
+            adv = ContinuousAdversary(eps)
+            res = play_game(adv, AlgorithmB(),
+                            min(adv.horizon(), args.max_steps))
+            target = 2.0
+        else:
+            adv = ContinuousAdversary(eps)
+            res = play_randomized_game(adv, ThresholdFractional(),
+                                       min(adv.horizon(), args.max_steps))
+            target = 2.0
+        rows.append({"eps": eps, "T": res.instance.T, "ratio": res.ratio,
+                     "limit": target})
+    print(format_table(rows, title=f"{args.kind} lower-bound game"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import assemble_report, missing_experiments
+    print(assemble_report(args.results_dir))
+    if args.check:
+        missing = missing_experiments(args.results_dir)
+        if missing:
+            print(f"MISSING EXPERIMENTS: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"solve": _cmd_solve, "simulate": _cmd_simulate,
+            "lowerbound": _cmd_lowerbound, "report": _cmd_report
+            }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Core substrate: cost functions, problem instances, schedules, transforms."""
+
+from .costs import (AbsCost, AffineEnergyCost, ConstantCost, CostFunction,
+                    PerspectiveCost, PiecewiseLinearCost, QuadraticCost,
+                    QueueingDelayCost, ScaledCost, SLAHingeCost, SumCost,
+                    TabulatedCost, assert_convex_table, check_cost_matrix,
+                    is_convex_table, phi0, phi1, tabulate, tabulate_many)
+from .instance import Instance, RestrictedInstance
+from .schedule import (cost, cost_L, cost_U, cost_breakdown, interp_operating,
+                       operating_cost, switching_cost_down, switching_cost_up,
+                       symmetric_cost, validate_schedule)
+from .transforms import (continuous_extension, lift_schedule,
+                         next_power_of_two, pad_to_power_of_two, padded_cost,
+                         project_schedule, scale_down)
+
+__all__ = [
+    "AbsCost", "AffineEnergyCost", "ConstantCost", "CostFunction",
+    "PerspectiveCost", "PiecewiseLinearCost", "QuadraticCost",
+    "QueueingDelayCost", "ScaledCost", "SLAHingeCost", "SumCost",
+    "TabulatedCost", "assert_convex_table", "check_cost_matrix",
+    "is_convex_table", "phi0", "phi1", "tabulate", "tabulate_many",
+    "Instance", "RestrictedInstance",
+    "cost", "cost_L", "cost_U", "cost_breakdown", "interp_operating",
+    "operating_cost", "switching_cost_down", "switching_cost_up",
+    "symmetric_cost", "validate_schedule",
+    "continuous_extension", "lift_schedule", "next_power_of_two",
+    "pad_to_power_of_two", "padded_cost", "project_schedule", "scale_down",
+]

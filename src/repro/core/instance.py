@@ -1,0 +1,187 @@
+"""Problem instances for the data-center optimization problem.
+
+Two models from the paper:
+
+* :class:`Instance` — the **general model** (eq. (1)): a tuple
+  ``P = (T, m, beta, F)`` where ``F`` holds one convex operating-cost
+  function per time step, tabulated into a dense ``(T, m+1)`` float64
+  matrix ``F[t, j] = f_{t+1}(j)``.
+
+* :class:`RestrictedInstance` — the **restricted model** of Lin et al.
+  (eq. (2)): a single convex per-server cost ``f(z)`` on utilization
+  ``z in [0,1]``, a load trace ``lambda_t`` and the feasibility constraint
+  ``x_t >= lambda_t``.  It converts to a general instance via the
+  perspective cost ``x * f(lambda_t / x)`` with a steep convex penalty on
+  infeasible states.
+
+All solvers in :mod:`repro.offline` and :mod:`repro.online` consume
+:class:`Instance`; the restricted model is handled by conversion, mirroring
+how the paper's Section 5 reductions encode restricted-model games in the
+general model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .costs import (CostFunction, PerspectiveCost, check_cost_matrix,
+                    tabulate_many)
+
+__all__ = ["Instance", "RestrictedInstance"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Instance:
+    """General-model instance ``P = (T, m, beta, F)``.
+
+    Attributes
+    ----------
+    beta:
+        Positive switching cost charged per server powered **up**
+        (powering down is free; see eq. (1)).
+    F:
+        C-contiguous float64 matrix of shape ``(T, m+1)`` with
+        ``F[t, j] = f_{t+1}(j)``, each row convex and non-negative.
+    """
+
+    beta: float
+    F: np.ndarray
+
+    def __post_init__(self):
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        F = check_cost_matrix(self.F)
+        F.setflags(write=False)
+        object.__setattr__(self, "F", F)
+
+    # ------------------------------------------------------------------
+    # Shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def T(self) -> int:
+        """Number of time steps."""
+        return self.F.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Maximum number of servers (states are ``0..m``)."""
+        return self.F.shape[1] - 1
+
+    def f(self, t: int) -> np.ndarray:
+        """Tabulated operating cost of time step ``t`` (1-based, as in the
+        paper); returns the row ``F[t-1]``."""
+        if not 1 <= t <= self.T:
+            raise IndexError(f"t must be in 1..{self.T}, got {t}")
+        return self.F[t - 1]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_functions(cls, fs: Sequence, m: int, beta: float) -> "Instance":
+        """Build an instance by tabulating cost functions/callables."""
+        return cls(beta=beta, F=tabulate_many(fs, m))
+
+    @classmethod
+    def from_matrix(cls, F: np.ndarray, beta: float) -> "Instance":
+        """Build an instance from an explicit ``(T, m+1)`` cost matrix."""
+        return cls(beta=beta, F=np.asarray(F, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def prefix(self, tau: int) -> "Instance":
+        """The truncated instance consisting of time steps ``1..tau``."""
+        if not 0 <= tau <= self.T:
+            raise IndexError(f"tau must be in 0..{self.T}, got {tau}")
+        return Instance(beta=self.beta, F=self.F[:tau])
+
+    def with_beta(self, beta: float) -> "Instance":
+        """Same operating costs with a different switching cost."""
+        return Instance(beta=beta, F=self.F)
+
+    def __repr__(self):
+        return f"Instance(T={self.T}, m={self.m}, beta={self.beta})"
+
+
+@dataclasses.dataclass(frozen=True)
+class RestrictedInstance:
+    """Restricted-model instance (eq. (2)): minimize
+    ``sum_t x_t f(lambda_t/x_t) + beta sum_t (x_t - x_{t-1})^+`` subject to
+    ``x_t >= lambda_t``.
+
+    Attributes
+    ----------
+    beta: switching cost (as in the general model).
+    m: number of servers.
+    f: convex per-server operating cost on utilization ``z in [0, 1]``.
+    loads: array of ``T`` non-negative loads ``lambda_t <= m``.
+    """
+
+    beta: float
+    m: int
+    f: Callable[[float], float]
+    loads: np.ndarray
+
+    def __post_init__(self):
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.m < 1:
+            raise ValueError("m must be at least 1")
+        loads = np.ascontiguousarray(np.asarray(self.loads, dtype=np.float64))
+        if loads.ndim != 1:
+            raise ValueError("loads must be a 1-D array")
+        if np.any(loads < 0):
+            raise ValueError("loads must be non-negative")
+        if np.any(loads > self.m):
+            raise ValueError("loads must not exceed the number of servers m")
+        loads.setflags(write=False)
+        object.__setattr__(self, "loads", loads)
+
+    @property
+    def T(self) -> int:
+        return self.loads.shape[0]
+
+    def operating_cost(self, t: int, x: float) -> float:
+        """Feasible operating cost ``x * f(lambda_t / x)`` at time ``t``
+        (1-based); raises on infeasible states ``x < lambda_t``."""
+        lam = float(self.loads[t - 1])
+        if x < lam - 1e-12:
+            raise ValueError(
+                f"state x={x} infeasible at t={t}: below load {lam}")
+        if x == 0:
+            return 0.0
+        return float(x) * float(self.f(lam / x))
+
+    def to_general(self, penalty_slope: float | None = None) -> Instance:
+        """Encode as a general-model :class:`Instance`.
+
+        Infeasible states ``x < ceil(lambda_t)`` receive a steep convex
+        linear penalty so that no optimal or competitive schedule ever uses
+        them; the default slope exceeds any cost an always-feasible schedule
+        can accumulate (total feasible cost plus ``beta*m``), which makes
+        the encoding exact for optimal schedules.
+        """
+        if penalty_slope is None:
+            # Upper bound the cost of the all-feasible schedule x_t = m.
+            ub = self.beta * self.m
+            for t in range(1, self.T + 1):
+                ub += self.operating_cost(t, self.m)
+            penalty_slope = 10.0 * (ub + 1.0)
+        fs = [PerspectiveCost(self.f, float(lam), penalty_slope)
+              for lam in self.loads]
+        return Instance.from_functions(fs, self.m, self.beta)
+
+    def is_feasible(self, schedule: np.ndarray) -> bool:
+        """Check ``x_t >= lambda_t`` for all ``t``."""
+        x = np.asarray(schedule, dtype=np.float64)
+        if x.shape != (self.T,):
+            raise ValueError(f"schedule must have shape ({self.T},)")
+        return bool(np.all(x >= self.loads - 1e-12))
+
+    def __repr__(self):
+        return (f"RestrictedInstance(T={self.T}, m={self.m}, "
+                f"beta={self.beta})")

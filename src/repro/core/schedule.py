@@ -1,0 +1,167 @@
+"""Schedules and cost functionals.
+
+A *schedule* is a vector ``X = (x_1, ..., x_T)`` of server counts with the
+boundary convention ``x_0 = x_{T+1} = 0``.  This module implements every
+cost functional used in the paper:
+
+* ``cost`` — the objective of eq. (1): operating plus power-up switching.
+* ``cost_L`` / ``cost_U`` — the truncated costs ``C^L_tau`` (eq. (11)) and
+  ``C^U_tau`` (eq. (12)) where switching is charged on powering up resp.
+  powering down.
+* ``operating_cost`` (``R_tau``), ``switching_cost_up`` (``S^L_tau``),
+  ``switching_cost_down`` (``S^U_tau``) — the Section 3.2 decomposition.
+* ``symmetric_cost`` — the Section 5 convention (both directions charged at
+  ``beta/2``, trajectory closed by a final power-down), which coincides
+  with eq. (1) for closed schedules.
+
+Fractional schedules (float entries) are supported everywhere via the
+continuous extension ``f-bar`` of eq. (3) (row-wise linear interpolation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import Instance
+
+__all__ = [
+    "validate_schedule",
+    "interp_operating",
+    "operating_cost",
+    "switching_cost_up",
+    "switching_cost_down",
+    "cost",
+    "cost_L",
+    "cost_U",
+    "symmetric_cost",
+    "cost_breakdown",
+]
+
+
+def validate_schedule(instance: Instance, X, *, integral: bool = True,
+                      name: str = "schedule") -> np.ndarray:
+    """Validate a schedule against an instance and return it as an array.
+
+    Checks length ``T``, the state bounds ``0 <= x_t <= m`` and, when
+    ``integral`` is set, integrality of every entry.
+    """
+    x = np.asarray(X, dtype=np.float64)
+    if x.shape != (instance.T,):
+        raise ValueError(
+            f"{name} must have shape ({instance.T},), got {x.shape}")
+    if np.any(x < -1e-12) or np.any(x > instance.m + 1e-12):
+        raise ValueError(f"{name} leaves the state range [0, {instance.m}]")
+    if integral and not np.allclose(x, np.round(x), atol=1e-9):
+        raise ValueError(f"{name} must be integral")
+    return x
+
+
+def interp_operating(F: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Per-step operating cost ``f-bar_t(x_t)`` for a (possibly fractional)
+    schedule, using the linear interpolation of eq. (3).
+
+    ``F`` is the ``(T, m+1)`` cost matrix; returns a length-``T`` vector.
+    """
+    x = np.asarray(X, dtype=np.float64)
+    T, width = F.shape
+    if x.shape != (T,):
+        raise ValueError(f"schedule must have shape ({T},)")
+    lo = np.clip(np.floor(x).astype(np.int64), 0, width - 1)
+    hi = np.minimum(lo + 1, width - 1)
+    frac = x - lo
+    rows = np.arange(T)
+    return (1.0 - frac) * F[rows, lo] + frac * F[rows, hi]
+
+
+def operating_cost(instance: Instance, X, upto: int | None = None) -> float:
+    """``R_tau(X) = sum_{t<=tau} f_t(x_t)`` (Section 3.2); default
+    ``tau = T``."""
+    x = validate_schedule(instance, X, integral=False)
+    tau = instance.T if upto is None else upto
+    return float(np.sum(interp_operating(instance.F[:tau], x[:tau])))
+
+
+def _deltas(X: np.ndarray, upto: int) -> np.ndarray:
+    """State changes ``x_t - x_{t-1}`` for ``t = 1..upto`` with
+    ``x_0 = 0``."""
+    x = np.concatenate([[0.0], np.asarray(X, dtype=np.float64)[:upto]])
+    return np.diff(x)
+
+
+def switching_cost_up(instance: Instance, X, upto: int | None = None) -> float:
+    """``S^L_tau(X) = beta * sum_{t<=tau} (x_t - x_{t-1})^+``."""
+    x = validate_schedule(instance, X, integral=False)
+    tau = instance.T if upto is None else upto
+    d = _deltas(x, tau)
+    return float(instance.beta * np.sum(np.maximum(d, 0.0)))
+
+
+def switching_cost_down(instance: Instance, X, upto: int | None = None) -> float:
+    """``S^U_tau(X) = beta * sum_{t<=tau} (x_{t-1} - x_t)^+``."""
+    x = validate_schedule(instance, X, integral=False)
+    tau = instance.T if upto is None else upto
+    d = _deltas(x, tau)
+    return float(instance.beta * np.sum(np.maximum(-d, 0.0)))
+
+
+def cost(instance: Instance, X, *, integral: bool = True) -> float:
+    """Total cost of eq. (1): ``sum_t f_t(x_t) + beta sum_t (Dx)^+``.
+
+    For fractional schedules, pass ``integral=False``; the operating cost
+    then uses the continuous extension of eq. (3).
+    """
+    x = validate_schedule(instance, X, integral=integral)
+    return operating_cost(instance, x) + switching_cost_up(instance, x)
+
+
+def cost_L(instance: Instance, X, tau: int | None = None, *,
+           integral: bool = True) -> float:
+    """``C^L_tau(X)`` (eq. (11)): truncated cost with power-up charging.
+
+    For ``tau = T`` this equals eq. (1).
+    """
+    x = validate_schedule(instance, X, integral=integral)
+    tau = instance.T if tau is None else tau
+    return (operating_cost(instance, x, upto=tau)
+            + switching_cost_up(instance, x, upto=tau))
+
+
+def cost_U(instance: Instance, X, tau: int | None = None, *,
+           integral: bool = True) -> float:
+    """``C^U_tau(X)`` (eq. (12)): truncated cost with power-down charging.
+
+    Satisfies the identity ``C^L_tau(X) = C^U_tau(X) + beta * x_tau``
+    (eq. (14)), which the test suite verifies.
+    """
+    x = validate_schedule(instance, X, integral=integral)
+    tau = instance.T if tau is None else tau
+    return (operating_cost(instance, x, upto=tau)
+            + switching_cost_down(instance, x, upto=tau))
+
+
+def symmetric_cost(instance: Instance, X, *, integral: bool = True) -> float:
+    """Section 5 cost convention: switching charged at ``beta/2`` per unit
+    in **both** directions and the trajectory closed with a final
+    power-down ``x_{T+1} = 0``.
+
+    For any schedule (closed by construction) this equals eq. (1), because
+    over a closed trajectory total up-moves equal total down-moves.
+    """
+    x = validate_schedule(instance, X, integral=integral)
+    path = np.concatenate([[0.0], x, [0.0]])
+    moves = float(np.sum(np.abs(np.diff(path))))
+    return operating_cost(instance, x) + 0.5 * instance.beta * moves
+
+
+def cost_breakdown(instance: Instance, X, *, integral: bool = True) -> dict:
+    """Return a dict with operating/switching/total cost of a schedule."""
+    x = validate_schedule(instance, X, integral=integral)
+    op = operating_cost(instance, x)
+    sw = switching_cost_up(instance, x)
+    return {
+        "operating": op,
+        "switching": sw,
+        "total": op + sw,
+        "peak": float(np.max(x)) if x.size else 0.0,
+        "mean": float(np.mean(x)) if x.size else 0.0,
+    }

@@ -1,0 +1,150 @@
+"""Instance transformations from Section 2 of the paper.
+
+* ``pad_to_power_of_two`` — the Section 2.2 padding ``P -> P'`` that
+  extends ``m`` to the next power of two with the adverse convex extension
+  ``f'_t(x) = x * (f_t(m) + eps)`` for ``x > m``.
+
+* ``scale_down`` — the composition ``Psi_l(Phi_l(P))``: keep only states
+  that are multiples of ``2^l`` and relabel them ``0..m/2^l``; switching
+  cost becomes ``beta * 2^l``.  Schedules map back via ``lift_schedule``
+  with *identical cost* (the paper's Psi preserves cost), which is what
+  Lemmas 1 and 5 manipulate.
+
+* ``continuous_extension`` — the piecewise-linear extension ``f-bar`` of
+  eq. (3) as a callable matrix evaluator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .instance import Instance
+
+__all__ = [
+    "next_power_of_two",
+    "padded_cost",
+    "pad_to_power_of_two",
+    "scale_down",
+    "lift_schedule",
+    "project_schedule",
+    "continuous_extension",
+]
+
+
+def next_power_of_two(m: int) -> int:
+    """Smallest power of two ``>= m`` (``m >= 1``)."""
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    return 1 << (m - 1).bit_length()
+
+
+def padded_cost(F: np.ndarray, t: int, states: np.ndarray,
+                eps: float) -> np.ndarray:
+    """Evaluate the padded cost ``f'_t`` of Section 2.2 on ``states``.
+
+    For ``j <= m`` this is ``F[t-1, j]``; for ``j > m`` the function is
+    extended linearly from ``(m, f_t(m))`` with slope ``f_t(m) + eps``:
+    ``f'_t(j) = f_t(m) + (j - m)(f_t(m) + eps)``.
+
+    Note (deviation from the paper's displayed formula): the paper writes
+    ``f'_t(x) = x (f_t(m) + eps)``, but that expression is not convex at
+    the junction for ``m >= 2`` — its slope jumps to ``m f_t(m) + (m+1)
+    eps`` on ``[m, m+1]`` and falls back to ``f_t(m) + eps`` afterwards.
+    The paper's own justification ("the greatest slope of ``f_t`` is
+    ``f_t(m) - f_t(m-1) <= f_t(m)``") is exactly the argument for the
+    linear extension used here: the junction slope ``f_t(m) + eps``
+    weakly exceeds every slope of ``f_t`` and stays constant beyond, so
+    ``f'_t`` is convex, and it is strictly positive, so padded states are
+    strictly adverse and never optimal.
+
+    ``t`` is 1-based.  ``states`` may exceed the padded maximum; callers
+    are responsible for clipping to the padded state range.
+    """
+    m = F.shape[1] - 1
+    s = np.asarray(states, dtype=np.int64)
+    inside = np.minimum(s, m)
+    vals = F[t - 1, inside].astype(np.float64, copy=True)
+    over = s > m
+    if np.any(over):
+        top = F[t - 1, m]
+        vals[over] = top + (s[over] - m) * (top + eps)
+    return vals
+
+
+def pad_to_power_of_two(instance: Instance, eps: float = 1.0) -> Instance:
+    """Materialize the padded instance ``P'`` of Section 2.2.
+
+    Only intended for small ``m`` (tests and reference paths): the
+    binary-search solver evaluates :func:`padded_cost` lazily instead of
+    building the padded matrix.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    m = instance.m
+    m2 = next_power_of_two(max(m, 1))
+    if m2 == m:
+        return instance
+    T = instance.T
+    Fp = np.empty((T, m2 + 1), dtype=np.float64)
+    Fp[:, :m + 1] = instance.F
+    over = np.arange(1, m2 - m + 1, dtype=np.float64)
+    top = instance.F[:, m][:, None]
+    Fp[:, m + 1:] = top + over[None, :] * (top + eps)
+    return Instance(beta=instance.beta, F=Fp)
+
+
+def scale_down(instance: Instance, l: int) -> Instance:
+    """``Psi_l(Phi_l(P))``: restrict to multiples of ``2^l`` and relabel.
+
+    Requires ``2^l`` to divide ``m``.  The returned instance has
+    ``m' = m / 2^l``, operating costs ``f'_t(i) = f_t(i * 2^l)`` (convex:
+    a convex function sampled on an arithmetic progression is convex) and
+    switching cost ``beta' = beta * 2^l``.  A schedule ``X'`` for the
+    scaled instance corresponds to ``X = 2^l * X'`` with equal cost.
+    """
+    if l < 0:
+        raise ValueError("l must be non-negative")
+    if l == 0:
+        return instance
+    step = 1 << l
+    if instance.m % step != 0:
+        raise ValueError(f"2^l = {step} must divide m = {instance.m}")
+    return Instance(beta=instance.beta * step, F=instance.F[:, ::step])
+
+
+def lift_schedule(X, l: int) -> np.ndarray:
+    """Map a schedule of ``scale_down(P, l)`` back to original states."""
+    return np.asarray(X) * (1 << l)
+
+
+def project_schedule(X, l: int) -> np.ndarray:
+    """Map a schedule of ``P`` whose states are multiples of ``2^l`` to the
+    scaled instance's states.  Raises if any state is not a multiple."""
+    x = np.asarray(X, dtype=np.int64)
+    step = 1 << l
+    if np.any(x % step != 0):
+        raise ValueError(f"schedule states must be multiples of {step}")
+    return x // step
+
+
+def continuous_extension(F: np.ndarray):
+    """Return a vectorized evaluator ``fbar(t, x)`` of eq. (3).
+
+    ``t`` is 1-based; ``x`` may be scalar or array in ``[0, m]``.  Values
+    between integer states are linearly interpolated.
+    """
+    T, width = F.shape
+    grid = np.arange(width, dtype=np.float64)
+
+    def fbar(t: int, x):
+        if not 1 <= t <= T:
+            raise IndexError(f"t must be in 1..{T}")
+        xs = np.asarray(x, dtype=np.float64)
+        if np.any(xs < -1e-12) or np.any(xs > width - 1 + 1e-12):
+            raise ValueError("x outside [0, m]")
+        out = np.interp(xs, grid, F[t - 1])
+        return float(out) if np.isscalar(x) else out
+
+    return fbar

@@ -1,0 +1,10 @@
+"""Extensions beyond the paper's homogeneous setting (outlook features)."""
+
+from .heterogeneous import (HeterogeneousInstance, hetero_cost,
+                            hetero_instance_from_loads, solve_dp_hetero,
+                            solve_greedy_hetero, solve_static_hetero)
+
+__all__ = [
+    "HeterogeneousInstance", "hetero_cost", "hetero_instance_from_loads",
+    "solve_dp_hetero", "solve_greedy_hetero", "solve_static_hetero",
+]

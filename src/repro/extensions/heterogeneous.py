@@ -1,0 +1,204 @@
+"""Heterogeneous data centers (two server types) — the paper's outlook.
+
+The paper studies homogeneous servers and notes (Section 1) that the
+heterogeneous problem is a special case of convex function chasing; the
+authors develop it fully in follow-up work.  This extension implements
+the natural two-type generalization *exactly* for laptop-scale state
+spaces:
+
+* state ``x = (x_1, x_2)`` with ``x_j ∈ {0..m_j}`` active servers of
+  type ``j`` (e.g. high-performance vs energy-efficient machines);
+* objective ``Σ_t f_t(x_t) + Σ_t Σ_j β_j (x_{t,j} − x_{t−1,j})⁺`` with
+  per-type switching costs and jointly convex operating costs;
+* an exact DP over the product space.  The switching cost is separable,
+  so the transition minimization factorizes into two one-dimensional
+  prefix/suffix sweeps — ``O(T m_1 m_2)`` instead of the naive
+  ``O(T (m_1 m_2)^2)``, the same trick that makes the homogeneous DP
+  linear per step.
+
+Operating-cost builder: given a load trace, servers of type ``j`` with
+service rate ``s_j`` and power ``e_j``, the per-step cost is energy plus
+a congestion-inflated latency on the pooled capacity — jointly convex in
+``(x_1, x_2)`` along integer lines, which is all the DP needs (it is
+exact regardless; convexity just matches the homogeneous modeling).
+
+Baselines: best static pair, per-step greedy.  The homogeneous solvers
+are recovered exactly when one type has capacity zero (consistency test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .._util import prefix_min, suffix_min
+
+__all__ = [
+    "HeterogeneousInstance",
+    "hetero_instance_from_loads",
+    "solve_dp_hetero",
+    "solve_static_hetero",
+    "solve_greedy_hetero",
+    "hetero_cost",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class HeterogeneousInstance:
+    """Two-type instance: cost tensor ``F[t, x1, x2]`` and per-type betas."""
+
+    beta1: float
+    beta2: float
+    F: np.ndarray
+
+    def __post_init__(self):
+        if self.beta1 <= 0 or self.beta2 <= 0:
+            raise ValueError("both switching costs must be positive")
+        F = np.ascontiguousarray(np.asarray(self.F, dtype=np.float64))
+        if F.ndim != 3:
+            raise ValueError("cost tensor must have shape (T, m1+1, m2+1)")
+        if F.size and (not np.all(np.isfinite(F)) or np.any(F < -1e-12)):
+            raise ValueError("costs must be finite and non-negative")
+        F.setflags(write=False)
+        object.__setattr__(self, "F", F)
+
+    @property
+    def T(self) -> int:
+        return self.F.shape[0]
+
+    @property
+    def m1(self) -> int:
+        return self.F.shape[1] - 1
+
+    @property
+    def m2(self) -> int:
+        return self.F.shape[2] - 1
+
+
+def hetero_instance_from_loads(loads, m1: int, m2: int, *,
+                               beta1: float, beta2: float,
+                               rate1: float = 1.0, rate2: float = 0.6,
+                               power1: float = 1.0, power2: float = 0.45,
+                               latency_weight: float = 2.0
+                               ) -> HeterogeneousInstance:
+    """Two-type cost model: fast/hungry type 1 vs slow/frugal type 2.
+
+    ``f_t(x1, x2) = power1 x1 + power2 x2 + latency_weight * load_t *
+    delay(rho)`` with ``rho = load_t / (rate1 x1 + rate2 x2)`` and the
+    capped ``1/(1-rho)`` inflation of the simulator bridge.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if np.any(loads < 0):
+        raise ValueError("loads must be non-negative")
+    cap = 10.0
+    x1 = np.arange(m1 + 1, dtype=np.float64)[:, None]
+    x2 = np.arange(m2 + 1, dtype=np.float64)[None, :]
+    capacity = rate1 * x1 + rate2 * x2
+    energy = power1 * x1 + power2 * x2
+    T = loads.shape[0]
+    F = np.empty((T, m1 + 1, m2 + 1), dtype=np.float64)
+    for t in range(T):
+        lam = loads[t]
+        with np.errstate(divide="ignore"):
+            rho = np.where(capacity > 0, lam / np.maximum(capacity, 1e-12),
+                           np.inf)
+        delay = np.where(rho < 1.0, 1.0 / np.maximum(1.0 - rho, 1.0 / cap),
+                         cap)
+        delay = np.minimum(delay, cap)
+        latency = lam * delay
+        if lam == 0:
+            latency = np.zeros_like(capacity)
+        F[t] = energy + latency_weight * latency
+    return HeterogeneousInstance(beta1=beta1, beta2=beta2, F=F)
+
+
+def hetero_cost(instance: HeterogeneousInstance, X1, X2) -> float:
+    """Objective value of a two-type schedule (x_0 = 0 in both types)."""
+    X1 = np.asarray(X1, dtype=np.int64)
+    X2 = np.asarray(X2, dtype=np.int64)
+    T = instance.T
+    if X1.shape != (T,) or X2.shape != (T,):
+        raise ValueError(f"schedules must have shape ({T},)")
+    if (X1.min(initial=0) < 0 or X2.min(initial=0) < 0
+            or X1.max(initial=0) > instance.m1
+            or X2.max(initial=0) > instance.m2):
+        raise ValueError("schedule leaves the state box")
+    op = float(instance.F[np.arange(T), X1, X2].sum())
+    d1 = np.diff(np.concatenate([[0], X1]))
+    d2 = np.diff(np.concatenate([[0], X2]))
+    sw = (instance.beta1 * float(np.maximum(d1, 0).sum())
+          + instance.beta2 * float(np.maximum(d2, 0).sum()))
+    return op + sw
+
+
+def _relax_axis(D: np.ndarray, beta: float, axis: int) -> np.ndarray:
+    """1-D switching relaxation along one axis of the value table:
+    ``out[v] = min_u D[u] + beta (v - u)^+`` applied along ``axis``."""
+    Dm = np.moveaxis(D, axis, -1)
+    n = Dm.shape[-1]
+    states = np.arange(n, dtype=np.float64)
+    up = beta * states + np.minimum.accumulate(Dm - beta * states, axis=-1)
+    down = np.minimum.accumulate(Dm[..., ::-1], axis=-1)[..., ::-1]
+    out = np.minimum(up, down)
+    return np.moveaxis(out, -1, axis)
+
+
+def solve_dp_hetero(instance: HeterogeneousInstance):
+    """Exact optimal two-type schedule via the factorized product DP.
+
+    Returns ``(X1, X2, cost)``.  Per step: relax the switching cost along
+    each axis in turn (valid because the switching cost is separable and
+    each relaxation is a min-convolution with a 1-D kernel), then add the
+    operating-cost slice.
+    """
+    T, m1, m2 = instance.T, instance.m1, instance.m2
+    if T == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z, 0.0
+    s1 = np.arange(m1 + 1, dtype=np.float64)[:, None]
+    s2 = np.arange(m2 + 1, dtype=np.float64)[None, :]
+    Ds = np.empty((T, m1 + 1, m2 + 1), dtype=np.float64)
+    Ds[0] = instance.F[0] + instance.beta1 * s1 + instance.beta2 * s2
+    for t in range(1, T):
+        relaxed = _relax_axis(Ds[t - 1], instance.beta1, axis=0)
+        relaxed = _relax_axis(relaxed, instance.beta2, axis=1)
+        Ds[t] = instance.F[t] + relaxed
+    # Backward reconstruction over the product space (small by design).
+    X1 = np.empty(T, dtype=np.int64)
+    X2 = np.empty(T, dtype=np.int64)
+    flat = int(np.argmin(Ds[T - 1]))
+    X1[T - 1], X2[T - 1] = np.unravel_index(flat, Ds[T - 1].shape)
+    best = float(Ds[T - 1, X1[T - 1], X2[T - 1]])
+    for t in range(T - 2, -1, -1):
+        v1, v2 = X1[t + 1], X2[t + 1]
+        trans = (Ds[t]
+                 + instance.beta1 * np.maximum(v1 - s1, 0.0)
+                 + instance.beta2 * np.maximum(v2 - s2, 0.0))
+        flat = int(np.argmin(trans))
+        X1[t], X2[t] = np.unravel_index(flat, trans.shape)
+    return X1, X2, best
+
+
+def solve_static_hetero(instance: HeterogeneousInstance):
+    """Best constant pair ``(j1, j2)`` (static provisioning baseline)."""
+    s1 = np.arange(instance.m1 + 1, dtype=np.float64)[:, None]
+    s2 = np.arange(instance.m2 + 1, dtype=np.float64)[None, :]
+    totals = (instance.F.sum(axis=0)
+              + instance.beta1 * s1 + instance.beta2 * s2)
+    flat = int(np.argmin(totals))
+    j1, j2 = np.unravel_index(flat, totals.shape)
+    T = instance.T
+    return (np.full(T, j1, dtype=np.int64), np.full(T, j2, dtype=np.int64),
+            float(totals[j1, j2]))
+
+
+def solve_greedy_hetero(instance: HeterogeneousInstance):
+    """Per-step minimizer of ``f_t`` (ignores switching) — strawman."""
+    T = instance.T
+    X1 = np.empty(T, dtype=np.int64)
+    X2 = np.empty(T, dtype=np.int64)
+    for t in range(T):
+        flat = int(np.argmin(instance.F[t]))
+        X1[t], X2[t] = np.unravel_index(flat, instance.F[t].shape)
+    return X1, X2, hetero_cost(instance, X1, X2)

@@ -1,0 +1,55 @@
+"""Instance and schedule persistence.
+
+Instances round-trip through NumPy's ``.npz`` container; schedules and
+load traces through one-value-per-line CSV (the format the CLI accepts).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .core.instance import Instance
+
+__all__ = ["save_instance", "load_instance", "save_schedule",
+           "load_schedule"]
+
+_FORMAT_VERSION = 1
+
+
+def save_instance(path, instance: Instance) -> None:
+    """Persist an instance as ``.npz`` (cost matrix + beta + version)."""
+    path = pathlib.Path(path)
+    np.savez_compressed(path, F=instance.F,
+                        beta=np.float64(instance.beta),
+                        version=np.int64(_FORMAT_VERSION))
+
+
+def load_instance(path) -> Instance:
+    """Load an instance saved by :func:`save_instance` (re-validated)."""
+    with np.load(pathlib.Path(path)) as data:
+        version = int(data["version"]) if "version" in data else None
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported instance file version {version!r}")
+        return Instance(beta=float(data["beta"]), F=np.asarray(data["F"]))
+
+
+def save_schedule(path, schedule) -> None:
+    """Write a schedule as one value per line (ints stay ints)."""
+    x = np.asarray(schedule)
+    path = pathlib.Path(path)
+    if np.issubdtype(x.dtype, np.integer) or np.allclose(
+            x, np.round(x), atol=1e-12):
+        np.savetxt(path, np.asarray(np.round(x), dtype=np.int64), fmt="%d")
+    else:
+        np.savetxt(path, x, fmt="%.12g")
+
+
+def load_schedule(path) -> np.ndarray:
+    """Read a one-value-per-line schedule file."""
+    x = np.loadtxt(pathlib.Path(path), dtype=np.float64, ndmin=1)
+    if x.ndim != 1:
+        raise ValueError("schedule file must contain one value per line")
+    return x

@@ -1,0 +1,13 @@
+"""Lower-bound constructions and adversarial games (Section 5)."""
+
+from .adversary import (ContinuousAdversary, DeterministicDiscreteAdversary,
+                        RestrictedDiscreteAdversary, restricted_rows)
+from .games import (GameResult, play_dilated_game, play_game,
+                    play_randomized_game, ratio_curve)
+
+__all__ = [
+    "ContinuousAdversary", "DeterministicDiscreteAdversary",
+    "RestrictedDiscreteAdversary", "restricted_rows",
+    "GameResult", "play_dilated_game", "play_game", "play_randomized_game",
+    "ratio_curve",
+]

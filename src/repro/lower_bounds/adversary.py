@@ -1,0 +1,173 @@
+"""Adaptive adversaries realizing the Section 5 lower bounds.
+
+All constructions play on hinge functions with slope ``eps``:
+``phi_0(x) = eps|x|`` (punishes active servers) and
+``phi_1(x) = eps|1-x|`` (punishes empty data centers), with the symmetric
+Section 5 cost convention ``beta = 2`` (one unit per server per switch
+direction), under which eq. (1) and the symmetric cost coincide for
+closed trajectories.
+
+* :class:`DeterministicDiscreteAdversary` — Theorem 4: against an
+  integral algorithm, send ``phi_1`` when it idles at 0 and ``phi_0``
+  when it is active; any deterministic algorithm's ratio tends to 3.
+* :class:`ContinuousAdversary` — Theorem 6 / Lemma 23: simulates
+  algorithm B internally and punishes any fractional algorithm for
+  deviating from B; ratios tend to 2.
+* The randomized bound (Theorem 8) reuses :class:`ContinuousAdversary`
+  on the *expected* trajectory — see
+  :func:`repro.lower_bounds.games.play_randomized_game`.
+* :func:`restricted_rows` — the Theorem 5/7/9 encodings of the same games
+  inside Lin et al.'s restricted model (single function ``f``, loads
+  ``lambda_t``, feasibility ``x_t >= lambda_t``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DeterministicDiscreteAdversary",
+    "ContinuousAdversary",
+    "restricted_rows",
+    "RestrictedDiscreteAdversary",
+]
+
+
+class DeterministicDiscreteAdversary:
+    """Theorem 4 adversary on the two-state system (``m=1, beta=2``).
+
+    ``next_function`` receives the algorithm's *previous* state (the state
+    it held when the new function arrives) and returns the tabulated row:
+    ``phi_1`` if the algorithm idles (state 0), else ``phi_0``.
+    """
+
+    m = 1
+    beta = 2.0
+
+    def __init__(self, eps: float):
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.eps = eps
+        self._phi0 = np.array([0.0, eps])
+        self._phi1 = np.array([eps, 0.0])
+
+    def reset(self) -> None:  # stateless; part of the protocol
+        pass
+
+    def horizon(self) -> int:
+        """Workload length: the paper requires ``T >= 1/eps^2`` so the
+        additive constants vanish; the factor 6 sharpens the empirical
+        curve (ratio ~ 3 - eps - 6/(T eps/2 + 2))."""
+        return int(np.ceil(6.0 / self.eps ** 2))
+
+    def next_function(self, prev_state: float) -> np.ndarray:
+        return self._phi1 if prev_state < 0.5 else self._phi0
+
+
+class ContinuousAdversary:
+    """Theorem 6 / Lemma 23 adversary against fractional algorithms.
+
+    Simulates algorithm B (the ``eps/2`` stepper) on the side.  Given the
+    opponent's previous fractional state ``a``:
+
+    * if ``a > b`` (opponent above B) or ``a >= 1`` — send ``phi_0``;
+    * otherwise (``a <= b`` and ``a < 1``) — send ``phi_1``;
+
+    then advance B on the same function.  Lemma 23 shows any deviation
+    from B only costs more, and Lemmas 21/22 drive B's ratio to
+    ``2 - eps/2``.
+    """
+
+    m = 1
+    beta = 2.0
+
+    def __init__(self, eps: float):
+        if eps <= 0 or eps > 1:
+            raise ValueError("eps must be in (0, 1]")
+        self.eps = eps
+        self._phi0 = np.array([0.0, eps])
+        self._phi1 = np.array([eps, 0.0])
+        self.reset()
+
+    def reset(self) -> None:
+        self.b = 0.0
+
+    def horizon(self) -> int:
+        """Long enough for the ``2 - eps`` bound of Lemma 21 case 3
+        (``T >= 12/eps``) and several full B-sweeps of ``[0, 1]``."""
+        return int(np.ceil(12.0 / self.eps ** 2))
+
+    def next_function(self, prev_state: float) -> np.ndarray:
+        a = float(prev_state)
+        tol = 1e-12
+        if a > self.b + tol or a >= 1.0 - tol:
+            row = self._phi0
+            self.b = max(self.b - self.eps / 2.0, 0.0)
+        else:
+            row = self._phi1
+            self.b = min(self.b + self.eps / 2.0, 1.0)
+        return row
+
+
+def restricted_rows(eps: float, penalty: float = 10.0) -> dict:
+    """Theorem 5/9 encoding of the two-state game in the restricted model.
+
+    Two servers, per-server cost ``f(z) = eps|1 - 2z|``, ``beta = 2``.
+    Load ``lambda = 1/2`` yields operating cost ``x f(1/(2x)) = eps|x-1|``
+    (the ``phi_0`` game on the shifted states ``{1, 2}``) and
+    ``lambda = 1`` yields ``eps|x-2|`` (the ``phi_1`` game).  State 0 is
+    infeasible for positive load; it carries a steep convex ``penalty``
+    (its exact value is irrelevant — Theorem 5's argument confines play to
+    ``{1, 2}`` after the start).
+
+    Returns the tabulated rows on states ``{0, 1, 2}`` keyed by
+    ``"phi0"``/``"phi1"`` plus the loads realizing them.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    return {
+        "phi0": np.array([penalty, 0.0, eps]),   # lambda = 1/2
+        "phi1": np.array([penalty, eps, 0.0]),   # lambda = 1
+        "load_phi0": 0.5,
+        "load_phi1": 1.0,
+        "f": lambda z: eps * abs(1.0 - 2.0 * z),
+    }
+
+
+class RestrictedDiscreteAdversary:
+    """Theorem 5 adversary: the two-state game embedded in the restricted
+    model on ``m = 2`` servers (states shifted up by one).
+
+    The algorithm's states live in ``{1, 2}`` (state 0 only at the very
+    beginning); the adversary treats state ``<= 1`` as the general model's
+    state 0 and sends the ``lambda = 1`` (``phi_1``) row, otherwise the
+    ``lambda = 1/2`` (``phi_0``) row.
+    """
+
+    m = 2
+    beta = 2.0
+
+    def __init__(self, eps: float, penalty: float = 10.0):
+        rows = restricted_rows(eps, penalty)
+        self.eps = eps
+        self._phi0 = rows["phi0"]
+        self._phi1 = rows["phi1"]
+        self.loads: list[float] = []
+        self._load0 = rows["load_phi0"]
+        self._load1 = rows["load_phi1"]
+
+    def reset(self) -> None:
+        self.loads = []
+
+    def horizon(self) -> int:
+        """Longer than the general-model horizon: the mandatory move to
+        state 1 adds a constant ``beta`` to both players, which must be
+        amortized before the ratio approaches 3."""
+        return int(np.ceil(6.0 / self.eps ** 2))
+
+    def next_function(self, prev_state: float) -> np.ndarray:
+        if prev_state < 1.5:
+            self.loads.append(self._load1)
+            return self._phi1
+        self.loads.append(self._load0)
+        return self._phi0

@@ -1,0 +1,147 @@
+"""Game runner: online algorithms vs. adaptive adversaries (Section 5).
+
+``play_game`` runs the adaptive loop (the adversary sees the algorithm's
+committed states, the algorithm sees the functions one at a time), then
+prices the resulting *fixed* instance: the algorithm by its actual
+trajectory, the adversary by the optimal offline schedule of Section 2.
+The reported ratio is the empirical competitive ratio on that instance.
+
+``play_randomized_game`` implements the Theorem 8 reduction: an oblivious
+adversary can precompute the expected trajectory of a randomized
+algorithm, so the game is played against the *fractional* expectation and
+the randomized algorithm's exact expected cost (Lemmas 18–20 make it
+computable in closed form) is compared with the offline optimum.
+
+``dilated`` games implement the Theorem 10 construction: each adaptive
+choice is committed for a block of ``n*w`` identical, ``1/(n*w)``-scaled
+functions, which starves a prediction window of length ``w`` of useful
+information.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.schedule import cost as schedule_cost
+from ..offline.dp import solve_dp
+from ..online.base import OnlineAlgorithm
+from ..online.randomized import expected_cost_exact
+
+__all__ = ["GameResult", "play_game", "play_randomized_game",
+           "play_dilated_game", "ratio_curve"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GameResult:
+    """Outcome of one adversarial game."""
+
+    instance: Instance
+    schedule: np.ndarray
+    algorithm_cost: float
+    opt_cost: float
+    name: str
+
+    @property
+    def ratio(self) -> float:
+        return self.algorithm_cost / self.opt_cost
+
+
+def play_game(adversary, algorithm: OnlineAlgorithm,
+              T: int | None = None) -> GameResult:
+    """Adaptive game: ``T`` rounds of adversary-vs-algorithm.
+
+    ``T`` defaults to the adversary's own ``horizon()``.
+    """
+    T = adversary.horizon() if T is None else T
+    adversary.reset()
+    algorithm.reset(adversary.m, adversary.beta)
+    rows = []
+    xs = np.empty(T, dtype=np.float64)
+    prev = algorithm.state
+    for t in range(T):
+        row = adversary.next_function(prev)
+        rows.append(row)
+        prev = algorithm.step(row)
+        xs[t] = prev
+    instance = Instance(beta=adversary.beta, F=np.stack(rows))
+    alg_cost = schedule_cost(instance, xs, integral=not algorithm.fractional)
+    opt = solve_dp(instance, return_schedule=False).cost
+    return GameResult(instance=instance, schedule=xs, algorithm_cost=alg_cost,
+                      opt_cost=opt, name=algorithm.name)
+
+
+def play_randomized_game(adversary, inner_fractional: OnlineAlgorithm,
+                         T: int | None = None) -> GameResult:
+    """Theorem 8 game: oblivious adversary vs. a rounded fractional
+    algorithm, scored by exact expected cost.
+
+    The adversary adapts to the deterministic *expected* trajectory
+    (= the inner fractional algorithm's states); the reported algorithm
+    cost is the exact expectation of the Section 4 rounding of that
+    trajectory, which by Lemma 24 lower-bounds no randomized algorithm
+    can beat.
+    """
+    if not inner_fractional.fractional:
+        raise ValueError("inner algorithm must be fractional")
+    game = play_game(adversary, inner_fractional, T)
+    exp = expected_cost_exact(game.instance, game.schedule)
+    return GameResult(instance=game.instance, schedule=game.schedule,
+                      algorithm_cost=exp["total"], opt_cost=game.opt_cost,
+                      name=f"rounded({inner_fractional.name})")
+
+
+def play_dilated_game(adversary, algorithm: OnlineAlgorithm, *,
+                      blocks: int | None = None, repeat: int = 1) -> GameResult:
+    """Theorem 10 game: each adaptive function is committed as a block of
+    ``repeat`` identical copies scaled by ``1/repeat``.
+
+    Within a block the algorithm's prediction window receives the
+    remaining committed copies (the adversary never reveals the next
+    block, matching the theorem's accounting where only the last ``w``
+    functions of a block leak information).
+    """
+    blocks = adversary.horizon() if blocks is None else blocks
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    adversary.reset()
+    algorithm.reset(adversary.m, adversary.beta)
+    w = algorithm.lookahead
+    rows = []
+    xs = []
+    prev = algorithm.state
+    for _ in range(blocks):
+        row = adversary.next_function(prev) / float(repeat)
+        block = np.broadcast_to(row, (repeat, row.shape[0]))
+        for i in range(repeat):
+            future = block[i + 1:i + 1 + w] if w > 0 else None
+            prev = algorithm.step(row, future)
+            rows.append(row)
+            xs.append(prev)
+    xs = np.asarray(xs, dtype=np.float64)
+    instance = Instance(beta=adversary.beta, F=np.stack(rows))
+    alg_cost = schedule_cost(instance, xs, integral=not algorithm.fractional)
+    opt = solve_dp(instance, return_schedule=False).cost
+    return GameResult(instance=instance, schedule=xs, algorithm_cost=alg_cost,
+                      opt_cost=opt, name=algorithm.name)
+
+
+def ratio_curve(make_adversary, make_algorithm, eps_values,
+                T_cap: int | None = None) -> list[dict]:
+    """Ratio as a function of ``eps`` (the lower-bound curves E6–E9).
+
+    ``make_adversary(eps)`` and ``make_algorithm()`` are factories; the
+    game length is the adversary's horizon capped at ``T_cap``.
+    """
+    out = []
+    for eps in eps_values:
+        adv = make_adversary(eps)
+        T = adv.horizon()
+        if T_cap is not None:
+            T = min(T, T_cap)
+        res = play_game(adv, make_algorithm(), T)
+        out.append({"eps": eps, "T": T, "ratio": res.ratio,
+                    "alg_cost": res.algorithm_cost, "opt_cost": res.opt_cost})
+    return out

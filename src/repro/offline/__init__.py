@@ -1,0 +1,28 @@
+"""Offline solvers: brute force, DP, explicit Figure-1 graph, and the
+paper's O(T log m) binary-search algorithm (Section 2)."""
+
+from .backward import prefix_bounds, solve_backward_lcp
+from .binary_search import solve_binary_search, window_states, windowed_dp
+from .bruteforce import enumerate_optima, solve_bruteforce
+from .convex_program import lp_relaxation_cost, solve_lp
+from .dp import dp_value_table, solve_dp, solve_dp_quadratic
+from .fractional import (FractionalResult, ceil_schedule, floor_schedule,
+                         make_fractional_optimum, solve_fractional)
+from .graph import (LayeredGraph, build_graph, edge_count, solve_graph,
+                    to_networkx, vertex_count)
+from .restricted import solve_restricted
+from .result import OfflineResult
+
+__all__ = [
+    "OfflineResult",
+    "solve_bruteforce", "enumerate_optima",
+    "solve_dp", "solve_dp_quadratic", "dp_value_table",
+    "LayeredGraph", "build_graph", "solve_graph", "to_networkx",
+    "vertex_count", "edge_count",
+    "solve_binary_search", "windowed_dp", "window_states",
+    "solve_lp", "lp_relaxation_cost",
+    "solve_backward_lcp", "prefix_bounds",
+    "solve_restricted",
+    "FractionalResult", "solve_fractional", "make_fractional_optimum",
+    "floor_schedule", "ceil_schedule",
+]

@@ -1,0 +1,54 @@
+"""Lemma 11: the backward-recursion optimal schedule.
+
+The paper characterizes an optimal offline solution *backwards in time*:
+with ``x-hat_{T+1} = 0``,
+
+``x-hat_t = [x-hat_{t+1}]^{x^U_t}_{x^L_t}``    (projection into the LCP
+bounds of the prefix ``f_1..f_t``),
+
+is optimal (Lemma 11).  This is the optimal schedule the Section 3
+analysis compares LCP against: it moves as late as possible, mirroring
+LCP's laziness from the other end of time.
+
+The solver runs one forward pass collecting ``(x^L_t, x^U_t)`` for every
+prefix (``O(T m)``) and one backward clamping pass (``O(T)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.schedule import cost
+from ..online.workfunction import WorkFunctions
+from .result import OfflineResult
+
+__all__ = ["solve_backward_lcp", "prefix_bounds"]
+
+
+def prefix_bounds(instance: Instance) -> tuple[np.ndarray, np.ndarray]:
+    """``(x^L_t, x^U_t)`` for every prefix ``t = 1..T`` (Section 3.1)."""
+    T = instance.T
+    lo = np.empty(T, dtype=np.int64)
+    hi = np.empty(T, dtype=np.int64)
+    wf = WorkFunctions(instance.m, instance.beta)
+    for t in range(T):
+        wf.update(instance.F[t])
+        lo[t], hi[t] = wf.bounds()
+    return lo, hi
+
+
+def solve_backward_lcp(instance: Instance) -> OfflineResult:
+    """Optimal schedule via Lemma 11's backward recursion."""
+    T = instance.T
+    if T == 0:
+        return OfflineResult(schedule=np.zeros(0, dtype=np.int64), cost=0.0,
+                             method="backward_lcp")
+    lo, hi = prefix_bounds(instance)
+    x = np.empty(T, dtype=np.int64)
+    nxt = 0  # x-hat_{T+1} = 0
+    for t in range(T - 1, -1, -1):
+        nxt = max(int(lo[t]), min(int(hi[t]), nxt))
+        x[t] = nxt
+    return OfflineResult(schedule=x, cost=float(cost(instance, x)),
+                         method="backward_lcp")

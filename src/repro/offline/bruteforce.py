@@ -1,0 +1,61 @@
+"""Exhaustive offline solver — ground truth for tiny instances.
+
+Enumerates all ``(m+1)^T`` schedules.  Used exclusively by the test suite
+to validate the polynomial solvers; guarded against accidental use on
+instances where enumeration would explode.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.schedule import cost
+from .result import OfflineResult
+
+__all__ = ["solve_bruteforce", "enumerate_optima"]
+
+_MAX_SCHEDULES = 2_000_000
+
+
+def _check_size(instance: Instance) -> None:
+    n = (instance.m + 1) ** instance.T
+    if n > _MAX_SCHEDULES:
+        raise ValueError(
+            f"brute force would enumerate {n} schedules; "
+            f"limit is {_MAX_SCHEDULES}")
+
+
+def solve_bruteforce(instance: Instance) -> OfflineResult:
+    """Optimal schedule by exhaustive enumeration (lexicographically
+    smallest among optima)."""
+    _check_size(instance)
+    best_cost = np.inf
+    best = None
+    for X in itertools.product(range(instance.m + 1), repeat=instance.T):
+        c = cost(instance, np.asarray(X, dtype=np.float64))
+        if c < best_cost - 1e-12:
+            best_cost = c
+            best = X
+    schedule = np.asarray(best, dtype=np.int64)
+    return OfflineResult(schedule=schedule, cost=float(best_cost),
+                         method="bruteforce")
+
+
+def enumerate_optima(instance: Instance, tol: float = 1e-9) -> list:
+    """All optimal schedules (within ``tol`` of the optimum).
+
+    Exponential; only for tiny instances in tests of tie-breaking and of
+    Lemma 4 (rounding of fractional optima).
+    """
+    _check_size(instance)
+    costs = []
+    schedules = []
+    for X in itertools.product(range(instance.m + 1), repeat=instance.T):
+        x = np.asarray(X, dtype=np.float64)
+        costs.append(cost(instance, x))
+        schedules.append(np.asarray(X, dtype=np.int64))
+    best = min(costs)
+    return [s for s, c in zip(schedules, costs) if c <= best + tol]

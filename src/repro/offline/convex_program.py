@@ -1,0 +1,113 @@
+"""Lin et al.'s convex-program approach, as an LP (the paper's comparator).
+
+The paper's offline algorithm (Section 2) deliberately *differs* from the
+convex-optimization approach of Lin et al. [24], which solves the
+continuous relaxation.  This module implements that comparator: because
+the continuous extension ``f-bar_t`` (eq. (3)) is piecewise linear with
+integer breakpoints, the relaxation
+
+``min sum_t f-bar_t(x_t) + beta sum_t (x_t - x_{t-1})^+``
+
+is exactly a linear program:
+
+* epigraph variables ``z_t >= f-bar_t(x_t)`` — one inequality per linear
+  piece: ``z_t >= F[t,j] + (F[t,j+1] - F[t,j]) (x_t - j)``;
+* ramp variables ``y_t >= x_t - x_{t-1}``, ``y_t >= 0``;
+* objective ``sum_t z_t + beta sum_t y_t``.
+
+By Lemma 4, flooring the LP optimum yields an optimal *integral*
+schedule, so this pipeline ("solve the relaxation, round") reproduces
+Lin et al.'s offline path end to end and cross-validates the DP and the
+binary-search algorithm.  Requires scipy (HiGHS).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from .fractional import floor_schedule
+from .result import OfflineResult
+
+__all__ = ["solve_lp", "lp_relaxation_cost"]
+
+
+def _build_lp(instance: Instance):
+    """Assemble the sparse LP: variables [x_1..x_T, y_1..y_T, z_1..z_T]."""
+    from scipy import sparse
+
+    T, m = instance.T, instance.m
+    beta = instance.beta
+    F = instance.F
+    n = 3 * T
+    ix = np.arange(T)            # x_t indices
+    iy = T + np.arange(T)        # y_t indices
+    iz = 2 * T + np.arange(T)    # z_t indices
+
+    c = np.zeros(n)
+    c[iy] = beta
+    c[iz] = 1.0
+
+    rows, cols, vals, rhs = [], [], [], []
+    r = 0
+    # Ramp constraints: x_t - x_{t-1} - y_t <= 0 (x_0 = 0).
+    for t in range(T):
+        rows += [r, r]
+        cols += [int(ix[t]), int(iy[t])]
+        vals += [1.0, -1.0]
+        if t > 0:
+            rows.append(r)
+            cols.append(int(ix[t - 1]))
+            vals.append(-1.0)
+        rhs.append(0.0)
+        r += 1
+    # Epigraph constraints: slope_j * x_t - z_t <= slope_j * j - F[t, j].
+    for t in range(T):
+        for j in range(m):
+            slope = F[t, j + 1] - F[t, j]
+            rows += [r, r]
+            cols += [int(ix[t]), int(iz[t])]
+            vals += [slope, -1.0]
+            rhs.append(slope * j - F[t, j])
+            r += 1
+        if m == 0:
+            rows += [r]
+            cols += [int(iz[t])]
+            vals += [-1.0]
+            rhs.append(-F[t, 0])
+            r += 1
+    A = sparse.csr_matrix((vals, (rows, cols)), shape=(r, n))
+    b = np.asarray(rhs)
+    bounds = ([(0.0, float(m))] * T            # x in [0, m]
+              + [(0.0, None)] * T              # y >= 0
+              + [(None, None)] * T)            # z free (pinned by epigraph)
+    return c, A, b, bounds
+
+
+def lp_relaxation_cost(instance: Instance) -> float:
+    """Optimal value of the continuous relaxation (equals the integral
+    optimum; see module docstring)."""
+    return solve_lp(instance).cost
+
+
+def solve_lp(instance: Instance) -> OfflineResult:
+    """Optimal schedule via the LP relaxation + Lemma 4 flooring."""
+    from scipy.optimize import linprog
+
+    if instance.T == 0:
+        return OfflineResult(schedule=np.zeros(0, dtype=np.int64), cost=0.0,
+                             method="lp")
+    c, A, b, bounds = _build_lp(instance)
+    res = linprog(c, A_ub=A, b_ub=b, bounds=bounds, method="highs")
+    if not res.success:  # pragma: no cover - HiGHS on a feasible LP
+        raise RuntimeError(f"LP solver failed: {res.message}")
+    x_frac = res.x[:instance.T]
+    # Snap away HiGHS's tolerance noise before flooring: a state returned
+    # as 2.9999999 is the breakpoint 3, and flooring the noise instead of
+    # the vertex would leave the optimal face.
+    x_frac = np.where(np.abs(x_frac - np.round(x_frac)) <= 1e-6,
+                      np.round(x_frac), x_frac)
+    schedule = floor_schedule(np.clip(x_frac, 0.0, instance.m))
+    from ..core.schedule import cost as schedule_cost
+    total = schedule_cost(instance, schedule)
+    return OfflineResult(schedule=schedule, cost=float(total), method="lp")

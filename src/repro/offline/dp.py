@@ -1,0 +1,137 @@
+"""Dynamic-programming offline solvers (the pseudo-polynomial baseline).
+
+The paper observes (Section 2.1) that an optimal schedule is a shortest
+path in the layered graph of Figure 1, computable in ``O(T m)`` time once
+the linear structure of the switching cost is exploited:
+
+``D_t(j) = f_t(j) + min( beta*j + min_{j'<=j} (D_{t-1}(j') - beta*j'),
+                         min_{j'>=j} D_{t-1}(j') )``
+
+The first argument covers powering **up** from a smaller state (paying
+``beta`` per server), the second powering **down** (free).  Both inner
+minima are prefix/suffix minima, so each layer costs ``O(m)`` vectorized
+work.  This running time is *pseudo-polynomial* — the input encodes ``m``
+in ``log m`` bits — which is exactly why the paper develops the
+``O(T log m)`` binary-search algorithm in :mod:`repro.offline.binary_search`.
+
+``solve_dp_quadratic`` is a deliberately naive ``O(T m^2)`` reference used
+to cross-check the recurrence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import argmin_first, argmin_last, prefix_min, suffix_min
+from ..core.instance import Instance
+from .result import OfflineResult
+
+__all__ = ["solve_dp", "solve_dp_quadratic", "dp_value_table"]
+
+
+def dp_value_table(instance: Instance) -> np.ndarray:
+    """Forward DP value table ``D[t-1, j]`` = minimal cost of serving
+    ``f_1..f_t`` and ending with ``x_t = j`` (switching charged on
+    power-up, i.e. the ``hat-C^L_t`` work function of Section 3.2).
+
+    Shape ``(T, m+1)``.  Row ``T-1`` minimized over ``j`` is the optimum of
+    eq. (1) (the final power-down is free).
+    """
+    F = instance.F
+    T, width = F.shape
+    beta = instance.beta
+    states = np.arange(width, dtype=np.float64)
+    D = np.empty((T, width), dtype=np.float64)
+    # x_0 = 0: powering up to j costs beta * j.
+    D[0] = F[0] + beta * states
+    for t in range(1, T):
+        prev = D[t - 1]
+        up = beta * states + prefix_min(prev - beta * states)
+        down = suffix_min(prev)
+        D[t] = F[t] + np.minimum(up, down)
+    return D
+
+
+def _reconstruct(instance: Instance, D: np.ndarray, tie: str) -> np.ndarray:
+    """Backward path reconstruction from the DP value table.
+
+    ``tie='smallest'`` prefers the smallest optimal state at every step
+    (scanning ties from below), ``tie='largest'`` the largest.  Both yield
+    optimal schedules; having both exposes the plateau structure that the
+    fractional/rounding tests (Lemma 4) rely on.
+    """
+    T, width = D.shape
+    beta = instance.beta
+    states = np.arange(width, dtype=np.float64)
+    pick = argmin_first if tie == "smallest" else argmin_last
+    x = np.empty(T, dtype=np.int64)
+    x[T - 1] = pick(D[T - 1])
+    for t in range(T - 2, -1, -1):
+        j = x[t + 1]
+        # Cost of being at j' at time t and moving to j at time t+1,
+        # excluding f_{t+1}(j) which is common to all choices.
+        trans = D[t] + beta * np.maximum(j - states, 0.0)
+        x[t] = pick(trans)
+    return x
+
+
+def solve_dp(instance: Instance, *, tie: str = "smallest",
+             return_schedule: bool = True) -> OfflineResult:
+    """Optimal offline schedule via the vectorized ``O(T m)`` DP.
+
+    Parameters
+    ----------
+    tie:
+        ``'smallest'`` or ``'largest'`` — which optimal state to prefer
+        during path reconstruction.
+    return_schedule:
+        When false, only the optimal cost is computed using ``O(m)``
+        memory (used by the scaling benchmarks on very large instances).
+    """
+    if tie not in ("smallest", "largest"):
+        raise ValueError(f"unknown tie rule {tie!r}")
+    if instance.T == 0:
+        return OfflineResult(schedule=np.zeros(0, dtype=np.int64), cost=0.0,
+                             method="dp")
+    if not return_schedule:
+        F = instance.F
+        beta = instance.beta
+        width = F.shape[1]
+        states = np.arange(width, dtype=np.float64)
+        row = F[0] + beta * states
+        for t in range(1, F.shape[0]):
+            up = beta * states + prefix_min(row - beta * states)
+            down = suffix_min(row)
+            row = F[t] + np.minimum(up, down)
+        return OfflineResult(schedule=None, cost=float(row.min()),
+                             method="dp")
+    D = dp_value_table(instance)
+    schedule = _reconstruct(instance, D, tie)
+    return OfflineResult(schedule=schedule, cost=float(D[-1].min()),
+                         method="dp")
+
+
+def solve_dp_quadratic(instance: Instance) -> OfflineResult:
+    """Naive ``O(T m^2)`` DP over all state pairs — reference only."""
+    F = instance.F
+    T, width = F.shape
+    if T == 0:
+        return OfflineResult(schedule=np.zeros(0, dtype=np.int64), cost=0.0,
+                             method="dp_quadratic")
+    beta = instance.beta
+    states = np.arange(width, dtype=np.float64)
+    # switch[j', j] = beta * (j - j')^+
+    switch = beta * np.maximum(states[None, :] - states[:, None], 0.0)
+    D = np.empty((T, width), dtype=np.float64)
+    parent = np.zeros((T, width), dtype=np.int64)
+    D[0] = F[0] + beta * states
+    for t in range(1, T):
+        tot = D[t - 1][:, None] + switch
+        parent[t] = np.argmin(tot, axis=0)
+        D[t] = F[t] + np.min(tot, axis=0)
+    x = np.empty(T, dtype=np.int64)
+    x[T - 1] = int(np.argmin(D[T - 1]))
+    for t in range(T - 1, 0, -1):
+        x[t - 1] = parent[t, x[t]]
+    return OfflineResult(schedule=x, cost=float(D[-1].min()),
+                         method="dp_quadratic")

@@ -1,0 +1,92 @@
+"""Optimal solutions of the continuous extension ``P-bar`` and Lemma 4.
+
+The continuous extension (eq. (3)) interpolates every ``f_t`` linearly
+between integer states, so ``C-bar`` is a convex piecewise-linear
+functional whose breakpoints lie on integer schedules.  Consequently the
+optimal *fractional* cost equals the optimal *integral* cost, and any
+integral optimum is also a fractional optimum.  Lemma 4 states the
+converse direction used throughout the paper: flooring or ceiling an
+optimal fractional schedule yields an optimal (integral) schedule.
+
+This module provides:
+
+* :func:`solve_fractional` — an optimal fractional schedule and the
+  optimal cost (returned as the canonical integral optimum).
+* :func:`make_fractional_optimum` — a *strictly fractional* optimal
+  schedule obtained by blending two distinct integral optima (convexity of
+  ``C-bar`` makes any convex combination of optima optimal); returns
+  ``None`` when the reconstruction plateau is trivial.  Used by the
+  Lemma 4 tests.
+* :func:`floor_schedule` / :func:`ceil_schedule` — the Lemma 4 roundings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.schedule import cost
+from .dp import solve_dp
+
+__all__ = [
+    "FractionalResult",
+    "solve_fractional",
+    "make_fractional_optimum",
+    "floor_schedule",
+    "ceil_schedule",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class FractionalResult:
+    """Optimal fractional schedule and cost for ``P-bar``."""
+
+    schedule: np.ndarray
+    cost: float
+
+    def __post_init__(self):
+        s = np.ascontiguousarray(np.asarray(self.schedule, dtype=np.float64))
+        s.setflags(write=False)
+        object.__setattr__(self, "schedule", s)
+
+
+def solve_fractional(instance: Instance) -> FractionalResult:
+    """An optimal schedule of the continuous extension ``P-bar``.
+
+    Returns the canonical integral optimum viewed as a fractional
+    schedule; its cost is the fractional optimum because ``C-bar`` is
+    piecewise linear with integral breakpoints.
+    """
+    res = solve_dp(instance)
+    return FractionalResult(schedule=res.schedule.astype(np.float64),
+                            cost=res.cost)
+
+
+def make_fractional_optimum(instance: Instance,
+                            weight: float = 0.5) -> np.ndarray | None:
+    """A strictly fractional optimal schedule of ``P-bar``, if one exists.
+
+    Blends the smallest-tie and largest-tie integral optima; since
+    ``C-bar`` is convex, the blend is optimal.  Returns ``None`` when both
+    reconstructions coincide (the plateau visible to the DP is trivial).
+    """
+    if not 0.0 < weight < 1.0:
+        raise ValueError("weight must be strictly between 0 and 1")
+    lo = solve_dp(instance, tie="smallest").schedule
+    hi = solve_dp(instance, tie="largest").schedule
+    if np.array_equal(lo, hi):
+        return None
+    blend = (1.0 - weight) * lo + weight * hi
+    return blend
+
+
+def floor_schedule(X) -> np.ndarray:
+    """Lemma 4 rounding ``floor(X*)`` (entrywise)."""
+    return np.floor(np.asarray(X, dtype=np.float64) + 1e-12).astype(np.int64)
+
+
+def ceil_schedule(X) -> np.ndarray:
+    """Lemma 4 rounding ``ceil(X*)`` (entrywise)."""
+    return np.ceil(np.asarray(X, dtype=np.float64) - 1e-12).astype(np.int64)

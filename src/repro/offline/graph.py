@@ -1,0 +1,173 @@
+"""Explicit construction of the layered graph of Figure 1.
+
+The graph ``G = (V, E)`` has a vertex ``v_{t,j}`` for every time step
+``t in [T]`` and state ``j in [m]_0``, plus ``v_{0,0}`` and ``v_{T+1,0}``
+for the boundary states.  Edges run between adjacent columns with weight
+``beta * (j' - j)^+ + f_t(j')`` (switching plus operating cost of the
+target state); edges into ``v_{T+1,0}`` have weight 0.
+
+A ``v_{0,0} -> v_{T+1,0}`` path visits exactly one vertex per column and
+its length equals the cost (eq. (1)) of the corresponding schedule, so an
+optimal schedule is a shortest path.  This module materializes the graph
+(for the Figure-1 census and for cross-validation against ``networkx``)
+and solves it with a layer-by-layer DAG relaxation.
+
+The relaxation here deliberately enumerates all ``(m+1)^2`` edges per
+layer; the ``O(T m)`` shortest-path specialization lives in
+:mod:`repro.offline.dp` and the polynomial ``O(T log m)`` algorithm in
+:mod:`repro.offline.binary_search`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.instance import Instance
+from .result import OfflineResult
+
+__all__ = [
+    "LayeredGraph",
+    "vertex_count",
+    "edge_count",
+    "build_graph",
+    "solve_graph",
+    "to_networkx",
+]
+
+_MAX_EDGES = 50_000_000
+
+
+def vertex_count(T: int, m: int) -> int:
+    """``|V| = T(m+1) + 2`` (Figure 1)."""
+    return T * (m + 1) + 2
+
+
+def edge_count(T: int, m: int) -> int:
+    """``|E| = (m+1) + (T-1)(m+1)^2 + (m+1)`` (Figure 1)."""
+    if T == 0:
+        return 0
+    return (m + 1) + max(T - 1, 0) * (m + 1) ** 2 + (m + 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class LayeredGraph:
+    """Materialized layered graph: parallel edge arrays plus metadata.
+
+    Vertex ids: ``0`` is ``v_{0,0}``; ``1 + (t-1)(m+1) + j`` is ``v_{t,j}``
+    for ``t in 1..T``; the last id is ``v_{T+1,0}``.
+    """
+
+    T: int
+    m: int
+    beta: float
+    tails: np.ndarray
+    heads: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return vertex_count(self.T, self.m)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.tails.size)
+
+    def vertex_id(self, t: int, j: int) -> int:
+        """Id of ``v_{t,j}`` (``t = 0`` and ``t = T+1`` require ``j = 0``)."""
+        if t == 0:
+            if j != 0:
+                raise ValueError("v_{0,j} exists only for j = 0")
+            return 0
+        if t == self.T + 1:
+            if j != 0:
+                raise ValueError("v_{T+1,j} exists only for j = 0")
+            return self.num_vertices - 1
+        if not (1 <= t <= self.T and 0 <= j <= self.m):
+            raise ValueError(f"no vertex v_{{{t},{j}}}")
+        return 1 + (t - 1) * (self.m + 1) + j
+
+
+def build_graph(instance: Instance) -> LayeredGraph:
+    """Materialize the Figure-1 graph of an instance."""
+    T, m, beta = instance.T, instance.m, instance.beta
+    n_edges = edge_count(T, m)
+    if n_edges > _MAX_EDGES:
+        raise ValueError(
+            f"explicit graph would have {n_edges} edges (limit {_MAX_EDGES}); "
+            "use repro.offline.dp for large instances")
+    F = instance.F
+    width = m + 1
+    states = np.arange(width, dtype=np.float64)
+    tails = np.empty(n_edges, dtype=np.int64)
+    heads = np.empty(n_edges, dtype=np.int64)
+    weights = np.empty(n_edges, dtype=np.float64)
+    pos = 0
+    if T > 0:
+        # v_{0,0} -> v_{1,j'} with weight f_1(j') + beta * j'.
+        tails[pos:pos + width] = 0
+        heads[pos:pos + width] = 1 + states.astype(np.int64)
+        weights[pos:pos + width] = F[0] + beta * states
+        pos += width
+        # v_{t-1,j} -> v_{t,j'} with weight beta (j'-j)^+ + f_t(j').
+        jj, jp = np.meshgrid(states, states, indexing="ij")  # tail j, head j'
+        switch = beta * np.maximum(jp - jj, 0.0)
+        for t in range(2, T + 1):
+            base_prev = 1 + (t - 2) * width
+            base_cur = 1 + (t - 1) * width
+            block = width * width
+            tails[pos:pos + block] = (base_prev + jj.astype(np.int64)).ravel()
+            heads[pos:pos + block] = (base_cur + jp.astype(np.int64)).ravel()
+            weights[pos:pos + block] = (switch + F[t - 1][None, :]).ravel()
+            pos += block
+        # v_{T,j} -> v_{T+1,0} with weight 0.
+        sink = vertex_count(T, m) - 1
+        base_last = 1 + (T - 1) * width
+        tails[pos:pos + width] = base_last + states.astype(np.int64)
+        heads[pos:pos + width] = sink
+        weights[pos:pos + width] = 0.0
+        pos += width
+    assert pos == n_edges
+    return LayeredGraph(T=T, m=m, beta=beta, tails=tails, heads=heads,
+                        weights=weights)
+
+
+def solve_graph(instance: Instance) -> OfflineResult:
+    """Optimal schedule via layer-by-layer DAG relaxation of Figure 1.
+
+    ``O(T m^2)`` — faithful to the explicit graph; used for moderate sizes
+    and cross-validation.
+    """
+    T, m, beta = instance.T, instance.m, instance.beta
+    if T == 0:
+        return OfflineResult(schedule=np.zeros(0, dtype=np.int64), cost=0.0,
+                             method="graph")
+    F = instance.F
+    width = m + 1
+    states = np.arange(width, dtype=np.float64)
+    switch = beta * np.maximum(states[None, :] - states[:, None], 0.0)
+    dist = F[0] + beta * states
+    parents = np.zeros((T, width), dtype=np.int64)
+    for t in range(1, T):
+        tot = dist[:, None] + switch
+        parents[t] = np.argmin(tot, axis=0)
+        dist = F[t] + np.min(tot, axis=0)
+    x = np.empty(T, dtype=np.int64)
+    x[T - 1] = int(np.argmin(dist))
+    best = float(dist[x[T - 1]])
+    for t in range(T - 1, 0, -1):
+        x[t - 1] = parents[t, x[t]]
+    return OfflineResult(schedule=x, cost=best, method="graph")
+
+
+def to_networkx(graph: LayeredGraph):
+    """Convert to a ``networkx.DiGraph`` (test/interop helper)."""
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_weighted_edges_from(
+        zip(graph.tails.tolist(), graph.heads.tolist(),
+            graph.weights.tolist()))
+    return g

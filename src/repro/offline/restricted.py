@@ -1,0 +1,64 @@
+"""Exact offline solver for the restricted model (eq. (2)).
+
+The general-model encoding (`RestrictedInstance.to_general`) prices
+infeasible states with a steep convex penalty, which is exact for
+optimal schedules but leaves penalty magnitudes in the instance.  This
+solver instead enforces the feasibility constraint ``x_t >= lambda_t``
+*structurally*: the DP simply masks states below ``ceil(lambda_t)`` per
+column — the layered-graph picture of Figure 1 with rows removed per
+column, which leaves the prefix/suffix relaxation intact.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._util import prefix_min, suffix_min
+from ..core.instance import RestrictedInstance
+from .result import OfflineResult
+
+__all__ = ["solve_restricted"]
+
+_INF = np.inf
+
+
+def solve_restricted(ri: RestrictedInstance) -> OfflineResult:
+    """Optimal schedule of a restricted-model instance (``O(T m)``).
+
+    Returns the schedule and its eq. (2) cost; feasibility
+    ``x_t >= lambda_t`` holds by construction.
+    """
+    T, m, beta = ri.T, ri.m, ri.beta
+    if T == 0:
+        return OfflineResult(schedule=np.zeros(0, dtype=np.int64), cost=0.0,
+                             method="restricted_dp")
+    states = np.arange(m + 1, dtype=np.float64)
+    # Tabulate feasible operating costs; infeasible cells become +inf.
+    F = np.full((T, m + 1), _INF)
+    floors = np.zeros(T, dtype=np.int64)
+    for t in range(T):
+        lo = max(int(math.ceil(float(ri.loads[t]) - 1e-12)), 0)
+        floors[t] = lo
+        for j in range(lo, m + 1):
+            F[t, j] = ri.operating_cost(t + 1, j)
+    Ds = np.empty((T, m + 1))
+    Ds[0] = F[0] + beta * states
+    for t in range(1, T):
+        prev = Ds[t - 1]
+        # Masked prefix/suffix relaxation: +inf cells propagate safely
+        # (numpy min with inf is well defined).
+        with np.errstate(invalid="ignore"):
+            up = beta * states + prefix_min(prev - beta * states)
+        down = suffix_min(prev)
+        Ds[t] = F[t] + np.minimum(up, down)
+    x = np.empty(T, dtype=np.int64)
+    x[T - 1] = int(np.argmin(Ds[T - 1]))
+    cost = float(Ds[T - 1, x[T - 1]])
+    if not np.isfinite(cost):
+        raise ValueError("restricted instance has no feasible schedule")
+    for t in range(T - 2, -1, -1):
+        trans = Ds[t] + beta * np.maximum(x[t + 1] - states, 0.0)
+        x[t] = int(np.argmin(trans))
+    return OfflineResult(schedule=x, cost=cost, method="restricted_dp")

@@ -1,0 +1,38 @@
+"""Common result container for offline solvers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["OfflineResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OfflineResult:
+    """Result of an offline optimization.
+
+    Attributes
+    ----------
+    schedule:
+        Optimal schedule ``(x_1..x_T)`` as int64, or ``None`` when the
+        solver was asked for the cost only.
+    cost:
+        Optimal objective value of eq. (1).
+    method:
+        Identifier of the producing solver.
+    iterations:
+        Number of refinement iterations (binary-search solver only).
+    """
+
+    schedule: np.ndarray | None
+    cost: float
+    method: str
+    iterations: int = 0
+
+    def __post_init__(self):
+        if self.schedule is not None:
+            s = np.ascontiguousarray(np.asarray(self.schedule, dtype=np.int64))
+            s.setflags(write=False)
+            object.__setattr__(self, "schedule", s)

@@ -1,0 +1,48 @@
+"""Algorithm B of Section 5.2.1 — the two-state fractional stepper.
+
+On the adversarial workloads of the lower-bound constructions (hinge
+functions ``phi_0(x) = eps|x|`` and ``phi_1(x) = eps|1-x|`` with switching
+cost ``beta = 2``), algorithm B moves its fractional state ``b_t in [0,1]``
+by ``eps/2`` toward the arriving function's minimizer:
+
+``b_{t+1} = max(b_t - eps/2, 0)``  if ``f_t = phi_0``,
+``b_{t+1} = min(b_t + eps/2, 1)``  if ``f_t = phi_1``.
+
+The paper notes B "is equivalent to the algorithm of Bansal et al. [7]
+for the special case of phi_0 and phi_1 functions"; B is likewise exactly
+the ``m = 1`` case of :class:`repro.online.threshold.ThresholdFractional`
+(step size ``slope/beta = eps/2``), implemented here as its own class for
+generality in slope and for use by the continuous lower-bound game
+(Lemmas 21–23), where its ratio provably approaches ``2 - eps/2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import OnlineAlgorithm
+
+__all__ = ["AlgorithmB"]
+
+
+class AlgorithmB(OnlineAlgorithm):
+    """Section 5.2.1's algorithm B on the two-state continuous problem."""
+
+    fractional = True
+    name = "algorithm-B"
+
+    def reset(self, m: int, beta: float) -> None:
+        if m != 1:
+            raise ValueError(
+                "algorithm B is defined on the single-server state space "
+                f"{{0, 1}}; got m = {m}")
+        self.beta = beta
+        self._set_state(0.0)
+
+    def step(self, f_row: np.ndarray, future: np.ndarray | None = None) -> float:
+        # For a hinge of slope eps toward its minimizer, the move is
+        # eps/beta (= eps/2 for the paper's beta = 2 convention).
+        g = float(f_row[1]) - float(f_row[0])
+        b = min(max(self.state - g / self.beta, 0.0), 1.0)
+        self._set_state(b)
+        return b

@@ -1,0 +1,105 @@
+"""Online algorithm protocol and replay harness.
+
+An online algorithm sees the tabulated cost function ``f_t`` (one row of
+the instance's cost matrix) and must commit to a state ``x_t`` before
+``f_{t+1}`` is revealed.  Algorithms with a prediction window ``w``
+additionally receive the next ``w`` rows (Section 5.4).
+
+Fractional algorithms return float states in ``[0, m]`` and are evaluated
+against the continuous extension ``P-bar``; integral algorithms return
+integer states.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.schedule import cost as schedule_cost
+
+__all__ = ["OnlineAlgorithm", "OnlineResult", "run_online"]
+
+
+class OnlineAlgorithm:
+    """Base class for online algorithms.
+
+    Subclasses set :attr:`name`, :attr:`fractional` and
+    :attr:`lookahead`, implement :meth:`reset` and :meth:`step`, and may
+    keep arbitrary internal state between steps.
+    """
+
+    name: str = "online"
+    #: whether :meth:`step` returns fractional states
+    fractional: bool = False
+    #: prediction-window length ``w`` (rows passed via ``future``)
+    lookahead: int = 0
+
+    def reset(self, m: int, beta: float) -> None:
+        """Prepare for a fresh instance with states ``0..m``."""
+        raise NotImplementedError
+
+    def step(self, f_row: np.ndarray, future: np.ndarray | None = None):
+        """Process the next cost function and return the chosen state.
+
+        ``f_row`` is the tabulated ``f_t`` on ``0..m``; ``future`` holds
+        the next ``min(w, remaining)`` rows when ``lookahead > 0``.
+        """
+        raise NotImplementedError
+
+    @property
+    def state(self):
+        """Most recent state (``x_{t-1}``); defined after :meth:`reset`."""
+        return self._state
+
+    def _set_state(self, x) -> None:
+        self._state = x
+
+
+@dataclasses.dataclass(frozen=True)
+class OnlineResult:
+    """Replay result: schedule, its cost, and bookkeeping."""
+
+    schedule: np.ndarray
+    cost: float
+    name: str
+    fractional: bool
+
+    def __post_init__(self):
+        s = np.ascontiguousarray(np.asarray(self.schedule, dtype=np.float64))
+        s.setflags(write=False)
+        object.__setattr__(self, "schedule", s)
+
+
+def run_online(instance: Instance, algorithm: OnlineAlgorithm) -> OnlineResult:
+    """Replay an instance through an online algorithm.
+
+    The algorithm sees rows of ``instance.F`` one at a time (plus its
+    prediction window, if any) and the resulting schedule is priced with
+    eq. (1) — via the continuous extension for fractional algorithms.
+    """
+    T, m = instance.T, instance.m
+    algorithm.reset(m, instance.beta)
+    dtype = np.float64 if algorithm.fractional else np.int64
+    xs = np.empty(T, dtype=dtype)
+    w = algorithm.lookahead
+    for t in range(T):
+        future = instance.F[t + 1:t + 1 + w] if w > 0 else None
+        x = algorithm.step(instance.F[t], future)
+        if algorithm.fractional:
+            xf = float(x)
+            if not -1e-9 <= xf <= m + 1e-9:
+                raise ValueError(
+                    f"{algorithm.name} left [0, m] at t={t + 1}: {xf}")
+            xs[t] = min(max(xf, 0.0), float(m))
+        else:
+            xi = int(x)
+            if not 0 <= xi <= m:
+                raise ValueError(
+                    f"{algorithm.name} left [0, m] at t={t + 1}: {xi}")
+            xs[t] = xi
+    total = schedule_cost(instance, xs.astype(np.float64),
+                          integral=not algorithm.fractional)
+    return OnlineResult(schedule=xs, cost=total, name=algorithm.name,
+                        fractional=algorithm.fractional)

@@ -1,0 +1,70 @@
+"""Naive online baselines and the static-provisioning reference.
+
+These are the strawmen the paper's introduction argues against:
+
+* :class:`FollowTheMinimizer` — jump to the arriving function's minimizer
+  every step (no laziness; pays unbounded switching on oscillating load).
+* :class:`NeverSwitchOn` / peak provisioning via :func:`solve_static` —
+  the "no right-sizing" regime: keep a fixed number of servers active for
+  the whole horizon (the best fixed number, chosen offline).
+
+The case-study benchmark (E11) measures the savings of LCP and the
+optimal offline schedule against these baselines across traces and
+switching costs, reproducing the shape of Lin et al.'s evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import argmin_first
+from ..core.instance import Instance
+from ..offline.result import OfflineResult
+from .base import OnlineAlgorithm
+
+__all__ = ["FollowTheMinimizer", "NeverSwitchOn", "solve_static"]
+
+
+class FollowTheMinimizer(OnlineAlgorithm):
+    """Jump to the (smallest) minimizer of every arriving function."""
+
+    fractional = False
+    name = "follow-min"
+
+    def reset(self, m: int, beta: float) -> None:
+        self._set_state(0)
+
+    def step(self, f_row: np.ndarray, future: np.ndarray | None = None) -> int:
+        x = argmin_first(np.asarray(f_row, dtype=np.float64))
+        self._set_state(x)
+        return x
+
+
+class NeverSwitchOn(OnlineAlgorithm):
+    """Power everything up at t=1 and never resize (peak provisioning)."""
+
+    fractional = False
+    name = "always-max"
+
+    def reset(self, m: int, beta: float) -> None:
+        self._m = m
+        self._set_state(0)
+
+    def step(self, f_row: np.ndarray, future: np.ndarray | None = None) -> int:
+        self._set_state(self._m)
+        return self._m
+
+
+def solve_static(instance: Instance) -> OfflineResult:
+    """Best *constant* schedule ``x_t = j`` (offline reference).
+
+    Static provisioning pays ``beta*j`` once plus the summed operating
+    cost of level ``j``; the savings of right-sizing are measured against
+    this baseline in the case-study benchmarks.
+    """
+    totals = instance.F.sum(axis=0) + instance.beta * np.arange(
+        instance.m + 1, dtype=np.float64)
+    j = int(np.argmin(totals))
+    schedule = np.full(instance.T, j, dtype=np.int64)
+    return OfflineResult(schedule=schedule, cost=float(totals[j]),
+                         method="static")

@@ -1,0 +1,121 @@
+"""Receding-horizon algorithms with prediction windows.
+
+Section 5.4 analyzes online algorithms that see the next ``w`` functions.
+Besides LCP(w), the model-predictive-control classics from the
+right-sizing literature (Lin, Wierman et al.'s follow-up work) are the
+natural comparators:
+
+* **RHC** (Receding Horizon Control): at time ``tau``, solve the offline
+  problem over the visible horizon ``f_tau .. f_{tau+w}`` starting from
+  the current state, commit only the first action, re-solve next step.
+* **AFHC** (Averaging Fixed Horizon Control): run ``w+1`` staggered
+  fixed-horizon controllers, each committing a whole horizon plan, and
+  play their (fractional) average — averaging restores worst-case
+  guarantees that RHC lacks.
+
+Both are provided as honest comparators for the E10 benchmark: the
+Theorem 10 dilation starves them exactly as it starves LCP(w).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import prefix_min, suffix_min
+from .base import OnlineAlgorithm
+
+__all__ = ["RecedingHorizonControl", "AveragingFixedHorizonControl"]
+
+
+def _horizon_plan(f_rows: np.ndarray, beta: float, x_start: int) -> np.ndarray:
+    """Optimal integral plan for ``f_rows`` starting from state ``x_start``
+    (power-up charged, free end) — the inner DP of both controllers.
+
+    Returns the argmin-first optimal plan, one state per row.
+    """
+    H, width = f_rows.shape
+    states = np.arange(width, dtype=np.float64)
+    Ds = np.empty((H, width), dtype=np.float64)
+    Ds[0] = f_rows[0] + beta * np.maximum(states - x_start, 0.0)
+    for i in range(1, H):
+        up = beta * states + prefix_min(Ds[i - 1] - beta * states)
+        down = suffix_min(Ds[i - 1])
+        Ds[i] = f_rows[i] + np.minimum(up, down)
+    plan = np.empty(H, dtype=np.int64)
+    plan[H - 1] = int(np.argmin(Ds[H - 1]))
+    for i in range(H - 2, -1, -1):
+        j = plan[i + 1]
+        trans = Ds[i] + beta * np.maximum(j - states, 0.0)
+        plan[i] = int(np.argmin(trans))
+    return plan
+
+
+class RecedingHorizonControl(OnlineAlgorithm):
+    """RHC: re-solve the visible horizon each step, commit one action."""
+
+    fractional = False
+
+    def __init__(self, lookahead: int = 0):
+        if lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+        self.lookahead = lookahead
+        self.name = f"rhc(w={lookahead})"
+
+    def reset(self, m: int, beta: float) -> None:
+        self._m = m
+        self._beta = beta
+        self._set_state(0)
+
+    def step(self, f_row: np.ndarray, future: np.ndarray | None = None) -> int:
+        rows = [np.asarray(f_row, dtype=np.float64)]
+        if future is not None and future.shape[0] > 0:
+            rows.extend(np.asarray(future, dtype=np.float64))
+        plan = _horizon_plan(np.stack(rows), self._beta, self.state)
+        x = int(plan[0])
+        self._set_state(x)
+        return x
+
+
+class AveragingFixedHorizonControl(OnlineAlgorithm):
+    """AFHC: average of ``w+1`` staggered fixed-horizon plans (fractional).
+
+    Controller ``k`` re-plans at times ``tau ≡ k (mod w+1)``, committing
+    its optimal (w+1)-step plan from its own trajectory's current state;
+    the played state is the average of the controllers' committed states.
+    """
+
+    fractional = True
+
+    def __init__(self, lookahead: int = 0):
+        if lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+        self.lookahead = lookahead
+        self.name = f"afhc(w={lookahead})"
+
+    def reset(self, m: int, beta: float) -> None:
+        self._m = m
+        self._beta = beta
+        k = self.lookahead + 1
+        self._plans: list[list[int]] = [[] for _ in range(k)]
+        self._last: list[int] = [0] * k
+        self._t = 0
+        self._set_state(0.0)
+
+    def step(self, f_row: np.ndarray, future: np.ndarray | None = None) -> float:
+        k = self.lookahead + 1
+        rows = [np.asarray(f_row, dtype=np.float64)]
+        if future is not None and future.shape[0] > 0:
+            rows.extend(np.asarray(future, dtype=np.float64))
+        horizon = np.stack(rows)
+        states = []
+        for c in range(k):
+            if self._t % k == c or not self._plans[c]:
+                plan = _horizon_plan(horizon, self._beta, self._last[c])
+                self._plans[c] = list(plan)
+            x_c = int(self._plans[c].pop(0))
+            self._last[c] = x_c
+            states.append(x_c)
+        self._t += 1
+        x = float(np.mean(states))
+        self._set_state(x)
+        return x

@@ -1,0 +1,138 @@
+"""Incremental work functions ``hat-C^L_tau`` and ``hat-C^U_tau`` (§3.2).
+
+``hat-C^L_tau(x)`` is the minimum cost of serving ``f_1..f_tau`` and
+ending in state ``x`` when switching is charged on powering **up**;
+``hat-C^U_tau(x)`` charges powering **down** instead.  The paper's LCP
+bounds are their minimizers:
+
+* ``x^L_tau`` — the *smallest* minimizer of ``hat-C^L_tau``;
+* ``x^U_tau`` — the *largest*  minimizer of ``hat-C^U_tau``.
+
+Both functions are maintained in ``O(m)`` per step with prefix/suffix
+minima.  The implementation tracks ``hat-C^L`` and derives ``hat-C^U``
+through Lemma 7 (``hat-C^L_tau(x) = hat-C^U_tau(x) + beta x``); an
+independent ``hat-C^U`` recurrence is provided for the Lemma 7 tests.
+
+The recurrences (convexity of every intermediate function is Lemma 8,
+verified by the test suite):
+
+``hat-C^L_tau(x) = f_tau(x) + min( beta x + min_{y<=x}(hat-C^L_{tau-1}(y) - beta y),
+                                   min_{y>=x} hat-C^L_{tau-1}(y) )``
+
+``hat-C^U_tau(x) = f_tau(x) + min( min_{y<=x} hat-C^U_{tau-1}(y),
+                                   -beta x + min_{y>=x}(hat-C^U_{tau-1}(y) + beta y) )``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import argmin_first, argmin_last, prefix_min, suffix_min
+
+__all__ = ["WorkFunctions", "update_CL", "update_CU"]
+
+
+def update_CL(prev: np.ndarray | None, f_row: np.ndarray,
+              beta: float) -> np.ndarray:
+    """One step of the ``hat-C^L`` recurrence (``prev=None`` for tau=1,
+    where ``hat-C^L_1(x) = f_1(x) + beta x`` since ``x_0 = 0``)."""
+    width = f_row.shape[0]
+    states = np.arange(width, dtype=np.float64)
+    if prev is None:
+        return f_row + beta * states
+    up = beta * states + prefix_min(prev - beta * states)
+    down = suffix_min(prev)
+    return f_row + np.minimum(up, down)
+
+
+def update_CU(prev: np.ndarray | None, f_row: np.ndarray,
+              beta: float) -> np.ndarray:
+    """One step of the ``hat-C^U`` recurrence (``prev=None`` for tau=1,
+    where ``hat-C^U_1(x) = f_1(x)``: powering up is free under U)."""
+    width = f_row.shape[0]
+    states = np.arange(width, dtype=np.float64)
+    if prev is None:
+        return f_row.astype(np.float64, copy=True)
+    stay = prefix_min(prev)
+    down = -beta * states + suffix_min(prev + beta * states)
+    return f_row + np.minimum(stay, down)
+
+
+class WorkFunctions:
+    """Stateful maintenance of ``hat-C^L_tau`` / ``hat-C^U_tau``.
+
+    Parameters
+    ----------
+    m, beta:
+        State range ``0..m`` and switching cost.
+    track_U:
+        Maintain ``hat-C^U`` with its own recurrence too (tests); by
+        default it is derived from Lemma 7.
+    """
+
+    def __init__(self, m: int, beta: float, *, track_U: bool = False):
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.m = m
+        self.beta = beta
+        self.tau = 0
+        self._states = np.arange(m + 1, dtype=np.float64)
+        self._CL: np.ndarray | None = None
+        self._CU: np.ndarray | None = None
+        self._track_U = track_U
+
+    def update(self, f_row: np.ndarray) -> None:
+        """Ingest ``f_{tau+1}`` (tabulated on ``0..m``)."""
+        f_row = np.asarray(f_row, dtype=np.float64)
+        if f_row.shape != (self.m + 1,):
+            raise ValueError(
+                f"cost row must have shape ({self.m + 1},), got {f_row.shape}")
+        self._CL = update_CL(self._CL, f_row, self.beta)
+        if self._track_U:
+            self._CU = update_CU(self._CU, f_row, self.beta)
+        self.tau += 1
+
+    # ------------------------------------------------------------------
+    # Work-function values
+    # ------------------------------------------------------------------
+    @property
+    def CL(self) -> np.ndarray:
+        """Current ``hat-C^L_tau`` table (tau >= 1)."""
+        if self._CL is None:
+            raise RuntimeError("no cost function ingested yet")
+        return self._CL
+
+    @property
+    def CU(self) -> np.ndarray:
+        """Current ``hat-C^U_tau`` table.
+
+        Derived from Lemma 7 (``hat-C^U = hat-C^L - beta x``) unless
+        ``track_U`` maintains it independently.
+        """
+        if self._track_U:
+            if self._CU is None:
+                raise RuntimeError("no cost function ingested yet")
+            return self._CU
+        return self.CL - self.beta * self._states
+
+    # ------------------------------------------------------------------
+    # LCP bounds
+    # ------------------------------------------------------------------
+    def x_lower(self) -> int:
+        """``x^L_tau``: smallest minimizer of ``hat-C^L_tau`` (§3.1)."""
+        return argmin_first(self.CL)
+
+    def x_upper(self) -> int:
+        """``x^U_tau``: largest minimizer of ``hat-C^U_tau`` (§3.1)."""
+        return argmin_last(self.CU)
+
+    def bounds(self) -> tuple[int, int]:
+        """``(x^L_tau, x^U_tau)``; Lemma 6 guarantees ``x^L <= x^U``
+        (asserted here as a structural invariant)."""
+        lo, hi = self.x_lower(), self.x_upper()
+        if lo > hi:  # pragma: no cover - would contradict Lemma 6
+            raise AssertionError(
+                f"work-function bounds crossed: x^L={lo} > x^U={hi}")
+        return lo, hi

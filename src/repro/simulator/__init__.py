@@ -1,0 +1,25 @@
+"""Discrete-time data-center simulator substrate.
+
+The paper's operating-cost functions ``f_t`` abstract "e.g., energy cost
+and service delay" of a data center.  This subpackage grounds that
+abstraction: a job-level workload generator, a server-farm simulator
+with queueing, energy and transition accounting, and a *bridge* that
+tabulates the simulator's per-step cost into a problem instance — so
+optimizing the abstract objective (eq. (1)) can be validated against
+simulated, measured cost.
+
+The closing-the-loop experiment (E13 in the benchmarks): schedules
+computed by the Section 2 offline algorithm on the bridged instance
+reduce *simulated* energy + latency cost relative to static
+provisioning, and the abstract objective tracks the simulated cost.
+"""
+
+from .datacenter import DataCenter, ServerPowerModel, SimLog, StepMetrics
+from .jobs import JobTrace, poisson_job_trace
+from .bridge import bridge_instance, replay_schedule, simulated_cost
+
+__all__ = [
+    "DataCenter", "ServerPowerModel", "SimLog", "StepMetrics",
+    "JobTrace", "poisson_job_trace",
+    "bridge_instance", "replay_schedule", "simulated_cost",
+]

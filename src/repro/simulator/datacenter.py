@@ -1,0 +1,198 @@
+"""Server-farm simulator: queueing, energy and transition accounting.
+
+Discrete-time fluid simulation of ``m`` homogeneous servers.  Each step:
+
+1. the controller sets the number of active servers ``x_t`` (powering up
+   from sleep costs transition energy and, optionally, a setup delay
+   during which the server burns power but serves nothing);
+2. arriving work joins the backlog; active, ready servers drain it at
+   ``service_rate`` work units per server-step (processor sharing);
+3. metrics are recorded: energy (active/idle/sleep power + transition
+   energy), latency (backlog-based via Little's law), SLA violations.
+
+The model is deliberately simple — a fluid M/G/1-PS farm — but it
+produces the two quantities the paper's cost functions abstract (energy
+and delay), with the right qualitative behavior: delay explodes as
+utilization approaches 1, energy is roughly linear in active servers,
+and switching consumes real energy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["ServerPowerModel", "StepMetrics", "SimLog", "DataCenter"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerPowerModel:
+    """Per-server power/energy parameters (arbitrary energy units).
+
+    Defaults reflect the stylized facts the paper cites: an idle active
+    server burns about half its busy power; sleeping is nearly free;
+    a power-up costs roughly the energy of running busy for
+    ``setup_steps`` steps plus a migration overhead.
+    """
+
+    busy_power: float = 1.0
+    idle_power: float = 0.5
+    sleep_power: float = 0.02
+    transition_energy: float = 2.0
+    setup_steps: int = 0
+    service_rate: float = 1.0
+
+    def __post_init__(self):
+        for name in ("busy_power", "idle_power", "sleep_power",
+                     "transition_energy", "service_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.service_rate == 0:
+            raise ValueError("service_rate must be positive")
+        if self.setup_steps < 0:
+            raise ValueError("setup_steps must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class StepMetrics:
+    """Measurements of one simulated step."""
+
+    active: int
+    ready: int
+    arrived_work: float
+    served_work: float
+    backlog: float
+    utilization: float
+    latency: float
+    energy: float
+    transition_energy: float
+
+
+@dataclasses.dataclass
+class SimLog:
+    """Accumulated simulation metrics."""
+
+    steps: list
+
+    @property
+    def total_energy(self) -> float:
+        return float(sum(s.energy + s.transition_energy for s in self.steps))
+
+    @property
+    def total_latency(self) -> float:
+        return float(sum(s.latency for s in self.steps))
+
+    @property
+    def mean_utilization(self) -> float:
+        vals = [s.utilization for s in self.steps if s.ready > 0]
+        return float(np.mean(vals)) if vals else 0.0
+
+    @property
+    def final_backlog(self) -> float:
+        return self.steps[-1].backlog if self.steps else 0.0
+
+    def total_cost(self, latency_weight: float = 1.0) -> float:
+        """Scalar objective: energy + weight * latency."""
+        return self.total_energy + latency_weight * self.total_latency
+
+
+class DataCenter:
+    """Stateful fluid simulator of an ``m``-server farm."""
+
+    def __init__(self, m: int, power: ServerPowerModel | None = None):
+        if m < 1:
+            raise ValueError("need at least one server")
+        self.m = m
+        self.power = power or ServerPowerModel()
+        self.reset()
+
+    def reset(self) -> None:
+        """All servers asleep, empty backlog."""
+        self._active = 0
+        self._backlog = 0.0
+        # Remaining setup steps per pending server batch: list of
+        # [servers, steps_left].
+        self._warming: list[list[int]] = []
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def backlog(self) -> float:
+        return self._backlog
+
+    def _ready_servers(self) -> int:
+        warming = sum(batch[0] for batch in self._warming)
+        return self._active - warming
+
+    def step(self, x: int, arriving_work: float) -> StepMetrics:
+        """Advance one step with target active count ``x``."""
+        if not 0 <= x <= self.m:
+            raise ValueError(f"active count must be in [0, {self.m}]")
+        if arriving_work < 0:
+            raise ValueError("arriving work must be non-negative")
+        p = self.power
+        transition = 0.0
+        powered_up = max(x - self._active, 0)
+        if powered_up > 0:
+            transition = p.transition_energy * powered_up
+            if p.setup_steps > 0:
+                self._warming.append([powered_up, p.setup_steps])
+        if x < self._active:
+            # Powering down is immediate and free (the paper folds any
+            # power-down cost into beta); drop warming servers first.
+            drop = self._active - x
+            while drop > 0 and self._warming:
+                batch = self._warming[-1]
+                take = min(drop, batch[0])
+                batch[0] -= take
+                drop -= take
+                if batch[0] == 0:
+                    self._warming.pop()
+        self._active = x
+        ready = self._ready_servers()
+
+        # Serve the fluid backlog.
+        self._backlog += arriving_work
+        capacity = ready * p.service_rate
+        served = min(self._backlog, capacity)
+        self._backlog -= served
+        utilization = served / capacity if capacity > 0 else (
+            1.0 if self._backlog > 0 else 0.0)
+
+        # Latency proxy via Little's law: time-in-system mass this step.
+        # Work still queued waits a full step; served work waits half.
+        latency = self._backlog + 0.5 * served
+
+        # Energy: busy fraction at busy power, rest of the ready servers
+        # idle, warming servers burn busy power, sleeping servers sleep.
+        busy = served / p.service_rate
+        warming = self._active - ready
+        energy = (busy * p.busy_power
+                  + (ready - busy) * p.idle_power
+                  + warming * p.busy_power
+                  + (self.m - self._active) * p.sleep_power)
+        # Warm-up clocks tick at the end of the step: setup_steps = k
+        # blocks a powered-up server for exactly k full steps.
+        for batch in self._warming:
+            batch[1] -= 1
+        self._warming = [b for b in self._warming if b[1] > 0 and b[0] > 0]
+        return StepMetrics(active=x, ready=ready,
+                           arrived_work=arriving_work, served_work=served,
+                           backlog=self._backlog, utilization=utilization,
+                           latency=latency, energy=energy,
+                           transition_energy=transition)
+
+    def run(self, schedule, work) -> SimLog:
+        """Simulate a whole schedule against an arriving-work sequence."""
+        schedule = np.asarray(schedule)
+        work = np.asarray(work, dtype=np.float64)
+        if schedule.shape != work.shape:
+            raise ValueError("schedule and work must have equal length")
+        self.reset()
+        log = SimLog(steps=[])
+        for x, a in zip(schedule, work):
+            log.steps.append(self.step(int(x), float(a)))
+        return log

@@ -1,0 +1,97 @@
+"""Job-level workloads for the simulator.
+
+A :class:`JobTrace` is the amount of work (in server-step units)
+arriving in each time step.  The canonical generator draws a Poisson
+number of jobs per step around a modulating rate curve (e.g. one of the
+:mod:`repro.workloads.synthetic` load shapes) with heavy-ish-tailed
+service demands, which is the textbook model of interactive data-center
+traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["JobTrace", "poisson_job_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class JobTrace:
+    """Per-step arriving work.
+
+    Attributes
+    ----------
+    work:
+        float64 array; ``work[t]`` is the total service demand arriving
+        in step ``t`` (1.0 = one server busy for one step).
+    jobs:
+        int64 array of arriving job counts (bookkeeping for metrics).
+    """
+
+    work: np.ndarray
+    jobs: np.ndarray
+
+    def __post_init__(self):
+        work = np.ascontiguousarray(np.asarray(self.work, dtype=np.float64))
+        jobs = np.ascontiguousarray(np.asarray(self.jobs, dtype=np.int64))
+        if work.shape != jobs.shape or work.ndim != 1:
+            raise ValueError("work and jobs must be 1-D arrays of equal "
+                             "length")
+        if np.any(work < 0) or np.any(jobs < 0):
+            raise ValueError("work and job counts must be non-negative")
+        work.setflags(write=False)
+        jobs.setflags(write=False)
+        object.__setattr__(self, "work", work)
+        object.__setattr__(self, "jobs", jobs)
+
+    @property
+    def T(self) -> int:
+        return self.work.shape[0]
+
+    def smoothed_loads(self, window: int = 1) -> np.ndarray:
+        """Moving-average load estimate (what a controller would see)."""
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if window == 1:
+            return self.work.copy()
+        kernel = np.ones(window) / window
+        padded = np.concatenate([np.full(window - 1, self.work[0]),
+                                 self.work])
+        return np.convolve(padded, kernel, mode="valid")
+
+
+def poisson_job_trace(rate_curve: np.ndarray, *,
+                      mean_service: float = 1.0,
+                      service_cv: float = 1.0,
+                      rng: np.random.Generator | int | None = None) -> JobTrace:
+    """Poisson arrivals modulated by ``rate_curve`` with lognormal sizes.
+
+    ``rate_curve[t]`` is the expected arriving *work* at step ``t``; job
+    count is Poisson with mean ``rate_curve[t] / mean_service`` and each
+    job's demand is lognormal with mean ``mean_service`` and coefficient
+    of variation ``service_cv`` (CV ≈ 1 is exponential-like, larger is
+    heavier-tailed).
+    """
+    g = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    rate_curve = np.asarray(rate_curve, dtype=np.float64)
+    if np.any(rate_curve < 0):
+        raise ValueError("rate curve must be non-negative")
+    if mean_service <= 0 or service_cv < 0:
+        raise ValueError("need mean_service > 0 and service_cv >= 0")
+    sigma2 = np.log(1.0 + service_cv ** 2)
+    mu = np.log(mean_service) - sigma2 / 2.0
+    T = rate_curve.shape[0]
+    work = np.zeros(T)
+    jobs = np.zeros(T, dtype=np.int64)
+    for t in range(T):
+        n = int(g.poisson(rate_curve[t] / mean_service))
+        jobs[t] = n
+        if n > 0:
+            if service_cv == 0:
+                work[t] = n * mean_service
+            else:
+                work[t] = float(np.sum(
+                    np.exp(mu + np.sqrt(sigma2) * g.standard_normal(n))))
+    return JobTrace(work=work, jobs=jobs)

@@ -1,0 +1,19 @@
+"""Synthetic workloads and trace-to-instance builders."""
+
+from .forecast import forecast_runner, noisy_future
+from .synthetic import (bursty_loads, compose_loads, constant_loads,
+                        diurnal_loads, hotmail_like_loads, msr_like_loads,
+                        onoff_loads, peak_to_mean_ratio, random_walk_loads,
+                        regime_switching_loads, sawtooth_loads)
+from .traces import (capacity_for, default_server_cost, instance_from_loads,
+                     restricted_from_loads)
+
+__all__ = [
+    "bursty_loads", "compose_loads", "constant_loads", "diurnal_loads",
+    "hotmail_like_loads", "msr_like_loads", "onoff_loads",
+    "peak_to_mean_ratio", "random_walk_loads", "regime_switching_loads",
+    "sawtooth_loads",
+    "capacity_for", "default_server_cost", "instance_from_loads",
+    "restricted_from_loads",
+    "forecast_runner", "noisy_future",
+]

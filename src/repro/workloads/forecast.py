@@ -1,0 +1,76 @@
+"""Noisy forecasts for prediction-window experiments.
+
+Section 5.4's model hands the algorithm the next ``w`` cost functions
+*exactly*.  Real capacity planners work from forecasts; this module
+degrades the lookahead with configurable noise so the practical value of
+a window can be measured as forecast quality decays (the shape: perfect
+forecasts recover most of the offline savings, noisy ones less, and a
+useless forecast is no better than no window).
+
+``forecast_runner`` replays an instance but substitutes each algorithm's
+``future`` rows with noisy versions; noise grows with forecast distance
+(errors compound), matching the standard forecasting regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.schedule import cost as schedule_cost
+from ..online.base import OnlineAlgorithm, OnlineResult
+
+__all__ = ["noisy_future", "forecast_runner"]
+
+
+def noisy_future(rows: np.ndarray, noise: float, rng: np.random.Generator,
+                 growth: float = 0.5) -> np.ndarray:
+    """Perturb future cost rows with distance-compounding noise.
+
+    Row ``i`` (forecast distance ``i+1``) is scaled entrywise by
+    ``max(0, 1 + sigma_i * N(0,1))`` with
+    ``sigma_i = noise * (1 + growth * i)``; rows are then re-convexified
+    by sorting their increments, so algorithms always receive valid
+    convex cost functions (a forecast is still a cost model).
+    """
+    if noise < 0:
+        raise ValueError("noise must be non-negative")
+    out = np.empty_like(rows)
+    for i in range(rows.shape[0]):
+        sigma = noise * (1.0 + growth * i)
+        factors = np.maximum(1.0 + sigma * rng.standard_normal(rows.shape[1]),
+                             0.0)
+        row = rows[i] * factors
+        # Re-convexify: rebuild from sorted increments anchored at the
+        # noisy minimum value.
+        inc = np.sort(np.diff(row))
+        row = np.concatenate([[row[0]], row[0] + np.cumsum(inc)])
+        row -= row.min()
+        row += rows[i].min()  # keep the forecast's level calibrated
+        out[i] = row
+    return out
+
+
+def forecast_runner(instance: Instance, algorithm: OnlineAlgorithm,
+                    noise: float,
+                    rng: np.random.Generator | int | None = None) -> OnlineResult:
+    """Replay with noisy lookahead: ``f_tau`` is always exact (the present
+    is observed), the ``w`` future rows are forecasts."""
+    g = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    T, m = instance.T, instance.m
+    algorithm.reset(m, instance.beta)
+    dtype = np.float64 if algorithm.fractional else np.int64
+    xs = np.empty(T, dtype=dtype)
+    w = algorithm.lookahead
+    for t in range(T):
+        future = None
+        if w > 0:
+            actual = instance.F[t + 1:t + 1 + w]
+            if actual.shape[0] > 0:
+                future = noisy_future(actual, noise, g)
+        x = algorithm.step(instance.F[t], future)
+        xs[t] = float(x) if algorithm.fractional else int(x)
+    total = schedule_cost(instance, xs.astype(np.float64),
+                          integral=not algorithm.fractional)
+    return OnlineResult(schedule=xs, cost=total, name=algorithm.name,
+                        fractional=algorithm.fractional)

@@ -1,0 +1,205 @@
+"""Synthetic load-trace generators.
+
+The experimental evaluation the paper builds on (Lin et al. [22, 24])
+uses two proprietary production traces (an MSR data-center trace and a
+Hotmail trace) characterized by strong diurnal structure with a
+peak-to-mean ratio (PMR) around 2–5 and bursty noise.  Those traces are
+not redistributable, so — per the reproduction's substitution policy —
+this module generates seeded synthetic equivalents whose knobs (PMR,
+noise level, burstiness, period) span the regimes the originals occupy.
+
+Every generator returns a float64 array of non-negative loads of length
+``T``; loads are in *server units* (a load of 12.3 wants roughly a dozen
+active servers).  Use :mod:`repro.workloads.traces` to turn loads into
+problem instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "diurnal_loads",
+    "bursty_loads",
+    "random_walk_loads",
+    "onoff_loads",
+    "sawtooth_loads",
+    "constant_loads",
+    "msr_like_loads",
+    "hotmail_like_loads",
+    "regime_switching_loads",
+    "compose_loads",
+    "peak_to_mean_ratio",
+]
+
+
+def _rng(rng) -> np.random.Generator:
+    return rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+
+def diurnal_loads(T: int, *, peak: float, period: int = 24,
+                  base_frac: float = 0.3, noise: float = 0.05,
+                  rng=None) -> np.ndarray:
+    """Sinusoidal day/night pattern with multiplicative noise.
+
+    ``base_frac`` sets the trough as a fraction of ``peak``; ``noise`` is
+    the standard deviation of the multiplicative perturbation.
+    """
+    if peak <= 0 or not 0 <= base_frac <= 1:
+        raise ValueError("need peak > 0 and base_frac in [0, 1]")
+    g = _rng(rng)
+    t = np.arange(T, dtype=np.float64)
+    mid = 0.5 * (1 + base_frac)
+    amp = 0.5 * (1 - base_frac)
+    shape = mid + amp * np.sin(2 * np.pi * t / period - np.pi / 2)
+    loads = peak * shape
+    if noise > 0:
+        loads = loads * np.maximum(1.0 + noise * g.standard_normal(T), 0.0)
+    return np.clip(loads, 0.0, None)
+
+
+def bursty_loads(T: int, *, peak: float, base_frac: float = 0.2,
+                 burst_prob: float = 0.05, burst_len: int = 5,
+                 rng=None) -> np.ndarray:
+    """Low base load with short flash-crowd bursts to ``peak``."""
+    g = _rng(rng)
+    loads = np.full(T, peak * base_frac, dtype=np.float64)
+    t = 0
+    while t < T:
+        if g.random() < burst_prob:
+            span = min(1 + g.integers(burst_len), T - t)
+            loads[t:t + span] = peak * (0.8 + 0.2 * g.random())
+            t += span
+        else:
+            t += 1
+    return loads
+
+
+def random_walk_loads(T: int, *, peak: float, step_frac: float = 0.05,
+                      rng=None) -> np.ndarray:
+    """Reflected random walk on ``[0, peak]`` (slowly wandering demand)."""
+    g = _rng(rng)
+    steps = g.uniform(-step_frac, step_frac, size=T) * peak
+    loads = np.empty(T, dtype=np.float64)
+    x = 0.5 * peak
+    for t in range(T):
+        x += steps[t]
+        if x < 0:
+            x = -x
+        if x > peak:
+            x = 2 * peak - x
+        loads[t] = x
+    return loads
+
+
+def onoff_loads(T: int, *, peak: float, p_on: float = 0.1,
+                p_off: float = 0.1, base_frac: float = 0.1,
+                rng=None) -> np.ndarray:
+    """Two-state Markov-modulated demand (MMPP-like on/off source)."""
+    g = _rng(rng)
+    loads = np.empty(T, dtype=np.float64)
+    on = False
+    for t in range(T):
+        if on and g.random() < p_off:
+            on = False
+        elif not on and g.random() < p_on:
+            on = True
+        loads[t] = peak if on else peak * base_frac
+    return loads
+
+
+def sawtooth_loads(T: int, *, peak: float, period: int = 10) -> np.ndarray:
+    """Deterministic sawtooth — the oscillation that punishes eager
+    algorithms with switching cost."""
+    t = np.arange(T, dtype=np.float64)
+    return peak * (t % period) / max(period - 1, 1)
+
+
+def constant_loads(T: int, level: float) -> np.ndarray:
+    """Constant demand (static provisioning is optimal here)."""
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    return np.full(T, float(level))
+
+
+def msr_like_loads(T: int, *, peak: float = 40.0, rng=None) -> np.ndarray:
+    """MSR-trace-like shape: strong diurnal cycle (PMR ~ 2) plus mild
+    noise and occasional half-day lulls."""
+    g = _rng(rng)
+    loads = diurnal_loads(T, peak=peak, period=24, base_frac=0.45,
+                          noise=0.08, rng=g)
+    # Occasional maintenance lulls.
+    for start in range(0, T, 24 * 7):
+        if g.random() < 0.3:
+            lo = start + int(g.integers(0, 24))
+            loads[lo:lo + 12] *= 0.5
+    return loads
+
+
+def hotmail_like_loads(T: int, *, peak: float = 60.0, rng=None) -> np.ndarray:
+    """Hotmail-trace-like shape: spikier diurnal cycle (PMR ~ 4-5) with a
+    weekly modulation and bursts."""
+    g = _rng(rng)
+    base = diurnal_loads(T, peak=peak, period=24, base_frac=0.12,
+                         noise=0.12, rng=g)
+    week = 1.0 - 0.25 * (np.arange(T) % (24 * 7) >= 24 * 5)
+    burst = bursty_loads(T, peak=0.35 * peak, base_frac=0.0,
+                         burst_prob=0.02, burst_len=3, rng=g)
+    return np.clip(base * week + burst, 0.0, None)
+
+
+def regime_switching_loads(T: int, *, peak: float,
+                           levels=(0.15, 0.5, 0.9),
+                           dwell: float = 20.0, rng=None) -> np.ndarray:
+    """Markov regime-switching demand.
+
+    The trace dwells at a level (fraction of ``peak``) for a geometric
+    number of steps with mean ``dwell``, then jumps to another level —
+    the stepwise regime changes that stress laziness thresholds in a way
+    diurnal curves do not.
+    """
+    if not levels:
+        raise ValueError("need at least one level")
+    if dwell < 1:
+        raise ValueError("dwell must be at least 1")
+    g = _rng(rng)
+    levels = np.asarray(levels, dtype=np.float64)
+    loads = np.empty(T, dtype=np.float64)
+    cur = int(g.integers(len(levels)))
+    t = 0
+    while t < T:
+        span = 1 + int(g.geometric(1.0 / dwell))
+        span = min(span, T - t)
+        loads[t:t + span] = peak * levels[cur]
+        t += span
+        nxt = int(g.integers(len(levels) - 1))
+        cur = nxt if nxt < cur else nxt + 1 if len(levels) > 1 else cur
+    return loads
+
+
+def compose_loads(*parts: np.ndarray, weights=None) -> np.ndarray:
+    """Weighted superposition of load traces (e.g. daily + weekly +
+    bursts).  All parts must share a length; the result is clipped at 0.
+    """
+    if not parts:
+        raise ValueError("need at least one trace")
+    T = parts[0].shape[0]
+    if any(p.shape != (T,) for p in parts):
+        raise ValueError("all traces must have equal length")
+    if weights is None:
+        weights = [1.0] * len(parts)
+    if len(weights) != len(parts):
+        raise ValueError("one weight per trace required")
+    total = np.zeros(T, dtype=np.float64)
+    for w, p in zip(weights, parts):
+        total += float(w) * np.asarray(p, dtype=np.float64)
+    return np.clip(total, 0.0, None)
+
+
+def peak_to_mean_ratio(loads: np.ndarray) -> float:
+    """PMR of a trace (the statistic Lin et al. report per trace)."""
+    loads = np.asarray(loads, dtype=np.float64)
+    mean = float(np.mean(loads))
+    if mean <= 0:
+        raise ValueError("PMR undefined for zero-mean trace")
+    return float(np.max(loads)) / mean

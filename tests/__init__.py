@@ -1,0 +1,2 @@
+"""Test package (enables `from tests.conftest import ...` under bare
+pytest invocations, where the repository root is not on sys.path)."""

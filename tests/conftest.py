@@ -1,0 +1,64 @@
+"""Shared fixtures and instance generators for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance
+from repro.core.costs import QuadraticCost, AbsCost
+from repro.workloads import diurnal_loads, instance_from_loads
+
+
+def random_convex_instance(rng: np.random.Generator, T: int, m: int,
+                           beta: float, scale: float = 5.0) -> Instance:
+    """Random instance with convex non-negative rows.
+
+    Each row is built from sorted slopes (guaranteeing convexity), shifted
+    to be non-negative, so instances cover minimizers at interior states
+    and both boundaries.
+    """
+    rows = np.empty((T, m + 1))
+    for t in range(T):
+        slopes = np.sort(rng.uniform(-scale, scale, m))
+        vals = np.concatenate([[0.0], np.cumsum(slopes)])
+        vals -= vals.min()
+        vals += rng.uniform(0, scale / 5)
+        rows[t] = vals
+    return Instance(beta=beta, F=rows)
+
+
+def hinge_instance(centers, m: int, beta: float, slope: float = 1.0) -> Instance:
+    """Instance of hinge rows |x - c| — the Section 5 building block."""
+    fs = [AbsCost(float(c), slope) for c in centers]
+    return Instance.from_functions(fs, m, beta)
+
+
+def bowl_instance(centers, m: int, beta: float, a: float = 1.0) -> Instance:
+    """Instance of quadratic bowls centered on a trajectory."""
+    fs = [QuadraticCost(a, float(c)) for c in centers]
+    return Instance.from_functions(fs, m, beta)
+
+
+def trace_instance(seed: int = 0, T: int = 96, peak: float = 12.0,
+                   beta: float = 4.0) -> Instance:
+    """Small diurnal-trace instance used by integration tests."""
+    rng = np.random.default_rng(seed)
+    loads = diurnal_loads(T, peak=peak, rng=rng)
+    m = int(np.ceil(peak * 1.3))
+    return instance_from_loads(loads, m=m, beta=beta)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[0, 1, 2, 3])
+def small_random_instance(request) -> Instance:
+    """Four seeded small instances (brute-force verifiable)."""
+    g = np.random.default_rng(100 + request.param)
+    T = int(g.integers(2, 6))
+    m = int(g.integers(1, 5))
+    beta = float(g.uniform(0.3, 3.0))
+    return random_convex_instance(g, T, m, beta)

@@ -1,0 +1,94 @@
+"""Tests for the analysis helpers (metrics, sweep, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (competitive_ratio, empirical_ratios, format_series,
+                            format_table, optimal_cost, savings_vs_static,
+                            schedule_stats, sweep)
+from repro.online import LCP, ThresholdFractional
+from repro.offline import solve_dp
+from tests.conftest import random_convex_instance, trace_instance
+
+
+class TestMetrics:
+    def test_optimal_cost_matches_dp(self):
+        rng = np.random.default_rng(130)
+        inst = random_convex_instance(rng, 8, 5, 1.0)
+        assert optimal_cost(inst) == pytest.approx(solve_dp(inst).cost)
+
+    def test_competitive_ratio_at_least_one(self):
+        rng = np.random.default_rng(131)
+        for _ in range(5):
+            inst = random_convex_instance(rng, 10, 6, 1.0)
+            assert competitive_ratio(inst, LCP()) >= 1.0 - 1e-9
+
+    def test_empirical_ratios_table(self):
+        rng = np.random.default_rng(132)
+        instances = [("a", random_convex_instance(rng, 6, 4, 1.0)),
+                     ("b", random_convex_instance(rng, 6, 4, 2.0))]
+        rows = empirical_ratios(instances, [LCP, ThresholdFractional])
+        assert len(rows) == 4
+        for row in rows:
+            assert row["ratio"] >= 1.0 - 1e-9
+            assert row["cost"] >= row["opt"] - 1e-9
+
+    def test_savings_vs_static(self):
+        inst = trace_instance(seed=1, T=72, peak=10.0, beta=3.0)
+        res = solve_dp(inst)
+        out = savings_vs_static(inst, res.schedule)
+        assert 0.0 <= out["saving"] < 1.0
+        assert out["static_cost"] >= res.cost - 1e-9
+
+    def test_schedule_stats(self):
+        rng = np.random.default_rng(133)
+        inst = random_convex_instance(rng, 5, 4, 1.0)
+        stats = schedule_stats(inst, [0, 2, 2, 1, 3])
+        assert stats["power_ups"] == pytest.approx(2 + 0 + 0 + 2)
+        assert stats["power_downs"] == pytest.approx(1)
+        assert stats["changes"] == 3
+        assert stats["total"] == pytest.approx(
+            stats["operating"] + stats["switching"])
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        rows = sweep(lambda a, b: {"s": a + b},
+                     {"a": [1, 2], "b": [10, 20, 30]})
+        assert len(rows) == 6
+        assert rows[0] == {"a": 1, "b": 10, "s": 11}
+
+    def test_key_collision_rejected(self):
+        with pytest.raises(ValueError, match="collide"):
+            sweep(lambda a: {"a": a}, {"a": [1]})
+
+    def test_empty_axis(self):
+        assert sweep(lambda a: {"r": a}, {"a": []}) == []
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [{"name": "x", "val": 1.23456}, {"name": "long", "val": 2.0}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "val" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, ["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series([1, 2], [0.5, 0.25], xlabel="eps",
+                             ylabel="ratio")
+        assert "eps" in text and "ratio" in text
+        assert len(text.splitlines()) == 4
+
+    def test_float_formatting(self):
+        rows = [{"v": 1.23456789}]
+        assert "1.2346" in format_table(rows, floatfmt=".5g")

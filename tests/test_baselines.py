@@ -1,0 +1,90 @@
+"""Tests for the baseline algorithms (memoryless balance, greedy, static)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import optimal_cost
+from repro.core.instance import Instance
+from repro.online import (FollowTheMinimizer, MemorylessBalance, NeverSwitchOn,
+                          run_online, solve_static)
+from tests.conftest import hinge_instance, random_convex_instance
+
+
+class TestMemorylessBalance:
+    def test_stays_on_minimizer_plateau(self):
+        inst = Instance(beta=2.0, F=np.array([[0.0, 0.0, 1.0]]))
+        res = run_online(inst, MemorylessBalance())
+        assert res.schedule[0] == pytest.approx(0.0)
+
+    def test_balance_point_formula(self):
+        """phi_1 with slope eps from x=0: balance at y with
+        (beta/2) y = eps (1 - y) -> y = eps / (beta/2 + eps)."""
+        eps, beta = 0.5, 2.0
+        inst = Instance(beta=beta, F=np.array([[eps, 0.0]]))
+        res = run_online(inst, MemorylessBalance())
+        assert res.schedule[0] == pytest.approx(eps / (beta / 2 + eps))
+
+    def test_steep_function_pulls_near_minimizer(self):
+        """A very steep function pulls the algorithm almost all the way:
+        balance at (beta/2) y = 50 (2 - y) -> y = 100/50.5."""
+        inst = Instance(beta=1.0, F=np.array([[100.0, 50.0, 0.0]]))
+        res = run_online(inst, MemorylessBalance())
+        assert res.schedule[0] == pytest.approx(100.0 / 50.5)
+
+    def test_reaches_minimizer_when_value_stays_high(self):
+        """If even the minimizer's value exceeds the movement cost, the
+        algorithm travels the whole segment."""
+        inst = Instance(beta=1.0, F=np.array([[9.0, 7.0, 5.0]]))
+        res = run_online(inst, MemorylessBalance())
+        assert res.schedule[0] == pytest.approx(2.0)
+
+    def test_moves_down_too(self):
+        inst = Instance(beta=1.0,
+                        F=np.array([[100.0, 50.0, 0.0], [0.0, 50.0, 100.0]]))
+        res = run_online(inst, MemorylessBalance())
+        assert res.schedule[1] < res.schedule[0]
+
+    def test_bounded_on_random_instances(self):
+        """Baseline sanity: stays within a loose constant of optimal."""
+        rng = np.random.default_rng(140)
+        for _ in range(15):
+            inst = random_convex_instance(rng, int(rng.integers(2, 15)),
+                                          int(rng.integers(1, 8)),
+                                          float(rng.uniform(0.5, 3)))
+            res = run_online(inst, MemorylessBalance())
+            assert res.cost <= 6 * optimal_cost(inst) + 1e-6
+
+
+class TestFollowTheMinimizer:
+    def test_tracks_minimizers(self):
+        inst = hinge_instance([0, 3, 1], m=4, beta=1.0)
+        res = run_online(inst, FollowTheMinimizer())
+        np.testing.assert_array_equal(res.schedule, [0, 3, 1])
+
+    def test_pays_heavy_switching_on_oscillation(self):
+        inst = hinge_instance([0, 4] * 10, m=4, beta=5.0)
+        res = run_online(inst, FollowTheMinimizer())
+        assert res.cost > 3 * optimal_cost(inst)
+
+
+class TestStatic:
+    def test_never_switch_on_uses_max(self):
+        rng = np.random.default_rng(141)
+        inst = random_convex_instance(rng, 5, 3, 1.0)
+        res = run_online(inst, NeverSwitchOn())
+        np.testing.assert_array_equal(res.schedule, [3] * 5)
+
+    def test_solve_static_minimizes_constant_schedules(self):
+        from repro.core.schedule import cost
+        rng = np.random.default_rng(142)
+        inst = random_convex_instance(rng, 7, 5, 2.0)
+        res = solve_static(inst)
+        for j in range(inst.m + 1):
+            assert res.cost <= cost(inst, np.full(7, j)) + 1e-9
+        assert cost(inst, res.schedule) == pytest.approx(res.cost)
+
+    def test_static_beats_nothing_on_flat_demand(self):
+        """With constant demand, static provisioning IS optimal."""
+        from repro.offline import solve_dp
+        inst = hinge_instance([2] * 8, m=4, beta=1.0)
+        assert solve_static(inst).cost == pytest.approx(solve_dp(inst).cost)

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.command == "solve"
+        assert args.solver == "binary_search"
+        assert args.workload == "diurnal"
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--solver", "magic"])
+
+
+class TestSolve:
+    @pytest.mark.parametrize("solver", ["binary_search", "dp", "graph",
+                                        "lp"])
+    def test_all_solvers_run(self, solver, capsys):
+        rc = main(["solve", "-T", "24", "--peak", "8", "--beta", "3",
+                   "--solver", solver])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offline optimum" in out
+        assert solver.split("_")[0] in out or "binary" in out
+
+    def test_solvers_agree(self, capsys):
+        totals = []
+        for solver in ("binary_search", "dp", "lp"):
+            main(["solve", "-T", "24", "--peak", "8", "--seed", "3",
+                  "--solver", solver])
+            out = capsys.readouterr().out
+            line = out.splitlines()[3]
+            totals.append(float(line.split()[4]))
+        assert max(totals) - min(totals) < 1e-6 * max(totals)
+
+    def test_show_schedule(self, capsys):
+        rc = main(["solve", "-T", "12", "--peak", "5", "--show-schedule"])
+        assert rc == 0
+        assert "schedule:" in capsys.readouterr().out
+
+    def test_loads_csv(self, tmp_path, capsys):
+        path = tmp_path / "loads.csv"
+        np.savetxt(path, np.array([1.0, 4.0, 2.0, 5.0]))
+        rc = main(["solve", "--loads-csv", str(path), "--beta", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert " 4 " in out  # T = 4
+
+    def test_save_roundtrip(self, tmp_path, capsys):
+        sched_path = tmp_path / "sched.csv"
+        inst_path = tmp_path / "inst.npz"
+        rc = main(["solve", "-T", "12", "--peak", "5",
+                   "--save-schedule", str(sched_path),
+                   "--save-instance", str(inst_path)])
+        assert rc == 0
+        from repro.io import load_instance, load_schedule
+        from repro.core.schedule import cost
+        from repro.offline import solve_dp
+        inst = load_instance(inst_path)
+        sched = load_schedule(sched_path)
+        assert cost(inst, sched) == pytest.approx(solve_dp(inst).cost)
+
+
+class TestSimulate:
+    def test_default_algorithms(self, capsys):
+        rc = main(["simulate", "-T", "24", "--peak", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("lcp", "threshold", "rounded"):
+            assert name in out
+
+    def test_window_algorithms(self, capsys):
+        rc = main(["simulate", "-T", "24", "--peak", "8",
+                   "--algorithms", "rhc,afhc", "--lookahead", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rhc(w=3)" in out and "afhc(w=3)" in out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["simulate", "--algorithms", "oracle"])
+
+    def test_ratios_at_least_one(self, capsys):
+        main(["simulate", "-T", "36", "--peak", "10",
+              "--algorithms", "lcp,followmin,memoryless"])
+        out = capsys.readouterr().out
+        for line in out.splitlines()[3:]:
+            ratio = float(line.split()[-1])
+            assert ratio >= 1.0 - 1e-9
+
+
+class TestReport:
+    def test_report_renders(self, tmp_path, capsys):
+        (tmp_path / "E1_census.txt").write_text("E1\nT m\n- -\n1 1\n")
+        rc = main(["report", "--results-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "## E1" in out and "## E13" in out
+
+    def test_check_flags_missing(self, tmp_path, capsys):
+        rc = main(["report", "--results-dir", str(tmp_path), "--check"])
+        assert rc == 1
+        assert "MISSING" in capsys.readouterr().err
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("kind,limit", [
+        ("deterministic", 3.0), ("continuous", 2.0), ("randomized", 2.0),
+        ("restricted", 3.0),
+    ])
+    def test_games_run_and_respect_limits(self, kind, limit, capsys):
+        rc = main(["lowerbound", "--kind", kind, "--eps", "0.2",
+                   "--max-steps", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        line = out.splitlines()[3]
+        ratio = float(line.split()[2])
+        assert 1.0 <= ratio <= limit + 1e-7
+
+    def test_eps_list_parsed(self, capsys):
+        rc = main(["lowerbound", "--eps", "0.3,0.2", "--max-steps", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) == 5

@@ -1,0 +1,66 @@
+"""Tests for the LP comparator (Lin et al.'s convex-program path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schedule import cost
+from repro.offline import (lp_relaxation_cost, solve_binary_search, solve_dp,
+                           solve_lp)
+from tests.conftest import (bowl_instance, hinge_instance,
+                            random_convex_instance, trace_instance)
+
+
+class TestLPOptimality:
+    def test_matches_dp_random(self):
+        rng = np.random.default_rng(150)
+        for _ in range(25):
+            inst = random_convex_instance(rng, int(rng.integers(1, 12)),
+                                          int(rng.integers(1, 10)),
+                                          float(rng.uniform(0.2, 4)))
+            lp = solve_lp(inst)
+            dp = solve_dp(inst)
+            assert lp.cost == pytest.approx(dp.cost, abs=1e-6)
+            assert cost(inst, lp.schedule) == pytest.approx(lp.cost)
+
+    def test_matches_binary_search_on_traces(self):
+        inst = trace_instance(seed=5, T=72, peak=15.0, beta=4.0)
+        assert solve_lp(inst).cost == pytest.approx(
+            solve_binary_search(inst).cost, rel=1e-9)
+
+    def test_hinge_and_bowl(self):
+        for inst in (hinge_instance([0, 6, 2, 6], m=8, beta=2.0),
+                     bowl_instance([1, 7, 3], m=8, beta=0.7)):
+            assert solve_lp(inst).cost == pytest.approx(solve_dp(inst).cost)
+
+    def test_relaxation_value_equals_integral_optimum(self):
+        """The LP value itself (before rounding) equals the integral
+        optimum — the structural fact behind Lemma 4."""
+        rng = np.random.default_rng(151)
+        for _ in range(10):
+            inst = random_convex_instance(rng, 8, 6, 1.5)
+            assert lp_relaxation_cost(inst) == pytest.approx(
+                solve_dp(inst).cost, abs=1e-6)
+
+    def test_schedule_is_integral_and_feasible(self):
+        rng = np.random.default_rng(152)
+        inst = random_convex_instance(rng, 10, 7, 1.0)
+        res = solve_lp(inst)
+        assert res.schedule.dtype == np.int64
+        assert res.schedule.min() >= 0
+        assert res.schedule.max() <= inst.m
+
+    def test_empty_horizon(self):
+        inst = Instance(beta=1.0, F=np.zeros((0, 4)))
+        assert solve_lp(inst).cost == 0.0
+
+    def test_single_state_space(self):
+        """m = 0: only the all-zero schedule exists."""
+        inst = Instance(beta=1.0, F=np.array([[2.0], [3.0]]))
+        res = solve_lp(inst)
+        assert res.cost == pytest.approx(5.0)
+        np.testing.assert_array_equal(res.schedule, [0, 0])
+
+    def test_large_beta_freezes_lp_too(self):
+        inst = hinge_instance([0, 5, 0, 5], m=5, beta=500.0)
+        assert solve_lp(inst).cost == pytest.approx(solve_dp(inst).cost)

@@ -1,0 +1,272 @@
+"""Tests for the convex cost-function toolkit (repro.core.costs)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.costs import (AbsCost, AffineEnergyCost, ConstantCost,
+                              PerspectiveCost, PiecewiseLinearCost,
+                              QuadraticCost, QueueingDelayCost, ScaledCost,
+                              SLAHingeCost, SumCost, TabulatedCost,
+                              assert_convex_table, check_cost_matrix,
+                              is_convex_table, phi0, phi1, tabulate,
+                              tabulate_many)
+
+
+class TestAbsCost:
+    def test_phi0_values(self):
+        f = phi0(0.5)
+        assert f(0) == 0.0
+        assert f(1) == 0.5
+        assert f(3) == 1.5
+
+    def test_phi1_values(self):
+        f = phi1(0.5)
+        assert f(0) == 0.5
+        assert f(1) == 0.0
+        assert f(2) == 0.5
+
+    def test_vectorized(self):
+        f = AbsCost(2.0, 1.5)
+        np.testing.assert_allclose(f(np.array([0, 2, 4])), [3.0, 0.0, 3.0])
+
+    def test_table_is_convex(self):
+        assert is_convex_table(AbsCost(2.5, 0.7).table(6))
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(ValueError):
+            AbsCost(0.0, -1.0)
+
+
+class TestPiecewiseLinear:
+    def test_values_at_knots(self):
+        f = PiecewiseLinearCost(1.0, [-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(f.table(3), [1.0, 0.0, 0.0, 2.0])
+
+    def test_interpolation_between_knots(self):
+        f = PiecewiseLinearCost(0.0, [2.0])
+        assert f(0.5) == pytest.approx(1.0)
+
+    def test_last_slope_extends(self):
+        f = PiecewiseLinearCost(0.0, [1.0])
+        assert f(5.0) == pytest.approx(5.0)
+
+    def test_decreasing_slopes_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost(0.0, [1.0, 0.5])
+
+    def test_empty_slopes_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost(0.0, [])
+
+    def test_convex_table(self):
+        f = PiecewiseLinearCost(3.0, [-2.0, -1.0, 0.5, 0.5, 4.0])
+        assert is_convex_table(f.table(5))
+
+
+class TestQuadratic:
+    def test_minimum_at_center(self):
+        f = QuadraticCost(2.0, 3.0, b=1.0)
+        assert f(3) == pytest.approx(1.0)
+        assert f(5) == pytest.approx(9.0)
+
+    def test_negative_curvature_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticCost(-1.0, 0.0)
+
+    def test_convex_table(self):
+        assert is_convex_table(QuadraticCost(0.3, 4.2).table(10))
+
+
+class TestAffineEnergy:
+    def test_linear_in_servers(self):
+        f = AffineEnergyCost(2.0, base=1.0)
+        np.testing.assert_allclose(f.table(3), [1.0, 3.0, 5.0, 7.0])
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            AffineEnergyCost(-0.1)
+
+
+class TestQueueingDelay:
+    def test_decreasing_in_capacity(self):
+        f = QueueingDelayCost(4.0, weight=3.0)
+        tab = f.table(12)
+        assert np.all(np.diff(tab) <= 1e-12)
+
+    def test_convex_table(self):
+        for load in [0.0, 1.5, 4.0, 7.3]:
+            tab = QueueingDelayCost(load, weight=2.0).table(15)
+            assert is_convex_table(tab), f"load={load}"
+
+    def test_nonnegative_below_load(self):
+        tab = QueueingDelayCost(6.7, weight=1.0).table(20)
+        assert np.all(tab >= 0)
+
+    def test_zero_load_is_free(self):
+        tab = QueueingDelayCost(0.0).table(5)
+        np.testing.assert_allclose(tab, 0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            QueueingDelayCost(-1.0)
+        with pytest.raises(ValueError):
+            QueueingDelayCost(1.0, headroom=0.0)
+
+
+class TestSLAHinge:
+    def test_hinge_shape(self):
+        f = SLAHingeCost(3.0, 2.0)
+        np.testing.assert_allclose(f.table(5), [6.0, 4.0, 2.0, 0.0, 0.0, 0.0])
+
+    def test_convex(self):
+        assert is_convex_table(SLAHingeCost(2.5, 1.0).table(6))
+
+
+class TestTabulated:
+    def test_roundtrip(self):
+        vals = [4.0, 1.0, 0.0, 2.0]
+        f = TabulatedCost(vals)
+        np.testing.assert_allclose(f.table(3), vals)
+
+    def test_interpolates_like_eq3(self):
+        f = TabulatedCost([4.0, 1.0, 0.0, 2.0])
+        assert f(0.5) == pytest.approx(2.5)
+        assert f(2.25) == pytest.approx(0.5)
+
+    def test_nonconvex_rejected(self):
+        with pytest.raises(ValueError):
+            TabulatedCost([0.0, 2.0, 1.0, 5.0])
+
+    def test_nonconvex_allowed_without_validation(self):
+        f = TabulatedCost([0.0, 2.0, 1.0, 5.0], validate=False)
+        assert f(2) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TabulatedCost([1.0, -0.5])
+
+    def test_values_are_readonly(self):
+        f = TabulatedCost([1.0, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            f.values[0] = 9.0
+
+
+class TestPerspective:
+    def test_matches_restricted_formula(self):
+        # f(z) = 1 + z^2, load 2: F(x) = x (1 + (2/x)^2) = x + 4/x.
+        f = PerspectiveCost(lambda z: 1 + z * z, 2.0)
+        assert f(2) == pytest.approx(4.0)
+        assert f(4) == pytest.approx(5.0)
+
+    def test_zero_load(self):
+        f = PerspectiveCost(lambda z: 1 + z, 0.0)
+        assert f(0) == pytest.approx(0.0)
+        assert f(3) == pytest.approx(3.0)
+
+    def test_infeasible_states_penalized(self):
+        f = PerspectiveCost(lambda z: 1 + z, 3.0, penalty_slope=1e6)
+        assert f(2) > 1e5
+        assert f(0) > f(2)
+
+    def test_convex_table(self):
+        f = PerspectiveCost(lambda z: 1 + z * z, 2.7, penalty_slope=100.0)
+        assert is_convex_table(f.table(10))
+
+    def test_perspective_preserves_convexity_feasible_region(self):
+        # On x >= ceil(load), x*f(load/x) of convex f is convex.
+        f = PerspectiveCost(lambda z: math.exp(z), 3.0)
+        tab = f.table(12)[3:]
+        assert is_convex_table(tab)
+
+
+class TestCombinators:
+    def test_scaled(self):
+        f = ScaledCost(phi1(1.0), 3.0)
+        assert f(0) == pytest.approx(3.0)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledCost(phi0(1.0), -2.0)
+
+    def test_sum(self):
+        f = SumCost(AffineEnergyCost(1.0), SLAHingeCost(2.0, 1.0))
+        assert f(0) == pytest.approx(2.0)
+        assert f(1) == pytest.approx(2.0)
+        assert f(3) == pytest.approx(3.0)
+
+    def test_sum_requires_parts(self):
+        with pytest.raises(ValueError):
+            SumCost()
+
+    def test_constant(self):
+        f = ConstantCost(2.5)
+        np.testing.assert_allclose(f.table(4), 2.5)
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantCost(-1.0)
+
+
+class TestTabulation:
+    def test_tabulate_cost_function(self):
+        np.testing.assert_allclose(tabulate(phi0(2.0), 3), [0, 2, 4, 6])
+
+    def test_tabulate_plain_callable(self):
+        np.testing.assert_allclose(tabulate(lambda x: x ** 2, 3), [0, 1, 4, 9])
+
+    def test_tabulate_scalar_only_callable(self):
+        def f(x):
+            if hasattr(x, "__len__"):
+                raise TypeError("scalar only")
+            return float(x) + 1
+
+        np.testing.assert_allclose(tabulate(f, 2), [1, 2, 3])
+
+    def test_tabulate_many_shape(self):
+        M = tabulate_many([phi0(1.0), phi1(1.0)], 4)
+        assert M.shape == (2, 5)
+        assert M.flags["C_CONTIGUOUS"]
+
+    def test_tabulate_many_empty(self):
+        assert tabulate_many([], 3).shape == (0, 4)
+
+
+class TestConvexityChecks:
+    def test_is_convex_accepts_linear(self):
+        assert is_convex_table(np.array([0.0, 1.0, 2.0, 3.0]))
+
+    def test_is_convex_rejects_concave(self):
+        assert not is_convex_table(np.array([0.0, 2.0, 3.0, 3.5]))
+
+    def test_short_tables_are_convex(self):
+        assert is_convex_table(np.array([1.0]))
+        assert is_convex_table(np.array([1.0, 0.0]))
+
+    def test_assert_convex_error_message(self):
+        with pytest.raises(ValueError, match="not convex"):
+            assert_convex_table(np.array([0.0, 5.0, 5.0, 0.0]))
+
+    def test_check_cost_matrix_valid(self):
+        F = np.array([[1.0, 0.0, 1.0], [2.0, 1.0, 0.5]])
+        out = check_cost_matrix(F)
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_check_cost_matrix_rejects_nonconvex_row(self):
+        F = np.array([[1.0, 0.0, 1.0], [0.0, 2.0, 1.0]])
+        with pytest.raises(ValueError, match="row 1"):
+            check_cost_matrix(F)
+
+    def test_check_cost_matrix_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_cost_matrix(np.array([[-1.0, 0.0]]))
+
+    def test_check_cost_matrix_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_cost_matrix(np.array([[np.nan, 0.0]]))
+
+    def test_check_cost_matrix_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_cost_matrix(np.zeros(4))

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script must run cleanly and print its
+headline artifacts (keeps examples from rotting as the library evolves).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+_EXPECTED = {
+    "quickstart.py": ["optimal offline cost", "cost comparison"],
+    "datacenter_simulation.py": ["right-sizing savings",
+                                 "optimal schedule anatomy"],
+    "online_comparison.py": ["cost / offline optimum", "LCP"],
+    "adversarial_game.py": ["Theorem 4", "Theorem 6", "Theorem 8"],
+    "capacity_planning.py": ["restricted model", "optimal schedules vs"],
+    "simulator_validation.py": ["simulated outcomes", "right-sizing saves"],
+    "heterogeneous_fleet.py": ["two-type fleet", "savings vs static"],
+}
+
+
+def _run(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=600,
+        cwd=EXAMPLES_DIR.parent)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_all_examples_present():
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert found == set(_EXPECTED), (
+        "examples and the smoke-test manifest diverged")
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECTED))
+def test_example_runs(name):
+    out = _run(name)
+    for needle in _EXPECTED[name]:
+        assert needle in out, f"{name}: missing {needle!r}"

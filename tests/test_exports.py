@@ -1,0 +1,46 @@
+"""The public import surface: every advertised name must resolve."""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.core",
+    "repro.offline",
+    "repro.online",
+    "repro.lower_bounds",
+    "repro.workloads",
+    "repro.simulator",
+    "repro.extensions",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_names_resolve(module_name):
+    mod = importlib.import_module(module_name)
+    assert hasattr(mod, "__all__"), module_name
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{module_name}.{name} advertised " \
+                                   "in __all__ but missing"
+
+
+def test_top_level_reexports_cover_core_workflow():
+    import repro
+    for name in ("Instance", "RestrictedInstance", "solve_binary_search",
+                 "solve_dp", "LCP", "ThresholdFractional",
+                 "RandomizedRounding", "run_online", "cost"):
+        assert name in repro.__all__
+
+
+def test_version_string():
+    import repro
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_cli_module_importable_without_side_effects():
+    import repro.cli
+    parser = repro.cli.build_parser()
+    assert parser.prog == "repro"

@@ -1,0 +1,90 @@
+"""Tests for the noisy-forecast harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import optimal_cost
+from repro.core.costs import is_convex_table
+from repro.online import LCP, RecedingHorizonControl, run_online
+from repro.workloads import forecast_runner, noisy_future
+from tests.conftest import random_convex_instance, trace_instance
+
+
+class TestNoisyFuture:
+    def test_zero_noise_close_to_exact(self):
+        """With sigma = 0 only the re-convexification runs, which leaves
+        convex inputs unchanged."""
+        rng = np.random.default_rng(170)
+        inst = random_convex_instance(rng, 5, 6, 1.0)
+        out = noisy_future(inst.F, 0.0, rng)
+        np.testing.assert_allclose(out, inst.F, atol=1e-9)
+
+    def test_outputs_convex_and_nonnegative(self):
+        rng = np.random.default_rng(171)
+        inst = random_convex_instance(rng, 8, 7, 1.0)
+        for noise in (0.05, 0.3, 1.0):
+            out = noisy_future(inst.F, noise, rng)
+            for row in out:
+                assert is_convex_table(row)
+                assert np.all(row >= -1e-12)
+
+    def test_noise_grows_with_distance(self):
+        """Further-out forecasts deviate more (averaged over draws)."""
+        rng = np.random.default_rng(172)
+        inst = random_convex_instance(rng, 10, 6, 1.0, scale=3.0)
+        near = far = 0.0
+        for _ in range(40):
+            out = noisy_future(inst.F, 0.2, rng)
+            near += float(np.abs(out[0] - inst.F[0]).mean())
+            far += float(np.abs(out[-1] - inst.F[-1]).mean())
+        assert far > near
+
+    def test_negative_noise_rejected(self):
+        rng = np.random.default_rng(173)
+        with pytest.raises(ValueError):
+            noisy_future(np.zeros((2, 3)), -0.1, rng)
+
+
+class TestForecastRunner:
+    def test_zero_noise_matches_exact_runner(self):
+        inst = trace_instance(seed=1, T=48, peak=10.0, beta=4.0)
+        exact = run_online(inst, LCP(lookahead=6))
+        noisy = forecast_runner(inst, LCP(lookahead=6), noise=0.0, rng=0)
+        np.testing.assert_array_equal(exact.schedule, noisy.schedule)
+
+    def test_no_lookahead_immune_to_noise(self):
+        inst = trace_instance(seed=2, T=48, peak=10.0, beta=4.0)
+        a = forecast_runner(inst, LCP(), noise=0.0, rng=0)
+        b = forecast_runner(inst, LCP(), noise=5.0, rng=0)
+        np.testing.assert_array_equal(a.schedule, b.schedule)
+
+    def test_guarantee_preserved_with_noise(self):
+        """The present is always observed exactly, so LCP(w) under any
+        forecast noise is still a valid online algorithm; its cost stays
+        within 3x of optimal."""
+        inst = trace_instance(seed=3, T=72, peak=10.0, beta=4.0)
+        opt = optimal_cost(inst)
+        for noise in (0.1, 0.5, 2.0):
+            res = forecast_runner(inst, LCP(lookahead=12), noise=noise,
+                                  rng=7)
+            assert res.cost <= 3 * opt + 1e-7
+
+    def test_forecast_value_decays_with_noise(self):
+        """Aggregate: noisier forecasts help less (RHC is forecast-
+        sensitive)."""
+        costs = {}
+        for noise in (0.0, 0.25, 4.0):
+            total = 0.0
+            for seed in range(4):
+                inst = trace_instance(seed=seed, T=72, peak=10.0, beta=6.0)
+                total += forecast_runner(
+                    inst, RecedingHorizonControl(lookahead=8),
+                    noise=noise, rng=seed).cost
+            costs[noise] = total
+        assert costs[0.0] <= costs[4.0]
+
+    def test_reproducible_by_seed(self):
+        inst = trace_instance(seed=4, T=48, peak=10.0, beta=4.0)
+        a = forecast_runner(inst, LCP(lookahead=6), noise=0.3, rng=5)
+        b = forecast_runner(inst, LCP(lookahead=6), noise=0.3, rng=5)
+        np.testing.assert_array_equal(a.schedule, b.schedule)

@@ -1,0 +1,175 @@
+"""Tests for the two-type heterogeneous extension."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.extensions import (HeterogeneousInstance, hetero_cost,
+                              hetero_instance_from_loads, solve_dp_hetero,
+                              solve_greedy_hetero, solve_static_hetero)
+from repro.offline import solve_dp
+from repro.core.instance import Instance
+
+
+def random_hetero(rng, T, m1, m2, beta1=1.0, beta2=0.7):
+    F = rng.uniform(0, 5, size=(T, m1 + 1, m2 + 1))
+    return HeterogeneousInstance(beta1=beta1, beta2=beta2, F=F)
+
+
+def brute_force_hetero(inst):
+    best = np.inf
+    arg = None
+    states = list(itertools.product(range(inst.m1 + 1),
+                                    range(inst.m2 + 1)))
+    for combo in itertools.product(states, repeat=inst.T):
+        X1 = np.array([c[0] for c in combo])
+        X2 = np.array([c[1] for c in combo])
+        c = hetero_cost(inst, X1, X2)
+        if c < best:
+            best, arg = c, (X1, X2)
+    return arg[0], arg[1], best
+
+
+class TestExactness:
+    def test_dp_matches_bruteforce(self):
+        rng = np.random.default_rng(230)
+        for _ in range(12):
+            T = int(rng.integers(1, 4))
+            m1 = int(rng.integers(1, 3))
+            m2 = int(rng.integers(1, 3))
+            inst = random_hetero(rng, T, m1, m2,
+                                 beta1=float(rng.uniform(0.3, 2)),
+                                 beta2=float(rng.uniform(0.3, 2)))
+            X1, X2, c = solve_dp_hetero(inst)
+            _, _, bf = brute_force_hetero(inst)
+            assert c == pytest.approx(bf), (T, m1, m2)
+            assert hetero_cost(inst, X1, X2) == pytest.approx(c)
+
+    def test_degenerate_type_recovers_homogeneous(self):
+        """With m2 = 0 the product DP must equal the 1-D DP."""
+        from tests.conftest import random_convex_instance
+        rng = np.random.default_rng(231)
+        for _ in range(8):
+            T = int(rng.integers(1, 8))
+            m = int(rng.integers(1, 6))
+            beta = float(rng.uniform(0.3, 2))
+            homo = random_convex_instance(rng, T, m, beta)
+            rows = homo.F
+            hetero = HeterogeneousInstance(beta1=beta, beta2=1.0,
+                                           F=rows[:, :, None])
+            X1, X2, c = solve_dp_hetero(hetero)
+            assert c == pytest.approx(solve_dp(homo).cost)
+            np.testing.assert_array_equal(X2, 0)
+
+    def test_empty_horizon(self):
+        inst = HeterogeneousInstance(beta1=1.0, beta2=1.0,
+                                     F=np.zeros((0, 3, 3)))
+        X1, X2, c = solve_dp_hetero(inst)
+        assert c == 0.0 and X1.size == 0
+
+    def test_separable_relaxation_equals_naive(self):
+        """The two axis sweeps implement the joint min-convolution."""
+        from repro.extensions.heterogeneous import _relax_axis
+        rng = np.random.default_rng(232)
+        D = rng.uniform(0, 10, size=(5, 4))
+        b1, b2 = 1.3, 0.6
+        fast = _relax_axis(_relax_axis(D, b1, 0), b2, 1)
+        naive = np.empty_like(D)
+        for v1 in range(5):
+            for v2 in range(4):
+                best = np.inf
+                for u1 in range(5):
+                    for u2 in range(4):
+                        best = min(best, D[u1, u2]
+                                   + b1 * max(v1 - u1, 0)
+                                   + b2 * max(v2 - u2, 0))
+                naive[v1, v2] = best
+        np.testing.assert_allclose(fast, naive)
+
+
+class TestBaselines:
+    def test_static_minimizes_constant_pairs(self):
+        rng = np.random.default_rng(233)
+        inst = random_hetero(rng, 5, 3, 2)
+        X1, X2, c = solve_static_hetero(inst)
+        assert c == pytest.approx(hetero_cost(inst, X1, X2))
+        for j1 in range(4):
+            for j2 in range(3):
+                other = hetero_cost(inst, np.full(5, j1), np.full(5, j2))
+                assert c <= other + 1e-9
+
+    def test_dp_beats_baselines(self):
+        rng = np.random.default_rng(234)
+        for _ in range(6):
+            inst = random_hetero(rng, 6, 3, 3)
+            _, _, c = solve_dp_hetero(inst)
+            assert c <= solve_static_hetero(inst)[2] + 1e-9
+            assert c <= solve_greedy_hetero(inst)[2] + 1e-9
+
+    def test_greedy_cost_reported_consistently(self):
+        rng = np.random.default_rng(235)
+        inst = random_hetero(rng, 4, 2, 2)
+        X1, X2, c = solve_greedy_hetero(inst)
+        assert c == pytest.approx(hetero_cost(inst, X1, X2))
+
+
+class TestBuilder:
+    def test_shapes_and_validity(self):
+        loads = np.array([0.0, 2.0, 5.0, 3.0])
+        inst = hetero_instance_from_loads(loads, m1=4, m2=6, beta1=2.0,
+                                          beta2=1.0)
+        assert inst.T == 4 and inst.m1 == 4 and inst.m2 == 6
+        assert np.all(np.isfinite(inst.F))
+
+    def test_energy_latency_tradeoff(self):
+        """Light load prefers the frugal type; it takes over entirely
+        when it alone can serve."""
+        loads = np.full(6, 1.0)
+        inst = hetero_instance_from_loads(loads, m1=5, m2=5, beta1=1e-3,
+                                          beta2=1e-3, rate2=0.9,
+                                          power2=0.3)
+        X1, X2, _ = solve_dp_hetero(inst)
+        assert X2.sum() > X1.sum()
+
+    def test_heavy_load_uses_fast_type(self):
+        loads = np.full(6, 4.5)
+        inst = hetero_instance_from_loads(loads, m1=6, m2=2, beta1=1e-3,
+                                          beta2=1e-3)
+        X1, X2, _ = solve_dp_hetero(inst)
+        assert X1.max() >= 4
+
+    def test_mixture_on_diurnal_loads(self):
+        """Diurnal demand: the optimal fleet mix shifts between day and
+        night."""
+        from repro.workloads import diurnal_loads
+        rng = np.random.default_rng(236)
+        loads = diurnal_loads(48, peak=6.0, noise=0.0, rng=rng)
+        inst = hetero_instance_from_loads(loads, m1=8, m2=8, beta1=3.0,
+                                          beta2=1.0)
+        X1, X2, c = solve_dp_hetero(inst)
+        static = solve_static_hetero(inst)[2]
+        assert c <= static + 1e-9
+        assert X1.max() > X1.min() or X2.max() > X2.min()
+
+    def test_zero_capacity_instances(self):
+        inst = hetero_instance_from_loads(np.array([1.0]), m1=2, m2=2,
+                                          beta1=1.0, beta2=1.0)
+        # x = (0, 0) cannot serve: delay capped but huge.
+        assert inst.F[0, 0, 0] > inst.F[0, 2, 2] - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousInstance(beta1=0.0, beta2=1.0,
+                                  F=np.zeros((1, 2, 2)))
+        with pytest.raises(ValueError):
+            HeterogeneousInstance(beta1=1.0, beta2=1.0, F=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            hetero_instance_from_loads(np.array([-1.0]), m1=1, m2=1,
+                                       beta1=1.0, beta2=1.0)
+        inst = hetero_instance_from_loads(np.array([1.0]), m1=1, m2=1,
+                                          beta1=1.0, beta2=1.0)
+        with pytest.raises(ValueError):
+            hetero_cost(inst, [0, 0], [0])
+        with pytest.raises(ValueError):
+            hetero_cost(inst, [5], [0])

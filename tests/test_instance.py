@@ -1,0 +1,159 @@
+"""Tests for problem-instance containers (repro.core.instance)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import phi0, phi1
+from repro.core.instance import Instance, RestrictedInstance
+from repro.core.schedule import cost
+from repro.offline import solve_dp
+
+
+def two_state_rows(eps: float, pattern: str) -> np.ndarray:
+    rows = {"0": [0.0, eps], "1": [eps, 0.0]}
+    return np.array([rows[c] for c in pattern])
+
+
+class TestInstance:
+    def test_shape_accessors(self):
+        inst = Instance(beta=1.0, F=np.zeros((7, 4)))
+        assert inst.T == 7
+        assert inst.m == 3
+
+    def test_from_functions(self):
+        inst = Instance.from_functions([phi0(1.0), phi1(1.0)], m=2, beta=0.5)
+        np.testing.assert_allclose(inst.F, [[0, 1, 2], [1, 0, 1]])
+
+    def test_from_matrix(self):
+        F = [[1.0, 0.0], [0.0, 1.0]]
+        inst = Instance.from_matrix(F, beta=2.0)
+        assert inst.m == 1 and inst.beta == 2.0
+
+    def test_f_accessor_one_based(self):
+        inst = Instance.from_functions([phi0(1.0), phi1(1.0)], m=1, beta=1.0)
+        np.testing.assert_allclose(inst.f(1), [0.0, 1.0])
+        np.testing.assert_allclose(inst.f(2), [1.0, 0.0])
+
+    def test_f_accessor_bounds(self):
+        inst = Instance(beta=1.0, F=np.zeros((3, 2)))
+        with pytest.raises(IndexError):
+            inst.f(0)
+        with pytest.raises(IndexError):
+            inst.f(4)
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ValueError):
+            Instance(beta=0.0, F=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            Instance(beta=-1.0, F=np.zeros((2, 2)))
+
+    def test_rejects_nonconvex(self):
+        with pytest.raises(ValueError):
+            Instance(beta=1.0, F=np.array([[0.0, 3.0, 1.0, 5.0]]))
+
+    def test_matrix_readonly(self):
+        inst = Instance(beta=1.0, F=np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            inst.F[0, 0] = 1.0
+
+    def test_prefix(self):
+        inst = Instance(beta=1.0, F=np.arange(12, dtype=float).reshape(4, 3))
+        pre = inst.prefix(2)
+        assert pre.T == 2
+        np.testing.assert_allclose(pre.F, inst.F[:2])
+
+    def test_prefix_bounds(self):
+        inst = Instance(beta=1.0, F=np.zeros((3, 2)))
+        with pytest.raises(IndexError):
+            inst.prefix(4)
+        assert inst.prefix(0).T == 0
+
+    def test_with_beta(self):
+        inst = Instance(beta=1.0, F=np.zeros((2, 2)))
+        assert inst.with_beta(5.0).beta == 5.0
+
+    def test_repr(self):
+        inst = Instance(beta=1.5, F=np.zeros((2, 3)))
+        assert "T=2" in repr(inst) and "m=2" in repr(inst)
+
+    def test_empty_horizon_allowed(self):
+        inst = Instance(beta=1.0, F=np.zeros((0, 5)))
+        assert inst.T == 0
+
+
+class TestRestrictedInstance:
+    def make(self, loads=(1.0, 2.0, 0.5), m=4, beta=1.0):
+        return RestrictedInstance(beta=beta, m=m, f=lambda z: 1 + z * z,
+                                  loads=np.array(loads))
+
+    def test_accessors(self):
+        ri = self.make()
+        assert ri.T == 3
+        assert ri.m == 4
+
+    def test_operating_cost_formula(self):
+        ri = self.make(loads=(2.0,))
+        # x f(lambda/x) with f = 1 + z^2, x=2, lambda=2 -> 2*(1+1)=4.
+        assert ri.operating_cost(1, 2) == pytest.approx(4.0)
+        assert ri.operating_cost(1, 4) == pytest.approx(4 * (1 + 0.25))
+
+    def test_operating_cost_zero_state_zero_load(self):
+        ri = self.make(loads=(0.0,))
+        assert ri.operating_cost(1, 0) == 0.0
+
+    def test_operating_cost_infeasible_raises(self):
+        ri = self.make(loads=(3.0,))
+        with pytest.raises(ValueError, match="infeasible"):
+            ri.operating_cost(1, 2)
+
+    def test_loads_above_m_rejected(self):
+        with pytest.raises(ValueError):
+            RestrictedInstance(beta=1.0, m=2, f=lambda z: z,
+                               loads=np.array([3.0]))
+
+    def test_negative_loads_rejected(self):
+        with pytest.raises(ValueError):
+            RestrictedInstance(beta=1.0, m=2, f=lambda z: z,
+                               loads=np.array([-0.1]))
+
+    def test_is_feasible(self):
+        ri = self.make(loads=(1.0, 2.0))
+        assert ri.is_feasible([1, 2])
+        assert ri.is_feasible([4, 4])
+        assert not ri.is_feasible([0, 2])
+
+    def test_to_general_matches_feasible_costs(self):
+        ri = self.make(loads=(1.0, 2.0), m=3)
+        inst = ri.to_general()
+        assert inst.T == 2 and inst.m == 3
+        for t in (1, 2):
+            lam = ri.loads[t - 1]
+            for x in range(int(np.ceil(lam)), 4):
+                assert inst.f(t)[x] == pytest.approx(
+                    ri.operating_cost(t, x)), (t, x)
+
+    def test_to_general_penalizes_infeasible(self):
+        ri = self.make(loads=(3.0,), m=4)
+        inst = ri.to_general()
+        # The infeasible states must cost more than the entire always-m
+        # schedule, so no optimal schedule ever touches them.
+        always_m_cost = ri.beta * ri.m + ri.operating_cost(1, ri.m)
+        assert inst.f(1)[0] > 10 * always_m_cost
+        assert inst.f(1)[2] > 10 * always_m_cost
+        assert inst.f(1)[2] < inst.f(1)[0]
+
+    def test_optimal_schedule_of_encoding_is_feasible(self):
+        rng = np.random.default_rng(7)
+        loads = rng.uniform(0, 5, size=12)
+        ri = RestrictedInstance(beta=2.0, m=6, f=lambda z: 1 + 2 * z * z,
+                                loads=loads)
+        res = solve_dp(ri.to_general())
+        assert ri.is_feasible(res.schedule)
+
+    def test_encoding_cost_matches_restricted_cost(self):
+        ri = self.make(loads=(1.0, 2.0, 0.5), m=4)
+        inst = ri.to_general()
+        X = np.array([2, 3, 1])
+        expected_op = sum(ri.operating_cost(t, X[t - 1]) for t in (1, 2, 3))
+        expected = expected_op + ri.beta * (2 + 1)  # ups: 0->2, 2->3
+        assert cost(inst, X) == pytest.approx(expected)

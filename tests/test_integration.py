@@ -1,0 +1,123 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (LCP, Instance, RandomizedRounding, ThresholdFractional,
+                   run_online, solve_binary_search, solve_dp)
+from repro.analysis import optimal_cost, savings_vs_static
+from repro.online import MemorylessBalance, expected_cost_exact, solve_static
+from repro.workloads import (capacity_for, diurnal_loads, hotmail_like_loads,
+                             instance_from_loads, msr_like_loads,
+                             restricted_from_loads)
+
+
+class TestTracePipeline:
+    def build(self, seed=0, T=96):
+        """High-PMR trace with a steep latency penalty: the regime where
+        right-sizing pays (Lin et al.'s setting)."""
+        rng = np.random.default_rng(seed)
+        loads = hotmail_like_loads(T, peak=30.0, rng=rng)
+        m = capacity_for(loads)
+        return instance_from_loads(loads, m=m, beta=3.0, delay_weight=10.0)
+
+    def test_offline_solvers_agree(self):
+        inst = self.build()
+        assert solve_binary_search(inst).cost == pytest.approx(
+            solve_dp(inst).cost)
+
+    def test_guarantee_chain(self):
+        """OPT <= LCP <= 3 OPT; OPT <= E[rounded threshold] <= 2 OPT."""
+        inst = self.build(seed=1)
+        opt = optimal_cost(inst)
+        lcp = run_online(inst, LCP())
+        assert opt - 1e-9 <= lcp.cost <= 3 * opt + 1e-7
+        fr = run_online(inst, ThresholdFractional())
+        exp = expected_cost_exact(inst, fr.schedule)["total"]
+        assert opt - 1e-7 <= exp <= 2 * opt + 1e-7
+
+    def test_right_sizing_saves_on_diurnal_traces(self):
+        """The paper's motivation: dynamic right-sizing beats static
+        provisioning on diurnal workloads."""
+        inst = self.build(seed=2, T=24 * 7)
+        res = solve_dp(inst)
+        out = savings_vs_static(inst, res.schedule)
+        assert out["saving"] > 0.05
+
+    def test_lcp_captures_part_of_the_savings(self):
+        """LCP beats static provisioning and captures a sizable fraction
+        of the achievable savings (its laziness gives up the rest; with
+        large beta LCP can even lose to static — see the case-study
+        bench, which sweeps beta)."""
+        inst = self.build(seed=3, T=24 * 7)
+        static = solve_static(inst).cost
+        opt = optimal_cost(inst)
+        lcp = run_online(inst, LCP()).cost
+        assert lcp < static
+        assert (static - lcp) >= 0.25 * (static - opt)
+
+    def test_online_algorithms_ranked_sanely(self):
+        """Aggregated over seeds: LCP stays close to the memoryless
+        balancer on natural traces (neither dominates per-instance) and
+        both stay within the 3x guarantee envelope."""
+        total_lcp = total_mem = total_opt = 0.0
+        for seed in range(4):
+            inst = self.build(seed=10 + seed, T=96)
+            total_lcp += run_online(inst, LCP()).cost
+            total_mem += run_online(inst, MemorylessBalance()).cost
+            total_opt += optimal_cost(inst)
+        assert total_lcp <= 1.15 * total_mem
+        assert total_lcp <= 3 * total_opt
+        assert total_mem <= 3 * total_opt
+
+
+class TestRestrictedPipeline:
+    def test_restricted_end_to_end(self):
+        rng = np.random.default_rng(5)
+        loads = diurnal_loads(60, peak=6.0, rng=rng)
+        ri = restricted_from_loads(loads, m=8, beta=3.0)
+        inst = ri.to_general()
+        res = solve_dp(inst)
+        assert ri.is_feasible(res.schedule)
+        lcp = run_online(inst, LCP())
+        assert ri.is_feasible(lcp.schedule)
+        assert lcp.cost <= 3 * res.cost + 1e-7
+
+
+class TestRandomizedPipeline:
+    def test_sampled_costs_concentrate_around_exact_expectation(self):
+        rng = np.random.default_rng(6)
+        loads = hotmail_like_loads(48, peak=8.0, rng=rng)
+        inst = instance_from_loads(loads, m=capacity_for(loads), beta=2.0)
+        fr = run_online(inst, ThresholdFractional())
+        exact = expected_cost_exact(inst, fr.schedule)["total"]
+        costs = [run_online(inst, RandomizedRounding(ThresholdFractional(),
+                                                     rng=s)).cost
+                 for s in range(200)]
+        assert np.mean(costs) == pytest.approx(exact, rel=0.05)
+
+    def test_rounded_schedule_integral_and_near_fractional(self):
+        rng = np.random.default_rng(7)
+        loads = diurnal_loads(48, peak=8.0, rng=rng)
+        inst = instance_from_loads(loads, m=capacity_for(loads), beta=2.0)
+        algo = RandomizedRounding(ThresholdFractional(), rng=0)
+        res = run_online(inst, algo)
+        xb = np.asarray(algo.fractional_log)
+        assert np.all(np.abs(res.schedule - xb) <= 1.0 + 1e-9)
+        assert np.allclose(res.schedule, np.round(res.schedule))
+
+
+class TestScaleSanity:
+    def test_moderately_large_instance(self):
+        """T = 500, m = 200: all three offline solvers agree; LCP and the
+        threshold rule stay within their guarantees."""
+        rng = np.random.default_rng(8)
+        loads = msr_like_loads(500, peak=150.0, rng=rng)
+        inst = instance_from_loads(loads, m=200, beta=10.0)
+        dp = solve_dp(inst, return_schedule=False).cost
+        bs = solve_binary_search(inst).cost
+        assert bs == pytest.approx(dp)
+        lcp = run_online(inst, LCP())
+        assert lcp.cost <= 3 * dp + 1e-6
+        fr = run_online(inst, ThresholdFractional())
+        assert fr.cost <= 2 * dp + 1e-6

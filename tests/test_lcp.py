@@ -1,0 +1,174 @@
+"""Tests for discrete LCP (Section 3): 3-competitiveness, laziness,
+Lemma 6, and the prediction-window variant."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import optimal_cost
+from repro.online import LCP, run_online
+from repro.online.lcp import lookahead_bounds
+from repro.online.workfunction import WorkFunctions
+from repro.offline import solve_dp
+from tests.conftest import (bowl_instance, hinge_instance,
+                            random_convex_instance, trace_instance)
+
+
+class TestCompetitiveness:
+    def test_three_competitive_random(self):
+        rng = np.random.default_rng(90)
+        for _ in range(40):
+            inst = random_convex_instance(rng, int(rng.integers(1, 25)),
+                                          int(rng.integers(1, 12)),
+                                          float(rng.uniform(0.2, 5)))
+            res = run_online(inst, LCP())
+            opt = optimal_cost(inst)
+            assert res.cost <= 3 * opt + 1e-7, (res.cost, opt)
+
+    def test_three_competitive_traces(self):
+        for seed in range(5):
+            inst = trace_instance(seed=seed, T=60, peak=10.0,
+                                  beta=float(2 + seed))
+            res = run_online(inst, LCP())
+            assert res.cost <= 3 * optimal_cost(inst) + 1e-7
+
+    def test_three_competitive_hinges(self):
+        inst = hinge_instance([0, 5, 0, 5, 0, 5], m=5, beta=2.0)
+        res = run_online(inst, LCP())
+        assert res.cost <= 3 * optimal_cost(inst) + 1e-9
+
+    def test_optimal_on_monotone_demand(self):
+        """On steadily rising bowls LCP tracks the optimum closely."""
+        inst = bowl_instance([1, 2, 3, 4, 5, 6], m=8, beta=0.1, a=5.0)
+        res = run_online(inst, LCP())
+        assert res.cost <= 1.2 * optimal_cost(inst)
+
+
+class TestLaziness:
+    def test_moves_only_to_bounds(self):
+        """Whenever LCP changes state, it lands exactly on x^L or x^U
+        (the projection property of eq. (13))."""
+        rng = np.random.default_rng(91)
+        for _ in range(10):
+            inst = random_convex_instance(rng, int(rng.integers(2, 20)),
+                                          int(rng.integers(1, 9)),
+                                          float(rng.uniform(0.3, 3)))
+            algo = LCP(record_bounds=True)
+            res = run_online(inst, algo)
+            prev = 0
+            for t, x in enumerate(res.schedule.astype(int)):
+                lo, hi = algo.bounds_log[t]
+                assert lo <= x <= hi
+                if x != prev:
+                    assert x in (lo, hi)
+                    # And the previous state was outside the bounds.
+                    assert prev < lo or prev > hi
+                prev = x
+
+    def test_stays_put_when_inside_bounds(self):
+        rng = np.random.default_rng(92)
+        inst = random_convex_instance(rng, 15, 6, 1.5)
+        algo = LCP(record_bounds=True)
+        res = run_online(inst, algo)
+        prev = 0
+        for t, x in enumerate(res.schedule.astype(int)):
+            lo, hi = algo.bounds_log[t]
+            if lo <= prev <= hi:
+                assert x == prev
+            prev = x
+
+
+class TestLemma6:
+    def test_optimum_within_bounds(self):
+        """x^L_tau <= x*_tau <= x^U_tau for optimal schedules (both tie
+        rules) — Lemma 6."""
+        rng = np.random.default_rng(93)
+        for _ in range(12):
+            inst = random_convex_instance(rng, int(rng.integers(2, 12)),
+                                          int(rng.integers(1, 8)),
+                                          float(rng.uniform(0.3, 3)))
+            stars = [solve_dp(inst, tie="smallest").schedule,
+                     solve_dp(inst, tie="largest").schedule]
+            wf = WorkFunctions(inst.m, inst.beta)
+            for tau in range(1, inst.T + 1):
+                wf.update(inst.F[tau - 1])
+                lo, hi = wf.bounds()
+                for star in stars:
+                    assert lo <= star[tau - 1] <= hi, (tau, lo, hi, star)
+
+
+class TestPredictionWindow:
+    def test_lookahead_zero_equals_plain(self):
+        rng = np.random.default_rng(94)
+        inst = random_convex_instance(rng, 20, 6, 1.2)
+        a = run_online(inst, LCP())
+        b = run_online(inst, LCP(lookahead=0))
+        np.testing.assert_array_equal(a.schedule, b.schedule)
+
+    def test_lookahead_still_three_competitive(self):
+        rng = np.random.default_rng(95)
+        for w in (1, 3, 7):
+            for _ in range(8):
+                inst = random_convex_instance(rng, int(rng.integers(3, 20)),
+                                              int(rng.integers(1, 8)),
+                                              float(rng.uniform(0.3, 3)))
+                res = run_online(inst, LCP(lookahead=w))
+                assert res.cost <= 3 * optimal_cost(inst) + 1e-7, w
+
+    def test_lookahead_helps_on_average(self):
+        """On diurnal traces, a day of lookahead should not hurt and
+        typically helps (aggregate comparison over seeds)."""
+        total_plain = total_look = total_opt = 0.0
+        for seed in range(6):
+            inst = trace_instance(seed=seed, T=72, peak=12.0, beta=6.0)
+            total_plain += run_online(inst, LCP()).cost
+            total_look += run_online(inst, LCP(lookahead=12)).cost
+            total_opt += optimal_cost(inst)
+        assert total_look <= total_plain * 1.001
+        assert total_look / total_opt < total_plain / total_opt + 1e-9
+
+    def test_full_lookahead_near_optimal(self):
+        """With the whole future visible the bounds pin the offline
+        optimizer's component; LCP then tracks it closely."""
+        rng = np.random.default_rng(96)
+        for _ in range(6):
+            inst = random_convex_instance(rng, 12, 6,
+                                          float(rng.uniform(0.3, 3)))
+            res = run_online(inst, LCP(lookahead=inst.T))
+            assert res.cost <= 1.5 * optimal_cost(inst) + 1e-9
+
+    def test_lookahead_bounds_ordering(self):
+        rng = np.random.default_rng(97)
+        inst = random_convex_instance(rng, 10, 7, 1.0)
+        wf = WorkFunctions(inst.m, inst.beta)
+        for tau in range(1, 6):
+            wf.update(inst.F[tau - 1])
+        lo, hi = lookahead_bounds(wf, inst.F[5:9])
+        assert 0 <= lo <= hi <= inst.m
+
+    def test_negative_lookahead_rejected(self):
+        with pytest.raises(ValueError):
+            LCP(lookahead=-1)
+
+
+class TestWorkedExample:
+    def test_hand_computed_two_steps(self):
+        """Tiny instance worked by hand.
+
+        beta = 1, m = 1, f1 = (0, 10), f2 = (0, 10):
+        hat-C^L_1 = (0, 11) -> x^L_1 = 0; hat-C^U_1 = (0, 10) -> x^U_1 = 0;
+        LCP stays at 0 throughout.
+        """
+        from repro.core.instance import Instance
+        inst = Instance(beta=1.0, F=np.array([[0.0, 10.0], [0.0, 10.0]]))
+        res = run_online(inst, LCP())
+        np.testing.assert_array_equal(res.schedule, [0, 0])
+        assert res.cost == pytest.approx(0.0)
+
+    def test_hand_computed_forced_up(self):
+        """f1 = (10, 0), beta = 1: hat-C^L_1 = (10, 1) -> x^L_1 = 1, so LCP
+        must power up immediately."""
+        from repro.core.instance import Instance
+        inst = Instance(beta=1.0, F=np.array([[10.0, 0.0]]))
+        res = run_online(inst, LCP())
+        np.testing.assert_array_equal(res.schedule, [1])
+        assert res.cost == pytest.approx(1.0)

@@ -1,0 +1,202 @@
+"""Tests for the Section 3 analysis machinery (Lemmas 11–17).
+
+These lemmas relate LCP's trajectory to the backward-recursion optimal
+schedule ``X*`` of Lemma 11; each is checked directly on random and
+structured instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import (operating_cost, switching_cost_up)
+from repro.offline import prefix_bounds, solve_backward_lcp, solve_dp
+from repro.online import LCP, run_online
+from tests.conftest import (bowl_instance, hinge_instance,
+                            random_convex_instance, trace_instance)
+
+
+def lcp_and_star(inst):
+    """LCP trajectory and the Lemma-11 optimal schedule."""
+    lcp = run_online(inst, LCP()).schedule.astype(int)
+    star = solve_backward_lcp(inst).schedule
+    return lcp, star
+
+
+class TestLemma11:
+    def test_backward_recursion_is_optimal(self):
+        rng = np.random.default_rng(250)
+        for _ in range(25):
+            inst = random_convex_instance(rng, int(rng.integers(1, 15)),
+                                          int(rng.integers(1, 9)),
+                                          float(rng.uniform(0.2, 4)))
+            res = solve_backward_lcp(inst)
+            assert res.cost == pytest.approx(
+                solve_dp(inst, return_schedule=False).cost), "Lemma 11"
+
+    def test_backward_recursion_on_structured_instances(self):
+        for inst in (hinge_instance([0, 5, 0, 5, 2], m=6, beta=2.0),
+                     bowl_instance([1, 4, 2, 5], m=6, beta=0.7),
+                     trace_instance(seed=2, T=48, peak=8.0, beta=3.0)):
+            res = solve_backward_lcp(inst)
+            assert res.cost == pytest.approx(
+                solve_dp(inst, return_schedule=False).cost)
+
+    def test_schedule_within_prefix_bounds(self):
+        rng = np.random.default_rng(251)
+        inst = random_convex_instance(rng, 12, 7, 1.5)
+        lo, hi = prefix_bounds(inst)
+        star = solve_backward_lcp(inst).schedule
+        assert np.all(lo <= star) and np.all(star <= hi)
+
+    def test_empty_horizon(self):
+        from repro.core.instance import Instance
+        inst = Instance(beta=1.0, F=np.zeros((0, 3)))
+        assert solve_backward_lcp(inst).cost == 0.0
+
+
+class TestLemma12:
+    def test_crossings_meet(self):
+        """If LCP's curve crosses X* between consecutive steps, they are
+        equal at the crossing step."""
+        rng = np.random.default_rng(252)
+        for _ in range(20):
+            inst = random_convex_instance(rng, int(rng.integers(2, 20)),
+                                          int(rng.integers(1, 9)),
+                                          float(rng.uniform(0.2, 4)))
+            lcp, star = lcp_and_star(inst)
+            prev_l, prev_s = 0, 0
+            for l, s in zip(lcp, star):
+                if prev_l < prev_s and l >= s:
+                    assert l == s, "Lemma 12 (upward crossing)"
+                if prev_l > prev_s and l <= s:
+                    assert l == s, "Lemma 12 (downward crossing)"
+                prev_l, prev_s = l, s
+
+
+class TestLemma13:
+    def test_between_meetings_both_monotone(self):
+        """Strictly between meeting points, either LCP > X* and both are
+        non-increasing, or LCP < X* and both are non-decreasing."""
+        rng = np.random.default_rng(253)
+        for _ in range(20):
+            inst = random_convex_instance(rng, int(rng.integers(3, 25)),
+                                          int(rng.integers(1, 8)),
+                                          float(rng.uniform(0.2, 4)))
+            lcp, star = lcp_and_star(inst)
+            T = inst.T
+            # Meeting times (t0 = 0 with both at state 0).
+            meets = [-1] + [t for t in range(T) if lcp[t] == star[t]] + [T]
+            for a, b in zip(meets, meets[1:]):
+                interior = range(a + 1, b)
+                for t in interior:
+                    assert lcp[t] != star[t]
+                signs = {np.sign(lcp[t] - star[t]) for t in interior}
+                assert len(signs) <= 1, "sign flip without meeting"
+                if not interior:
+                    continue
+                sign = signs.pop()
+                seq_l = [lcp[t] for t in interior]
+                seq_s = [star[t] for t in interior]
+                if sign > 0:
+                    assert all(x >= y for x, y in zip(seq_l, seq_l[1:]))
+                    assert all(x >= y for x, y in zip(seq_s, seq_s[1:]))
+                else:
+                    assert all(x <= y for x, y in zip(seq_l, seq_l[1:]))
+                    assert all(x <= y for x, y in zip(seq_s, seq_s[1:]))
+
+
+class TestLemma14:
+    def test_lcp_switching_at_most_optimal_switching(self):
+        """S^L_T(X^LCP) <= S^L_T(X*) for the Lemma-11 optimum."""
+        rng = np.random.default_rng(254)
+        for _ in range(25):
+            inst = random_convex_instance(rng, int(rng.integers(1, 25)),
+                                          int(rng.integers(1, 9)),
+                                          float(rng.uniform(0.2, 4)))
+            lcp, star = lcp_and_star(inst)
+            assert switching_cost_up(inst, lcp) <= switching_cost_up(
+                inst, star) + 1e-9, "Lemma 14"
+
+
+class TestLemma15:
+    def test_interval_inequalities(self):
+        """Within increasing intervals (LCP below X*):
+        hat-C^L_tau(x^LCP_tau) + f_{tau+1}(x^LCP_{tau+1})
+            <= hat-C^L_{tau+1}(x^LCP_{tau+1})          (eq. 22)
+        and the hat-C^U analogue on decreasing intervals (eq. 23)."""
+        from repro.online.workfunction import WorkFunctions
+        rng = np.random.default_rng(258)
+        for _ in range(15):
+            inst = random_convex_instance(rng, int(rng.integers(3, 20)),
+                                          int(rng.integers(1, 8)),
+                                          float(rng.uniform(0.2, 4)))
+            lcp, star = lcp_and_star(inst)
+            # Work-function tables along the replay.
+            CLs, CUs = [], []
+            wf = WorkFunctions(inst.m, inst.beta)
+            for t in range(inst.T):
+                wf.update(inst.F[t])
+                CLs.append(wf.CL.copy())
+                CUs.append(wf.CU.copy())
+            for tau in range(inst.T - 1):
+                a, b = lcp[tau], lcp[tau + 1]
+                if lcp[tau] == star[tau] or lcp[tau + 1] == star[tau + 1]:
+                    continue  # interval boundaries are excluded
+                if lcp[tau] < star[tau]:      # increasing interval (T+)
+                    lhs = CLs[tau][a] + inst.F[tau + 1][b]
+                    rhs = CLs[tau + 1][b]
+                    assert lhs <= rhs + 1e-9, "Lemma 15 eq. (22)"
+                elif lcp[tau] > star[tau]:    # decreasing interval (T-)
+                    lhs = CUs[tau][a] + inst.F[tau + 1][b]
+                    rhs = CUs[tau + 1][b]
+                    assert lhs <= rhs + 1e-9, "Lemma 15 eq. (23)"
+
+
+class TestLemma16:
+    def test_lcp_operating_bound(self):
+        """R_T(X^LCP) <= R_T(X*) + beta sum |Dx*| (movement measured on
+        the closed trajectory, Lemma 16)."""
+        rng = np.random.default_rng(255)
+        for _ in range(25):
+            inst = random_convex_instance(rng, int(rng.integers(1, 25)),
+                                          int(rng.integers(1, 9)),
+                                          float(rng.uniform(0.2, 4)))
+            lcp, star = lcp_and_star(inst)
+            path = np.concatenate([[0], star, [0]])
+            movement = inst.beta * float(np.abs(np.diff(path)).sum())
+            assert operating_cost(inst, lcp) <= operating_cost(
+                inst, star) + movement + 1e-9, "Lemma 16"
+
+
+class TestLemma17:
+    def test_total_movement_is_twice_up_switching(self):
+        """beta sum_{t=1}^{T+1} |Dx*| = 2 S^L_T(X*) for closed schedules."""
+        rng = np.random.default_rng(256)
+        for _ in range(20):
+            inst = random_convex_instance(rng, int(rng.integers(1, 15)),
+                                          int(rng.integers(1, 8)),
+                                          float(rng.uniform(0.2, 4)))
+            star = solve_backward_lcp(inst).schedule
+            path = np.concatenate([[0], star, [0]])
+            movement = inst.beta * float(np.abs(np.diff(path)).sum())
+            assert movement == pytest.approx(
+                2 * switching_cost_up(inst, star)), "Lemma 17"
+
+
+class TestTheorem2Assembly:
+    def test_lemmas_assemble_into_three_competitiveness(self):
+        """The Theorem 2 proof chain, evaluated numerically:
+        C(LCP) = R(LCP) + S^L(LCP)
+               <= [R(X*) + 2 S^L(X*)] + S^L(X*) = C(X*) + 2 S^L(X*)."""
+        rng = np.random.default_rng(257)
+        for _ in range(20):
+            inst = random_convex_instance(rng, int(rng.integers(1, 20)),
+                                          int(rng.integers(1, 8)),
+                                          float(rng.uniform(0.2, 4)))
+            lcp, star = lcp_and_star(inst)
+            lhs = operating_cost(inst, lcp) + switching_cost_up(inst, lcp)
+            star_cost = (operating_cost(inst, star)
+                         + switching_cost_up(inst, star))
+            rhs = star_cost + 2 * switching_cost_up(inst, star)
+            assert lhs <= rhs + 1e-9
+            assert rhs <= 3 * star_cost + 1e-9

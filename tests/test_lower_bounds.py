@@ -1,0 +1,186 @@
+"""Tests for the Section 5 lower-bound constructions (Theorems 4–10)."""
+
+import numpy as np
+import pytest
+
+from repro.lower_bounds import (ContinuousAdversary,
+                                DeterministicDiscreteAdversary,
+                                RestrictedDiscreteAdversary, play_dilated_game,
+                                play_game, play_randomized_game, ratio_curve,
+                                restricted_rows)
+from repro.online import (LCP, AlgorithmB, FollowTheMinimizer,
+                          MemorylessBalance, ThresholdFractional)
+
+
+def theorem4_bound(eps: float, T: int) -> float:
+    """The explicit bound from the proof of Theorem 4:
+    ratio >= 3 - eps - (2(1-eps) + 4) / (T eps / 2 + 2)."""
+    return 3 - eps - (2 * (1 - eps) + 4) / (T * eps / 2 + 2)
+
+
+class TestTheorem4:
+    def test_lcp_ratio_meets_proof_bound(self):
+        for eps in (0.2, 0.1, 0.05):
+            adv = DeterministicDiscreteAdversary(eps)
+            T = min(adv.horizon(), 20000)
+            res = play_game(adv, LCP(), T)
+            assert res.ratio >= theorem4_bound(eps, T) - 1e-9, eps
+
+    def test_follow_minimizer_also_bounded_below(self):
+        """The bound holds for ANY deterministic algorithm."""
+        eps = 0.1
+        adv = DeterministicDiscreteAdversary(eps)
+        T = min(adv.horizon(), 5000)
+        res = play_game(adv, FollowTheMinimizer(), T)
+        assert res.ratio >= theorem4_bound(eps, T) - 1e-9
+
+    def test_ratio_monotone_toward_three(self):
+        curve = ratio_curve(DeterministicDiscreteAdversary, LCP,
+                            [0.2, 0.1, 0.05], T_cap=20000)
+        ratios = [row["ratio"] for row in curve]
+        assert ratios[-1] > 2.8
+        assert ratios[-1] >= ratios[0] - 1e-9
+
+    def test_adversary_behavior(self):
+        adv = DeterministicDiscreteAdversary(0.5)
+        np.testing.assert_allclose(adv.next_function(0), [0.5, 0.0])
+        np.testing.assert_allclose(adv.next_function(1), [0.0, 0.5])
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            DeterministicDiscreteAdversary(0.0)
+
+
+class TestTheorem5Restricted:
+    def test_restricted_rows_realize_hinges(self):
+        rows = restricted_rows(0.3)
+        # phi0-encoding: eps|x-1| on {1,2}; phi1-encoding: eps|x-2|.
+        assert rows["phi0"][1] == pytest.approx(0.0)
+        assert rows["phi0"][2] == pytest.approx(0.3)
+        assert rows["phi1"][1] == pytest.approx(0.3)
+        assert rows["phi1"][2] == pytest.approx(0.0)
+
+    def test_rows_match_perspective_formula(self):
+        """x * f(lambda/x) with f(z) = eps|1-2z| reproduces the rows."""
+        eps = 0.25
+        rows = restricted_rows(eps)
+        f = rows["f"]
+        for x in (1, 2):
+            assert x * f(rows["load_phi0"] / x) == pytest.approx(
+                rows["phi0"][x])
+            assert x * f(rows["load_phi1"] / x) == pytest.approx(
+                rows["phi1"][x])
+
+    def test_lcp_ratio_approaches_three_in_restricted_model(self):
+        for eps, floor_ratio in ((0.1, 2.7), (0.05, 2.85)):
+            adv = RestrictedDiscreteAdversary(eps)
+            T = min(adv.horizon(), 20000)
+            res = play_game(adv, LCP(), T)
+            assert res.ratio >= floor_ratio, eps
+
+    def test_play_stays_feasible(self):
+        """LCP never uses the infeasible state 0 after the start."""
+        adv = RestrictedDiscreteAdversary(0.1)
+        res = play_game(adv, LCP(), 500)
+        assert np.all(res.schedule >= 1)
+
+
+class TestTheorem6Continuous:
+    def test_algorithm_B_ratio_near_two(self):
+        for eps, floor_ratio in ((0.2, 1.8), (0.05, 1.93)):
+            adv = ContinuousAdversary(eps)
+            res = play_game(adv, AlgorithmB(), min(adv.horizon(), 30000))
+            assert res.ratio >= floor_ratio
+
+    def test_other_fractional_algorithms_no_better(self):
+        """Lemma 23: any fractional algorithm pays at least B's cost, so
+        its ratio on this adversary is also ~2 or worse."""
+        eps = 0.1
+        for make in (MemorylessBalance, ThresholdFractional):
+            adv = ContinuousAdversary(eps)
+            res = play_game(adv, make(), 8000)
+            assert res.ratio >= 1.85, make
+
+    def test_adversary_pushes_up_at_start(self):
+        adv = ContinuousAdversary(0.2)
+        row = adv.next_function(0.0)
+        np.testing.assert_allclose(row, [0.2, 0.0])  # phi_1
+
+    def test_adversary_punishes_above_B(self):
+        adv = ContinuousAdversary(0.2)
+        adv.next_function(0.0)  # B moves to 0.1
+        row = adv.next_function(0.9)  # way above B
+        np.testing.assert_allclose(row, [0.0, 0.2])  # phi_0
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousAdversary(0.0)
+        with pytest.raises(ValueError):
+            ContinuousAdversary(1.5)
+
+
+class TestTheorem8Randomized:
+    def test_rounded_threshold_ratio_near_two(self):
+        for eps, floor_ratio in ((0.2, 1.8), (0.05, 1.93)):
+            adv = ContinuousAdversary(eps)
+            res = play_randomized_game(adv, ThresholdFractional(),
+                                       min(adv.horizon(), 30000))
+            assert res.ratio >= floor_ratio
+
+    def test_expected_cost_equals_fractional_cost(self):
+        """Lemma 24 is tight for our rounding: E[C(X)] = C(x-bar)."""
+        eps = 0.1
+        adv = ContinuousAdversary(eps)
+        frac = play_game(ContinuousAdversary(eps), ThresholdFractional(),
+                         3000)
+        rand = play_randomized_game(adv, ThresholdFractional(), 3000)
+        assert rand.algorithm_cost == pytest.approx(frac.algorithm_cost,
+                                                    rel=1e-9)
+
+    def test_requires_fractional_inner(self):
+        adv = ContinuousAdversary(0.1)
+        with pytest.raises(ValueError):
+            play_randomized_game(adv, LCP(), 10)
+
+
+class TestTheorem10PredictionWindow:
+    def test_dilation_defeats_lookahead(self):
+        """LCP with window w on the (n*w)-dilated game still meets the
+        Theorem 4 bound shape (ratio close to the no-window ratio)."""
+        eps = 0.1
+        blocks = 2000
+        base = play_game(DeterministicDiscreteAdversary(eps), LCP(), blocks)
+        for w in (1, 3):
+            repeat = 4 * w
+            dil = play_dilated_game(DeterministicDiscreteAdversary(eps),
+                                    LCP(lookahead=w), blocks=blocks,
+                                    repeat=repeat)
+            assert dil.ratio >= base.ratio - 0.35, w
+
+    def test_dilated_game_without_lookahead_matches_plain(self):
+        """With w = 0, dilation only rescales: the ratio is essentially
+        unchanged."""
+        eps = 0.1
+        a = play_game(DeterministicDiscreteAdversary(eps), LCP(), 1000)
+        b = play_dilated_game(DeterministicDiscreteAdversary(eps), LCP(),
+                              blocks=1000, repeat=5)
+        assert b.ratio == pytest.approx(a.ratio, abs=0.25)
+
+    def test_repeat_validation(self):
+        with pytest.raises(ValueError):
+            play_dilated_game(DeterministicDiscreteAdversary(0.1), LCP(),
+                              blocks=10, repeat=0)
+
+
+class TestGameMechanics:
+    def test_game_result_fields(self):
+        adv = DeterministicDiscreteAdversary(0.2)
+        res = play_game(adv, LCP(), 50)
+        assert res.instance.T == 50
+        assert res.schedule.shape == (50,)
+        assert res.ratio == pytest.approx(res.algorithm_cost / res.opt_cost)
+
+    def test_default_horizon_used(self):
+        adv = DeterministicDiscreteAdversary(0.5)
+        res = play_game(adv, LCP())
+        assert res.instance.T == adv.horizon()

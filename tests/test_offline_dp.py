@@ -1,0 +1,133 @@
+"""Tests for the DP offline solvers against brute force and each other."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schedule import cost
+from repro.offline import (dp_value_table, solve_bruteforce, solve_dp,
+                           solve_dp_quadratic)
+from tests.conftest import bowl_instance, hinge_instance, random_convex_instance
+
+
+class TestAgainstBruteForce:
+    def test_random_instances(self):
+        rng = np.random.default_rng(42)
+        for _ in range(40):
+            T = int(rng.integers(1, 7))
+            m = int(rng.integers(1, 5))
+            inst = random_convex_instance(rng, T, m,
+                                          float(rng.uniform(0.2, 4.0)))
+            bf = solve_bruteforce(inst)
+            dp = solve_dp(inst)
+            assert dp.cost == pytest.approx(bf.cost)
+            assert cost(inst, dp.schedule) == pytest.approx(dp.cost)
+
+    def test_quadratic_reference_agrees(self):
+        rng = np.random.default_rng(43)
+        for _ in range(25):
+            inst = random_convex_instance(rng, int(rng.integers(1, 9)),
+                                          int(rng.integers(1, 8)),
+                                          float(rng.uniform(0.2, 4.0)))
+            a = solve_dp(inst)
+            b = solve_dp_quadratic(inst)
+            assert a.cost == pytest.approx(b.cost)
+            assert cost(inst, b.schedule) == pytest.approx(b.cost)
+
+    def test_hinge_instances(self):
+        inst = hinge_instance([0, 3, 3, 0, 2], m=4, beta=1.5)
+        assert solve_dp(inst).cost == pytest.approx(
+            solve_bruteforce(inst).cost)
+
+    def test_bowl_instances(self):
+        inst = bowl_instance([1, 4, 4, 2], m=4, beta=0.8)
+        assert solve_dp(inst).cost == pytest.approx(
+            solve_bruteforce(inst).cost)
+
+
+class TestStructure:
+    def test_schedule_cost_consistency(self):
+        rng = np.random.default_rng(44)
+        for _ in range(15):
+            inst = random_convex_instance(rng, int(rng.integers(1, 20)),
+                                          int(rng.integers(1, 15)),
+                                          float(rng.uniform(0.2, 4.0)))
+            res = solve_dp(inst)
+            assert cost(inst, res.schedule) == pytest.approx(res.cost)
+
+    def test_cost_only_mode_matches(self):
+        rng = np.random.default_rng(45)
+        inst = random_convex_instance(rng, 30, 20, 1.0)
+        assert solve_dp(inst, return_schedule=False).cost == pytest.approx(
+            solve_dp(inst).cost)
+        assert solve_dp(inst, return_schedule=False).schedule is None
+
+    def test_tie_rules_bracket_optima(self):
+        """smallest-tie <= largest-tie pointwise need not hold in general,
+        but both must be optimal."""
+        rng = np.random.default_rng(46)
+        for _ in range(20):
+            inst = random_convex_instance(rng, int(rng.integers(1, 6)),
+                                          int(rng.integers(1, 4)), 1.0)
+            lo = solve_dp(inst, tie="smallest")
+            hi = solve_dp(inst, tie="largest")
+            assert lo.cost == pytest.approx(hi.cost)
+            assert cost(inst, lo.schedule) == pytest.approx(lo.cost)
+            assert cost(inst, hi.schedule) == pytest.approx(hi.cost)
+
+    def test_unknown_tie_rejected(self):
+        inst = Instance(beta=1.0, F=np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            solve_dp(inst, tie="median")
+
+    def test_empty_horizon(self):
+        inst = Instance(beta=1.0, F=np.zeros((0, 3)))
+        res = solve_dp(inst)
+        assert res.cost == 0.0
+        assert res.schedule.size == 0
+
+    def test_single_step(self):
+        inst = Instance(beta=2.0, F=np.array([[1.0, 0.5, 3.0]]))
+        res = solve_dp(inst)
+        # min over j of f(j) + beta j: j=0 -> 1, j=1 -> 2.5, j=2 -> 7.
+        assert res.cost == pytest.approx(1.0)
+        assert res.schedule[0] == 0
+
+    def test_m_zero_single_state(self):
+        inst = Instance(beta=1.0, F=np.array([[2.0], [3.0]]))
+        res = solve_dp(inst)
+        assert res.cost == pytest.approx(5.0)
+        np.testing.assert_array_equal(res.schedule, [0, 0])
+
+    def test_value_table_is_CL_workfunction(self):
+        """D[t-1, j] must equal min over schedules ending at j of C^L_t."""
+        rng = np.random.default_rng(47)
+        inst = random_convex_instance(rng, 3, 2, 1.3)
+        D = dp_value_table(inst)
+        import itertools
+        from repro.core.schedule import cost_L
+        for t in range(1, inst.T + 1):
+            for j in range(inst.m + 1):
+                best = min(
+                    cost_L(inst, list(pre) + [j] + [0] * (inst.T - t), t)
+                    for pre in itertools.product(range(inst.m + 1),
+                                                 repeat=t - 1))
+                assert D[t - 1, j] == pytest.approx(best), (t, j)
+
+
+class TestEconomics:
+    def test_expensive_switching_freezes_schedule(self):
+        """With huge beta the optimum is (near-)static."""
+        inst = hinge_instance([0, 4, 0, 4, 0], m=4, beta=100.0)
+        res = solve_dp(inst)
+        assert np.all(np.diff(res.schedule) >= 0) or np.ptp(res.schedule) <= 1
+
+    def test_free_switching_follows_minimizers(self):
+        inst = hinge_instance([0, 4, 0, 4], m=4, beta=1e-9)
+        res = solve_dp(inst)
+        np.testing.assert_array_equal(res.schedule, [0, 4, 0, 4])
+
+    def test_monotone_demand_powers_up_once(self):
+        inst = bowl_instance([1, 2, 3, 4, 5], m=6, beta=0.5, a=2.0)
+        res = solve_dp(inst)
+        assert np.all(np.diff(res.schedule) >= 0)

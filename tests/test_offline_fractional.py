@@ -1,0 +1,135 @@
+"""Tests for the continuous-extension optimum and Lemma 4 rounding."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schedule import cost
+from repro.offline import (ceil_schedule, enumerate_optima, floor_schedule,
+                           make_fractional_optimum, solve_dp,
+                           solve_fractional)
+from tests.conftest import random_convex_instance
+
+
+class TestFractionalOptimum:
+    def test_fractional_cost_equals_integral(self):
+        """C-bar is piecewise linear with integral breakpoints, so the
+        fractional optimum costs exactly the integral optimum."""
+        rng = np.random.default_rng(70)
+        for _ in range(15):
+            inst = random_convex_instance(rng, int(rng.integers(1, 8)),
+                                          int(rng.integers(1, 6)), 1.3)
+            fr = solve_fractional(inst)
+            assert fr.cost == pytest.approx(solve_dp(inst).cost)
+
+    def test_random_fractional_schedules_never_beat_optimum(self):
+        rng = np.random.default_rng(71)
+        for _ in range(10):
+            inst = random_convex_instance(rng, 5, 4, 1.1)
+            opt = solve_dp(inst).cost
+            for _ in range(50):
+                X = rng.uniform(0, inst.m, size=inst.T)
+                assert cost(inst, X, integral=False) >= opt - 1e-9
+
+    def test_blend_of_optima_is_optimal(self):
+        """Convexity of C-bar: blending two integral optima is optimal.
+
+        Generic instances have unique optima, so the plateau family uses
+        slopes quantized to multiples of beta/2 — ties then occur often.
+        """
+        rng = np.random.default_rng(72)
+        found = 0
+        for _ in range(120):
+            inst = _tied_instance(rng)
+            blend = make_fractional_optimum(inst, weight=0.37)
+            if blend is None:
+                continue
+            found += 1
+            assert cost(inst, blend, integral=False) == pytest.approx(
+                solve_dp(inst).cost)
+        assert found >= 5, "never found a fractional plateau to test"
+
+
+def _tied_instance(rng, beta: float = 1.0):
+    """Instance whose rows have slopes in {-beta, -beta/2, 0, beta/2,
+    beta}: switching and operating costs tie frequently, producing
+    non-trivial optimum plateaus."""
+    T = int(rng.integers(1, 5))
+    m = int(rng.integers(1, 4))
+    rows = []
+    for _ in range(T):
+        slopes = np.sort(rng.choice([-beta, -beta / 2, 0.0, beta / 2, beta],
+                                    size=m))
+        vals = np.concatenate([[0.0], np.cumsum(slopes)])
+        vals -= vals.min()
+        rows.append(vals)
+    return Instance(beta=beta, F=np.array(rows))
+
+
+class TestLemma4:
+    def _fractional_optima(self, inst, rng, tries=40):
+        """Sample fractional optima: blends of enumerated integral optima."""
+        optima = enumerate_optima(inst, tol=1e-9)
+        out = []
+        if len(optima) >= 2:
+            for _ in range(tries):
+                i, j = rng.integers(0, len(optima), size=2)
+                lam = rng.uniform(0.05, 0.95)
+                out.append(lam * optima[i] + (1 - lam) * optima[j])
+        return out
+
+    def test_floor_and_ceil_of_fractional_optima_are_optimal(self):
+        rng = np.random.default_rng(73)
+        checked = 0
+        for _ in range(60):
+            inst = _tied_instance(rng)
+            opt = solve_dp(inst).cost
+            for X in self._fractional_optima(inst, rng, tries=6):
+                if cost(inst, X, integral=False) > opt + 1e-9:
+                    continue  # tolerance-close but not exactly optimal
+                lo = floor_schedule(X)
+                hi = ceil_schedule(X)
+                assert cost(inst, lo) == pytest.approx(opt), X
+                assert cost(inst, hi) == pytest.approx(opt), X
+                checked += 1
+        assert checked >= 5, "no genuinely fractional optima exercised"
+
+    def test_floor_ceil_entrywise(self):
+        X = np.array([0.0, 1.5, 2.0, 0.2])
+        np.testing.assert_array_equal(floor_schedule(X), [0, 1, 2, 0])
+        np.testing.assert_array_equal(ceil_schedule(X), [0, 2, 2, 1])
+
+    def test_floor_ceil_float_noise_robust(self):
+        X = np.array([1.9999999999995, 2.0000000000004])
+        np.testing.assert_array_equal(floor_schedule(X), [2, 2])
+        np.testing.assert_array_equal(ceil_schedule(X), [2, 2])
+
+    def test_crafted_plateau_instance(self):
+        """A two-dimensional continuum of optima: f_1 has slope exactly
+        -beta (so the operating saving cancels the power-up cost) and f_2
+        is flat.  Every (v, w) with w <= v is optimal at cost beta; Lemma 4
+        must hold on all of them."""
+        beta = 0.5
+        F = np.array([
+            [beta, 0.0],
+            [0.0, 0.0],
+        ])
+        inst = Instance(beta=beta, F=F)
+        opt = solve_dp(inst).cost
+        assert opt == pytest.approx(beta)
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            v = rng.uniform(0, 1)
+            w = rng.uniform(0, v)
+            X = np.array([v, w])
+            assert cost(inst, X, integral=False) == pytest.approx(opt)
+            assert cost(inst, floor_schedule(X)) == pytest.approx(opt)
+            assert cost(inst, ceil_schedule(X)) == pytest.approx(opt)
+
+    def test_weight_validation(self):
+        rng = np.random.default_rng(74)
+        inst = random_convex_instance(rng, 2, 2, 1.0)
+        with pytest.raises(ValueError):
+            make_fractional_optimum(inst, weight=0.0)
+        with pytest.raises(ValueError):
+            make_fractional_optimum(inst, weight=1.0)

@@ -1,0 +1,119 @@
+"""Tests for the explicit Figure-1 graph (repro.offline.graph) — E1."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.offline import (build_graph, edge_count, solve_dp, solve_graph,
+                           to_networkx, vertex_count)
+from tests.conftest import random_convex_instance
+
+
+class TestCensus:
+    """Figure 1 structure: |V| = T(m+1)+2, |E| = 2(m+1) + (T-1)(m+1)^2."""
+
+    @pytest.mark.parametrize("T,m", [(1, 1), (2, 3), (5, 4), (3, 0)])
+    def test_counts_match_formulas(self, T, m):
+        rng = np.random.default_rng(1)
+        inst = random_convex_instance(rng, T, m, 1.0)
+        g = build_graph(inst)
+        assert g.num_vertices == vertex_count(T, m) == T * (m + 1) + 2
+        assert g.num_edges == edge_count(T, m)
+        assert g.num_edges == (m + 1) + (T - 1) * (m + 1) ** 2 + (m + 1)
+
+    def test_vertex_id_layout(self):
+        rng = np.random.default_rng(2)
+        inst = random_convex_instance(rng, 3, 2, 1.0)
+        g = build_graph(inst)
+        assert g.vertex_id(0, 0) == 0
+        assert g.vertex_id(1, 0) == 1
+        assert g.vertex_id(1, 2) == 3
+        assert g.vertex_id(2, 0) == 4
+        assert g.vertex_id(4, 0) == g.num_vertices - 1
+
+    def test_vertex_id_rejects_invalid(self):
+        rng = np.random.default_rng(3)
+        g = build_graph(random_convex_instance(rng, 2, 2, 1.0))
+        with pytest.raises(ValueError):
+            g.vertex_id(0, 1)
+        with pytest.raises(ValueError):
+            g.vertex_id(3, 1)
+        with pytest.raises(ValueError):
+            g.vertex_id(1, 5)
+
+    def test_edge_weights_source_column(self):
+        """v_{0,0} -> v_{1,j} weighs f_1(j) + beta j."""
+        F = np.array([[2.0, 1.0, 3.0], [0.0, 0.5, 2.0]])
+        inst = Instance(beta=1.5, F=F)
+        g = build_graph(inst)
+        src_mask = g.tails == 0
+        weights = g.weights[src_mask]
+        np.testing.assert_allclose(weights, F[0] + 1.5 * np.arange(3))
+
+    def test_interior_edge_weight_formula(self):
+        """v_{t-1,j} -> v_{t,j'} weighs beta (j'-j)^+ + f_t(j')."""
+        F = np.array([[2.0, 1.0, 3.0], [0.0, 0.5, 2.0]])
+        inst = Instance(beta=1.5, F=F)
+        g = build_graph(inst)
+        wanted = {}
+        for i in range(g.num_edges):
+            wanted[(int(g.tails[i]), int(g.heads[i]))] = float(g.weights[i])
+        for j in range(3):
+            for jp in range(3):
+                u = g.vertex_id(1, j)
+                v = g.vertex_id(2, jp)
+                expect = 1.5 * max(jp - j, 0) + F[1, jp]
+                assert wanted[(u, v)] == pytest.approx(expect)
+
+    def test_sink_edges_zero_weight(self):
+        rng = np.random.default_rng(4)
+        g = build_graph(random_convex_instance(rng, 3, 2, 1.0))
+        sink = g.num_vertices - 1
+        np.testing.assert_allclose(g.weights[g.heads == sink], 0.0)
+
+    def test_size_guard(self):
+        inst = Instance(beta=1.0, F=np.zeros((10000, 4000)))
+        with pytest.raises(ValueError, match="edges"):
+            build_graph(inst)
+
+
+class TestShortestPath:
+    def test_matches_dp(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            inst = random_convex_instance(rng, int(rng.integers(1, 10)),
+                                          int(rng.integers(0, 6)),
+                                          float(rng.uniform(0.3, 3.0)))
+            assert solve_graph(inst).cost == pytest.approx(
+                solve_dp(inst).cost)
+
+    def test_schedule_achieves_cost(self):
+        from repro.core.schedule import cost
+        rng = np.random.default_rng(6)
+        inst = random_convex_instance(rng, 8, 5, 1.0)
+        res = solve_graph(inst)
+        assert cost(inst, res.schedule) == pytest.approx(res.cost)
+
+    def test_networkx_cross_check(self):
+        import networkx as nx
+        rng = np.random.default_rng(7)
+        inst = random_convex_instance(rng, 4, 3, 1.2)
+        g = build_graph(inst)
+        G = to_networkx(g)
+        nx_cost = nx.shortest_path_length(G, 0, g.num_vertices - 1,
+                                          weight="weight")
+        assert nx_cost == pytest.approx(solve_graph(inst).cost)
+
+    def test_networkx_path_is_schedule(self):
+        import networkx as nx
+        rng = np.random.default_rng(8)
+        inst = random_convex_instance(rng, 5, 3, 0.7)
+        g = build_graph(inst)
+        G = to_networkx(g)
+        path = nx.shortest_path(G, 0, g.num_vertices - 1, weight="weight")
+        # Interior vertices decode to one state per column.
+        states = [(v - 1) % (inst.m + 1) for v in path[1:-1]]
+        assert len(states) == inst.T
+        from repro.core.schedule import cost
+        assert cost(inst, np.array(states)) == pytest.approx(
+            solve_graph(inst).cost)

@@ -1,0 +1,105 @@
+"""Tests for the online runner protocol and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.lower_bounds import DeterministicDiscreteAdversary, ratio_curve
+from repro.offline.result import OfflineResult
+from repro.online import LCP, OnlineAlgorithm, run_online
+from tests.conftest import random_convex_instance
+
+
+class _RogueInteger(OnlineAlgorithm):
+    fractional = False
+    name = "rogue"
+
+    def reset(self, m, beta):
+        self._set_state(0)
+
+    def step(self, f_row, future=None):
+        return 999
+
+
+class _RogueFractional(OnlineAlgorithm):
+    fractional = True
+    name = "rogue-frac"
+
+    def reset(self, m, beta):
+        self._set_state(0.0)
+
+    def step(self, f_row, future=None):
+        return -3.5
+
+
+class _EchoLookahead(OnlineAlgorithm):
+    fractional = False
+    name = "echo"
+    lookahead = 3
+
+    def reset(self, m, beta):
+        self.windows = []
+        self._set_state(0)
+
+    def step(self, f_row, future=None):
+        self.windows.append(0 if future is None else future.shape[0])
+        return 0
+
+
+class TestRunner:
+    def test_out_of_range_integer_state_rejected(self):
+        rng = np.random.default_rng(280)
+        inst = random_convex_instance(rng, 3, 2, 1.0)
+        with pytest.raises(ValueError, match="left \\[0, m\\]|left \\[0,"):
+            run_online(inst, _RogueInteger())
+
+    def test_out_of_range_fractional_state_rejected(self):
+        rng = np.random.default_rng(281)
+        inst = random_convex_instance(rng, 3, 2, 1.0)
+        with pytest.raises(ValueError):
+            run_online(inst, _RogueFractional())
+
+    def test_lookahead_window_sizes(self):
+        """The runner passes min(w, remaining) future rows."""
+        rng = np.random.default_rng(282)
+        inst = random_convex_instance(rng, 6, 2, 1.0)
+        algo = _EchoLookahead()
+        run_online(inst, algo)
+        assert algo.windows == [3, 3, 3, 2, 1, 0]
+
+    def test_result_schedule_readonly(self):
+        rng = np.random.default_rng(283)
+        inst = random_convex_instance(rng, 4, 3, 1.0)
+        res = run_online(inst, LCP())
+        with pytest.raises(ValueError):
+            res.schedule[0] = 5.0
+
+    def test_base_class_abstract(self):
+        algo = OnlineAlgorithm()
+        with pytest.raises(NotImplementedError):
+            algo.reset(1, 1.0)
+        with pytest.raises(NotImplementedError):
+            algo.step(np.zeros(2))
+
+
+class TestOfflineResult:
+    def test_schedule_frozen(self):
+        res = OfflineResult(schedule=np.array([1, 2]), cost=1.0,
+                            method="x")
+        with pytest.raises(ValueError):
+            res.schedule[0] = 7
+
+    def test_none_schedule_allowed(self):
+        res = OfflineResult(schedule=None, cost=2.0, method="x")
+        assert res.schedule is None
+
+
+class TestRatioCurve:
+    def test_curve_rows_and_monotone_shape(self):
+        rows = ratio_curve(DeterministicDiscreteAdversary, LCP,
+                           [0.3, 0.1], T_cap=3000)
+        assert [r["eps"] for r in rows] == [0.3, 0.1]
+        for r in rows:
+            assert 1.0 <= r["ratio"] <= 3.0 + 1e-9
+            assert r["alg_cost"] >= r["opt_cost"] - 1e-9
+        assert rows[1]["ratio"] >= rows[0]["ratio"] - 0.2

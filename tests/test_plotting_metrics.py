@@ -1,0 +1,80 @@
+"""Tests for text plotting and the regret metric."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (block_chart, regret_vs_static, schedule_chart,
+                            sparkline)
+from repro.offline import solve_dp
+from repro.online import solve_static
+from tests.conftest import random_convex_instance, trace_instance
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_values_monotone_glyphs(self):
+        s = sparkline(np.arange(8))
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds(self):
+        s = sparkline([5.0], lo=0.0, hi=10.0)
+        assert s in "▄▅"
+
+
+class TestBlockChart:
+    def test_renders_label_and_value(self):
+        out = block_chart(3.0, label="energy", unit="J")
+        assert "energy" in out and "###" in out and "3J" in out
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            block_chart(-1.0)
+
+
+class TestScheduleChart:
+    def test_two_aligned_lines(self):
+        out = schedule_chart([1, 2, 3], [2, 2, 2])
+        lines = out.splitlines()
+        assert lines[0].startswith("load")
+        assert lines[1].startswith("servers")
+        assert len(lines[0]) == len(lines[1])
+
+    def test_subsampling(self):
+        out = schedule_chart(np.arange(10), np.arange(10), every=2,
+                             height_labels=False)
+        assert len(out.splitlines()[0]) == len("load     ") + 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_chart([1, 2], [1])
+
+
+class TestRegret:
+    def test_optimal_schedule_has_nonpositive_regret(self):
+        """OPT can always play the best static schedule, so its regret
+        against static is <= 0."""
+        rng = np.random.default_rng(240)
+        for _ in range(8):
+            inst = random_convex_instance(rng, 10, 6,
+                                          float(rng.uniform(0.3, 3)))
+            res = solve_dp(inst)
+            assert regret_vs_static(inst, res.schedule) <= 1e-9
+
+    def test_static_schedule_has_zero_regret(self):
+        inst = trace_instance(seed=0, T=48, peak=10.0)
+        static = solve_static(inst)
+        assert regret_vs_static(inst, static.schedule) == pytest.approx(0.0)
+
+    def test_bad_schedule_positive_regret(self):
+        inst = trace_instance(seed=1, T=48, peak=10.0)
+        bad = np.zeros(48)
+        bad[::2] = inst.m
+        assert regret_vs_static(inst, bad) > 0

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies generate arbitrary convex non-negative cost matrices; the
+properties are the paper's headline guarantees plus structural identities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.instance import Instance
+from repro.core.schedule import cost, cost_L, cost_U, symmetric_cost
+from repro.offline import (ceil_schedule, floor_schedule, solve_binary_search,
+                           solve_bruteforce, solve_dp, solve_graph)
+from repro.online import (LCP, ThresholdFractional, WorkFunctions,
+                          exact_rounding_distribution, expected_cost_exact,
+                          run_online)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+slope_floats = st.floats(min_value=-8.0, max_value=8.0, allow_nan=False)
+
+
+@st.composite
+def convex_instances(draw, max_T=8, max_m=6):
+    T = draw(st.integers(1, max_T))
+    m = draw(st.integers(1, max_m))
+    beta = draw(st.floats(min_value=0.1, max_value=5.0))
+    rows = []
+    for _ in range(T):
+        slopes = sorted(draw(st.lists(slope_floats, min_size=m, max_size=m)))
+        vals = np.concatenate([[0.0], np.cumsum(slopes)])
+        vals -= vals.min()
+        rows.append(vals)
+    return Instance(beta=float(beta), F=np.array(rows))
+
+
+@st.composite
+def fractional_schedules(draw, max_T=12, max_m=5):
+    T = draw(st.integers(1, max_T))
+    m = draw(st.integers(1, max_m))
+    xs = draw(st.lists(st.floats(min_value=0.0, max_value=float(m),
+                                 allow_nan=False),
+                       min_size=T, max_size=T))
+    return m, np.asarray(xs, dtype=np.float64)
+
+
+common = settings(max_examples=60, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# Offline optimality
+# ---------------------------------------------------------------------------
+
+@common
+@given(convex_instances(max_T=5, max_m=4))
+def test_dp_equals_bruteforce(inst):
+    assert solve_dp(inst).cost == pytest.approx(solve_bruteforce(inst).cost)
+
+
+@common
+@given(convex_instances(max_T=8, max_m=6))
+def test_binary_search_equals_dp(inst):
+    assert solve_binary_search(inst).cost == pytest.approx(
+        solve_dp(inst).cost)
+
+
+@common
+@given(convex_instances(max_T=6, max_m=5))
+def test_graph_equals_dp(inst):
+    assert solve_graph(inst).cost == pytest.approx(solve_dp(inst).cost)
+
+
+@common
+@given(convex_instances())
+def test_dp_schedule_achieves_reported_cost(inst):
+    res = solve_dp(inst)
+    assert cost(inst, res.schedule) == pytest.approx(res.cost)
+
+
+# ---------------------------------------------------------------------------
+# Online guarantees
+# ---------------------------------------------------------------------------
+
+@common
+@given(convex_instances())
+def test_lcp_three_competitive(inst):
+    opt = solve_dp(inst, return_schedule=False).cost
+    res = run_online(inst, LCP())
+    assert res.cost <= 3 * opt + 1e-7
+
+
+@common
+@given(convex_instances())
+def test_threshold_two_competitive_with_slack(inst):
+    opt = solve_dp(inst, return_schedule=False).cost
+    res = run_online(inst, ThresholdFractional(validate=True))
+    slack = float(inst.F.min(axis=1).sum())
+    assert res.cost <= 2 * opt - slack + 1e-7
+
+
+@common
+@given(convex_instances())
+def test_lcp_within_workfunction_bounds(inst):
+    algo = LCP(record_bounds=True)
+    res = run_online(inst, algo)
+    for x, (lo, hi) in zip(res.schedule.astype(int), algo.bounds_log):
+        assert lo <= x <= hi
+
+
+# ---------------------------------------------------------------------------
+# Rounding identities (Lemmas 18-20) on arbitrary fractional schedules
+# ---------------------------------------------------------------------------
+
+def _snapped_frac(xs):
+    """frac() under the rounding kernel's integer-snapping semantics."""
+    snapped = np.where(np.abs(xs - np.round(xs)) <= 1e-9, np.round(xs), xs)
+    return snapped - np.floor(snapped)
+
+
+@common
+@given(fractional_schedules())
+def test_rounding_marginals_are_frac(args):
+    _, xs = args
+    dist = exact_rounding_distribution(xs)
+    np.testing.assert_allclose(dist.p_upper, _snapped_frac(xs), atol=1e-8)
+
+
+@common
+@given(fractional_schedules())
+def test_rounding_switching_identity(args):
+    _, xs = args
+    dist = exact_rounding_distribution(xs)
+    d = np.diff(np.concatenate([[0.0], xs]))
+    np.testing.assert_allclose(dist.expected_up, np.maximum(d, 0.0),
+                               atol=1e-8)
+
+
+@common
+@given(convex_instances(max_T=6, max_m=5), st.randoms(use_true_random=False))
+def test_expected_cost_equals_fractional_cost(inst, rnd):
+    xs = np.array([rnd.uniform(0, inst.m) for _ in range(inst.T)])
+    res = expected_cost_exact(inst, xs)
+    assert res["total"] == pytest.approx(res["fractional_total"], abs=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# Structural identities
+# ---------------------------------------------------------------------------
+
+@common
+@given(convex_instances(), st.randoms(use_true_random=False))
+def test_eq14_and_symmetric_identities(inst, rnd):
+    X = np.array([rnd.randint(0, inst.m) for _ in range(inst.T)])
+    assert cost_L(inst, X) == pytest.approx(cost(inst, X))
+    for tau in range(1, inst.T + 1):
+        assert cost_L(inst, X, tau) == pytest.approx(
+            cost_U(inst, X, tau) + inst.beta * X[tau - 1])
+    assert symmetric_cost(inst, X) == pytest.approx(cost(inst, X))
+
+
+@common
+@given(convex_instances())
+def test_workfunction_lemma7_and_convexity(inst):
+    wf = WorkFunctions(inst.m, inst.beta, track_U=True)
+    states = np.arange(inst.m + 1)
+    for t in range(inst.T):
+        wf.update(inst.F[t])
+        np.testing.assert_allclose(wf.CL, wf._CU + inst.beta * states,
+                                   atol=1e-8)
+        scale = max(1.0, float(np.abs(wf.CL).max()))
+        assert np.all(np.diff(wf.CL, n=2) >= -1e-9 * scale)
+
+
+@common
+@given(convex_instances(max_T=5, max_m=4), st.floats(0.05, 0.95))
+def test_lemma4_floor_ceil_on_blends(inst, lam):
+    lo = solve_dp(inst, tie="smallest").schedule
+    hi = solve_dp(inst, tie="largest").schedule
+    blend = lam * lo + (1 - lam) * hi
+    opt = solve_dp(inst, return_schedule=False).cost
+    if cost(inst, blend, integral=False) <= opt + 1e-9:
+        assert cost(inst, floor_schedule(blend)) == pytest.approx(opt)
+        assert cost(inst, ceil_schedule(blend)) == pytest.approx(opt)
+
+
+@common
+@given(convex_instances(max_T=6, max_m=6))
+def test_padding_preserves_optimum(inst):
+    from repro.core.transforms import pad_to_power_of_two
+    padded = pad_to_power_of_two(inst, eps=0.5)
+    assert solve_dp(padded, return_schedule=False).cost == pytest.approx(
+        solve_dp(inst, return_schedule=False).cost)
+    res = solve_dp(padded)
+    assert np.all(res.schedule <= inst.m)

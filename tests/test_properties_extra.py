@@ -1,0 +1,134 @@
+"""Additional property-based tests for the newer subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.extensions.heterogeneous import (HeterogeneousInstance,
+                                            _relax_axis, hetero_cost,
+                                            solve_dp_hetero)
+from repro.offline import solve_backward_lcp, solve_dp, solve_lp
+from repro.simulator import DataCenter, ServerPowerModel
+from tests.test_properties import convex_instances
+
+common = settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# LP comparator and backward recursion agree with the DP everywhere
+# ---------------------------------------------------------------------------
+
+@common
+@given(convex_instances(max_T=6, max_m=5))
+def test_lp_equals_dp(inst):
+    assert solve_lp(inst).cost == pytest.approx(
+        solve_dp(inst, return_schedule=False).cost, abs=1e-6)
+
+
+@common
+@given(convex_instances(max_T=8, max_m=6))
+def test_backward_lcp_equals_dp(inst):
+    assert solve_backward_lcp(inst).cost == pytest.approx(
+        solve_dp(inst, return_schedule=False).cost)
+
+
+# ---------------------------------------------------------------------------
+# Simulator invariants
+# ---------------------------------------------------------------------------
+
+@st.composite
+def sim_runs(draw):
+    T = draw(st.integers(1, 30))
+    m = draw(st.integers(1, 6))
+    sched = draw(st.lists(st.integers(0, m), min_size=T, max_size=T))
+    work = draw(st.lists(st.floats(0.0, 8.0, allow_nan=False),
+                         min_size=T, max_size=T))
+    setup = draw(st.integers(0, 2))
+    return m, np.array(sched), np.array(work), setup
+
+
+@common
+@given(sim_runs())
+def test_simulator_work_conservation(args):
+    m, sched, work, setup = args
+    dc = DataCenter(m, ServerPowerModel(setup_steps=setup))
+    log = dc.run(sched, work)
+    served = sum(s.served_work for s in log.steps)
+    assert served + log.final_backlog == pytest.approx(float(work.sum()),
+                                                       abs=1e-9)
+
+
+@common
+@given(sim_runs())
+def test_simulator_metrics_nonnegative(args):
+    m, sched, work, setup = args
+    dc = DataCenter(m, ServerPowerModel(setup_steps=setup))
+    log = dc.run(sched, work)
+    for s in log.steps:
+        assert s.energy >= 0 and s.latency >= 0
+        assert s.transition_energy >= 0
+        assert 0 <= s.utilization <= 1 + 1e-12
+        assert 0 <= s.ready <= s.active <= m
+
+
+@common
+@given(sim_runs())
+def test_simulator_backlog_monotone_in_capacity(args):
+    """Running the same work with everything always on never leaves more
+    backlog than the given schedule."""
+    m, sched, work, setup = args
+    a = DataCenter(m, ServerPowerModel(setup_steps=0)).run(sched, work)
+    b = DataCenter(m, ServerPowerModel(setup_steps=0)).run(
+        np.full(sched.shape, m), work)
+    assert b.final_backlog <= a.final_backlog + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous DP
+# ---------------------------------------------------------------------------
+
+@st.composite
+def hetero_instances(draw):
+    T = draw(st.integers(1, 4))
+    m1 = draw(st.integers(1, 3))
+    m2 = draw(st.integers(1, 3))
+    b1 = draw(st.floats(0.2, 3.0))
+    b2 = draw(st.floats(0.2, 3.0))
+    vals = draw(st.lists(st.floats(0.0, 9.0, allow_nan=False),
+                         min_size=T * (m1 + 1) * (m2 + 1),
+                         max_size=T * (m1 + 1) * (m2 + 1)))
+    F = np.array(vals).reshape(T, m1 + 1, m2 + 1)
+    return HeterogeneousInstance(beta1=float(b1), beta2=float(b2), F=F)
+
+
+@common
+@given(hetero_instances())
+def test_hetero_dp_cost_is_achieved(inst):
+    X1, X2, c = solve_dp_hetero(inst)
+    assert hetero_cost(inst, X1, X2) == pytest.approx(c)
+
+
+@common
+@given(hetero_instances(), st.randoms(use_true_random=False))
+def test_hetero_dp_never_beaten_by_random_schedules(inst, rnd):
+    _, _, c = solve_dp_hetero(inst)
+    for _ in range(10):
+        X1 = np.array([rnd.randint(0, inst.m1) for _ in range(inst.T)])
+        X2 = np.array([rnd.randint(0, inst.m2) for _ in range(inst.T)])
+        assert hetero_cost(inst, X1, X2) >= c - 1e-9
+
+
+@common
+@given(st.integers(2, 6), st.integers(2, 6), st.floats(0.2, 3.0),
+       st.floats(0.2, 3.0), st.randoms(use_true_random=False))
+def test_hetero_relaxation_matches_naive(n1, n2, b1, b2, rnd):
+    D = np.array([[rnd.uniform(0, 10) for _ in range(n2)]
+                  for _ in range(n1)])
+    fast = _relax_axis(_relax_axis(D, b1, 0), b2, 1)
+    for v1 in range(n1):
+        for v2 in range(n2):
+            best = min(D[u1, u2] + b1 * max(v1 - u1, 0)
+                       + b2 * max(v2 - u2, 0)
+                       for u1 in range(n1) for u2 in range(n2))
+            assert fast[v1, v2] == pytest.approx(best)

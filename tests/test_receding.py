@@ -1,0 +1,114 @@
+"""Tests for RHC and AFHC (prediction-window comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import optimal_cost
+from repro.online import (AveragingFixedHorizonControl, LCP,
+                          RecedingHorizonControl, run_online)
+from repro.online.receding import _horizon_plan
+from tests.conftest import random_convex_instance, trace_instance
+
+
+class TestHorizonPlan:
+    def test_matches_offline_dp_from_zero(self):
+        """A plan over the whole horizon from state 0 is the offline
+        optimum."""
+        from repro.offline import solve_dp
+        rng = np.random.default_rng(160)
+        for _ in range(10):
+            inst = random_convex_instance(rng, int(rng.integers(1, 8)),
+                                          int(rng.integers(1, 6)),
+                                          float(rng.uniform(0.3, 3)))
+            plan = _horizon_plan(inst.F, inst.beta, 0)
+            res = solve_dp(inst)
+            from repro.core.schedule import cost
+            assert cost(inst, plan) == pytest.approx(res.cost)
+
+    def test_start_state_respected(self):
+        """Starting high makes staying high free of switching cost."""
+        F = np.array([[0.0, 0.1], [0.0, 0.1]])
+        plan_low = _horizon_plan(F, 10.0, 0)
+        plan_high = _horizon_plan(F, 10.0, 1)
+        np.testing.assert_array_equal(plan_low, [0, 0])
+        # From state 1, staying costs 0.2 < powering down saves nothing
+        # extra (down is free) — the plan drops to 0.
+        np.testing.assert_array_equal(plan_high, [0, 0])
+
+    def test_start_state_avoids_up_cost(self):
+        F = np.array([[1.0, 0.0]])
+        assert _horizon_plan(F, 0.5, 1)[0] == 1
+        assert _horizon_plan(F, 5.0, 0)[0] == 0
+
+
+class TestRHC:
+    def test_full_lookahead_is_near_optimal(self):
+        rng = np.random.default_rng(161)
+        for _ in range(6):
+            inst = random_convex_instance(rng, 10, 6,
+                                          float(rng.uniform(0.3, 2)))
+            res = run_online(inst, RecedingHorizonControl(lookahead=inst.T))
+            assert res.cost <= 1.6 * optimal_cost(inst) + 1e-9
+
+    def test_zero_lookahead_is_greedy_tracking(self):
+        rng = np.random.default_rng(162)
+        inst = random_convex_instance(rng, 12, 5, 1.0)
+        res = run_online(inst, RecedingHorizonControl())
+        assert res.schedule.shape == (12,)
+        assert res.cost < np.inf
+
+    def test_lookahead_improves_on_traces(self):
+        total0 = total6 = 0.0
+        for seed in range(4):
+            inst = trace_instance(seed=seed, T=72, peak=10.0, beta=5.0)
+            total0 += run_online(inst, RecedingHorizonControl()).cost
+            total6 += run_online(inst,
+                                 RecedingHorizonControl(lookahead=6)).cost
+        assert total6 <= total0 * 1.001
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecedingHorizonControl(lookahead=-1)
+
+
+class TestAFHC:
+    def test_fractional_states_within_range(self):
+        rng = np.random.default_rng(163)
+        inst = random_convex_instance(rng, 20, 6, 1.0)
+        res = run_online(inst, AveragingFixedHorizonControl(lookahead=3))
+        assert np.all(res.schedule >= 0)
+        assert np.all(res.schedule <= inst.m)
+
+    def test_zero_lookahead_single_controller(self):
+        """With w = 0 AFHC is one controller re-planning every step —
+        integral states."""
+        rng = np.random.default_rng(164)
+        inst = random_convex_instance(rng, 10, 4, 1.0)
+        res = run_online(inst, AveragingFixedHorizonControl())
+        assert np.allclose(res.schedule, np.round(res.schedule))
+
+    def test_reasonable_on_traces(self):
+        inst = trace_instance(seed=2, T=72, peak=10.0, beta=5.0)
+        res = run_online(inst, AveragingFixedHorizonControl(lookahead=6))
+        assert res.cost <= 3 * optimal_cost(inst)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AveragingFixedHorizonControl(lookahead=-1)
+
+
+class TestComparators:
+    def test_all_window_algorithms_close_on_smooth_traces(self):
+        """LCP(w), RHC(w), AFHC(w) all land within a modest band of the
+        optimum on smooth diurnal traces (aggregate)."""
+        totals = {"lcp": 0.0, "rhc": 0.0, "afhc": 0.0, "opt": 0.0}
+        for seed in range(3):
+            inst = trace_instance(seed=seed, T=96, peak=12.0, beta=4.0)
+            totals["lcp"] += run_online(inst, LCP(lookahead=6)).cost
+            totals["rhc"] += run_online(
+                inst, RecedingHorizonControl(lookahead=6)).cost
+            totals["afhc"] += run_online(
+                inst, AveragingFixedHorizonControl(lookahead=6)).cost
+            totals["opt"] += optimal_cost(inst)
+        for name in ("lcp", "rhc", "afhc"):
+            assert totals[name] <= 1.35 * totals["opt"], name

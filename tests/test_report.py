@@ -1,0 +1,80 @@
+"""Tests for the experiment-report assembly."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import (EXPERIMENTS, assemble_report,
+                                   headline_numbers, load_results,
+                                   missing_experiments)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" \
+    / "results"
+
+
+def make_fake_results(tmp_path):
+    (tmp_path / "E6_det_lower_bound.txt").write_text(
+        "E6: deterministic lower bound (-> 3)\n"
+        "eps   T      lcp_ratio  proof_bound\n"
+        "----  -----  ---------  -----------\n"
+        " 0.2    150      2.861        2.471\n"
+        "0.02  15000      2.980        2.941\n")
+    (tmp_path / "E8_continuous_B.txt").write_text(
+        "E8: continuous bound\n"
+        "eps   T     ratio  lemma21_target\n"
+        "----  ----  -----  --------------\n"
+        " 0.2   300  1.871           1.900\n"
+        "0.02  3000  1.987           1.990\n")
+    return tmp_path
+
+
+class TestLoading:
+    def test_load_groups_by_experiment(self, tmp_path):
+        make_fake_results(tmp_path)
+        results = load_results(tmp_path)
+        assert set(results) == {"E6", "E8"}
+        assert results["E6"][0][0] == "E6_det_lower_bound"
+
+    def test_missing_experiments(self, tmp_path):
+        make_fake_results(tmp_path)
+        missing = missing_experiments(tmp_path)
+        assert "E1" in missing and "E13" in missing
+        assert "E6" not in missing
+
+    def test_empty_dir_all_missing(self, tmp_path):
+        assert missing_experiments(tmp_path) == list(EXPERIMENTS)
+
+
+class TestAssembly:
+    def test_report_contains_all_sections(self, tmp_path):
+        make_fake_results(tmp_path)
+        report = assemble_report(tmp_path)
+        for exp_id, claim in EXPERIMENTS.items():
+            assert f"## {exp_id} — {claim}" in report
+        assert "2.980" in report
+        assert "(no artifacts" in report  # for the missing ones
+
+    def test_headline_numbers(self, tmp_path):
+        make_fake_results(tmp_path)
+        heads = headline_numbers(tmp_path)
+        # E6's ratio column is 'lcp_ratio'; 'ratio' matches it.
+        assert heads["det_lb_ratio"] == pytest.approx(2.980)
+        assert heads["cont_lb_ratio"] == pytest.approx(1.987)
+        assert "rand_lb_ratio" not in heads
+
+
+@pytest.mark.skipif(not RESULTS_DIR.exists(),
+                    reason="benchmarks not yet run")
+class TestAgainstRealResults:
+    def test_no_experiment_missing_after_bench_run(self):
+        assert missing_experiments(RESULTS_DIR) == []
+
+    def test_headlines_converged(self):
+        heads = headline_numbers(RESULTS_DIR)
+        assert heads["det_lb_ratio"] > 2.9
+        assert heads["cont_lb_ratio"] > 1.95
+        assert heads["rand_lb_ratio"] > 1.95
+
+    def test_report_assembles(self):
+        report = assemble_report(RESULTS_DIR)
+        assert report.count("```") >= 2 * len(EXPERIMENTS)

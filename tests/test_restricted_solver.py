@@ -1,0 +1,70 @@
+"""Tests for the direct restricted-model solver (no penalty encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import RestrictedInstance
+from repro.offline import solve_dp, solve_restricted
+from repro.workloads import diurnal_loads, restricted_from_loads
+
+
+def random_restricted(rng, T=8, m=6):
+    loads = rng.uniform(0, m * 0.8, size=T)
+    return RestrictedInstance(beta=float(rng.uniform(0.3, 3)), m=m,
+                              f=lambda z: 1 + 2 * z * z, loads=loads)
+
+
+class TestAgainstEncoding:
+    def test_matches_general_model_encoding(self):
+        rng = np.random.default_rng(260)
+        for _ in range(15):
+            ri = random_restricted(rng, T=int(rng.integers(1, 10)),
+                                   m=int(rng.integers(2, 8)))
+            direct = solve_restricted(ri)
+            encoded = solve_dp(ri.to_general())
+            assert direct.cost == pytest.approx(encoded.cost), ri
+            assert ri.is_feasible(direct.schedule)
+
+    def test_matches_bruteforce(self):
+        import itertools
+        rng = np.random.default_rng(261)
+        for _ in range(8):
+            ri = random_restricted(rng, T=3, m=3)
+            direct = solve_restricted(ri)
+            best = np.inf
+            for combo in itertools.product(range(ri.m + 1), repeat=ri.T):
+                X = np.array(combo)
+                if not ri.is_feasible(X):
+                    continue
+                op = sum(ri.operating_cost(t + 1, X[t])
+                         for t in range(ri.T))
+                d = np.diff(np.concatenate([[0], X]))
+                best = min(best, op + ri.beta * np.maximum(d, 0).sum())
+            assert direct.cost == pytest.approx(best)
+
+
+class TestStructure:
+    def test_feasibility_enforced(self):
+        rng = np.random.default_rng(262)
+        loads = diurnal_loads(40, peak=5.0, rng=rng)
+        ri = restricted_from_loads(loads, m=7, beta=2.0)
+        res = solve_restricted(ri)
+        assert np.all(res.schedule >= np.ceil(loads - 1e-12))
+
+    def test_zero_horizon(self):
+        ri = RestrictedInstance(beta=1.0, m=3, f=lambda z: z,
+                                loads=np.zeros(0))
+        assert solve_restricted(ri).cost == 0.0
+
+    def test_full_load_forces_max(self):
+        ri = RestrictedInstance(beta=1.0, m=3, f=lambda z: 1 + z,
+                                loads=np.array([3.0, 3.0]))
+        res = solve_restricted(ri)
+        np.testing.assert_array_equal(res.schedule, [3, 3])
+
+    def test_zero_loads_allow_shutdown(self):
+        ri = RestrictedInstance(beta=1.0, m=4, f=lambda z: 1 + z,
+                                loads=np.zeros(5))
+        res = solve_restricted(ri)
+        np.testing.assert_array_equal(res.schedule, 0)
+        assert res.cost == pytest.approx(0.0)

@@ -1,0 +1,191 @@
+"""Robustness and structural-invariance tests.
+
+These pin down properties that must survive refactoring: scaling and
+time-reversal invariances of the objective, behavior at numerical
+extremes, degenerate instances, and determinism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import optimal_cost
+from repro.core.instance import Instance
+from repro.core.schedule import cost
+from repro.offline import solve_binary_search, solve_dp
+from repro.online import LCP, ThresholdFractional, run_online
+from tests.conftest import random_convex_instance
+
+
+class TestScalingInvariance:
+    def test_cost_scales_linearly(self):
+        """Scaling F and beta by c scales every schedule's cost by c and
+        leaves optimal schedules unchanged."""
+        rng = np.random.default_rng(200)
+        for _ in range(10):
+            inst = random_convex_instance(rng, 8, 6,
+                                          float(rng.uniform(0.5, 3)))
+            c = float(rng.uniform(0.01, 100))
+            scaled = Instance(beta=inst.beta * c, F=inst.F * c)
+            a = solve_dp(inst)
+            b = solve_dp(scaled)
+            assert b.cost == pytest.approx(c * a.cost, rel=1e-9)
+            np.testing.assert_array_equal(a.schedule, b.schedule)
+
+    def test_lcp_is_scale_invariant(self):
+        rng = np.random.default_rng(201)
+        inst = random_convex_instance(rng, 20, 8, 1.7)
+        scaled = Instance(beta=inst.beta * 37.0, F=inst.F * 37.0)
+        a = run_online(inst, LCP())
+        b = run_online(scaled, LCP())
+        np.testing.assert_array_equal(a.schedule, b.schedule)
+
+    def test_threshold_is_scale_invariant(self):
+        rng = np.random.default_rng(202)
+        inst = random_convex_instance(rng, 20, 8, 1.7)
+        scaled = Instance(beta=inst.beta * 0.03, F=inst.F * 0.03)
+        a = run_online(inst, ThresholdFractional())
+        b = run_online(scaled, ThresholdFractional())
+        np.testing.assert_allclose(a.schedule, b.schedule, atol=1e-9)
+
+
+class TestTimeReversal:
+    def test_optimal_cost_is_reversal_invariant(self):
+        """ups(0 -> x_1 .. x_T) = downs + x_T = ups of the reversed path,
+        so reversing the rows of F preserves the optimal cost exactly."""
+        rng = np.random.default_rng(203)
+        for _ in range(15):
+            inst = random_convex_instance(rng, int(rng.integers(1, 12)),
+                                          int(rng.integers(1, 8)),
+                                          float(rng.uniform(0.3, 4)))
+            rev = Instance(beta=inst.beta, F=inst.F[::-1].copy())
+            assert optimal_cost(rev) == pytest.approx(optimal_cost(inst))
+
+    def test_schedule_reversal_cost_identity(self):
+        rng = np.random.default_rng(204)
+        for _ in range(15):
+            inst = random_convex_instance(rng, int(rng.integers(1, 10)),
+                                          int(rng.integers(1, 7)), 2.1)
+            rev = Instance(beta=inst.beta, F=inst.F[::-1].copy())
+            X = rng.integers(0, inst.m + 1, size=inst.T)
+            assert cost(rev, X[::-1].copy()) == pytest.approx(cost(inst, X))
+
+
+class TestNumericalExtremes:
+    def test_huge_costs(self):
+        rng = np.random.default_rng(205)
+        inst = random_convex_instance(rng, 10, 6, 1.0)
+        huge = Instance(beta=1e9, F=inst.F * 1e9)
+        res = solve_dp(huge)
+        assert np.isfinite(res.cost)
+        assert solve_binary_search(huge).cost == pytest.approx(res.cost)
+
+    def test_tiny_beta(self):
+        """beta -> 0: the optimum follows per-step minimizers."""
+        rng = np.random.default_rng(206)
+        inst = random_convex_instance(rng, 10, 6, 1.0)
+        tiny = inst.with_beta(1e-12)
+        res = solve_dp(tiny)
+        mins = inst.F.min(axis=1)
+        assert res.cost == pytest.approx(float(mins.sum()), abs=1e-6)
+
+    def test_huge_beta(self):
+        """beta -> inf: switching dominates; the optimum is monotone
+        nondecreasing (powering up is paid once; powering down is free
+        but re-powering would be fatal)."""
+        rng = np.random.default_rng(207)
+        inst = random_convex_instance(rng, 10, 6, 1.0).with_beta(1e12)
+        res = solve_dp(inst)
+        d = np.diff(np.concatenate([[0], res.schedule]))
+        # Total power-up must be minimal: at most max level once.
+        assert np.sum(np.maximum(d, 0)) == res.schedule.max()
+
+    def test_mixed_magnitudes(self):
+        F = np.array([[1e-9, 1e9], [1e9, 1e-9], [1e-9, 1e9]])
+        inst = Instance(beta=1.0, F=F)
+        res = solve_dp(inst)
+        assert res.cost < 10.0  # oscillate, paying switching only
+
+    def test_guarantees_hold_at_extremes(self):
+        rng = np.random.default_rng(208)
+        for scale in (1e-6, 1e6):
+            inst = random_convex_instance(rng, 15, 6, 1.0)
+            inst = Instance(beta=inst.beta * scale, F=inst.F * scale)
+            opt = optimal_cost(inst)
+            assert run_online(inst, LCP()).cost <= 3 * opt * (1 + 1e-9)
+            assert run_online(inst, ThresholdFractional()).cost \
+                <= 2 * opt * (1 + 1e-9)
+
+
+class TestDegenerateInstances:
+    def test_all_zero_costs(self):
+        inst = Instance(beta=1.0, F=np.zeros((5, 4)))
+        assert solve_dp(inst).cost == 0.0
+        res = run_online(inst, LCP())
+        np.testing.assert_array_equal(res.schedule, 0)
+        frac = run_online(inst, ThresholdFractional())
+        np.testing.assert_allclose(frac.schedule, 0.0)
+
+    def test_constant_rows(self):
+        inst = Instance(beta=2.0, F=np.full((6, 5), 3.0))
+        res = solve_dp(inst)
+        assert res.cost == pytest.approx(18.0)
+        np.testing.assert_array_equal(res.schedule, 0)
+
+    def test_single_step_single_server(self):
+        inst = Instance(beta=0.5, F=np.array([[1.0, 0.0]]))
+        assert solve_dp(inst).cost == pytest.approx(0.5)
+        assert run_online(inst, LCP()).cost <= 3 * 0.5 + 1e-12
+
+    def test_m_zero_everywhere(self):
+        inst = Instance(beta=1.0, F=np.array([[1.0], [2.0], [0.5]]))
+        assert solve_dp(inst).cost == pytest.approx(3.5)
+        assert solve_binary_search(inst).cost == pytest.approx(3.5)
+        res = run_online(inst, LCP())
+        np.testing.assert_array_equal(res.schedule, 0)
+
+    def test_forced_full_capacity(self):
+        """Steep decreasing rows force x = m throughout."""
+        F = np.array([[100.0, 50.0, 0.0]] * 4)
+        inst = Instance(beta=0.1, F=F)
+        res = solve_dp(inst)
+        np.testing.assert_array_equal(res.schedule, 2)
+
+
+class TestDeterminism:
+    def test_solvers_are_deterministic(self):
+        rng = np.random.default_rng(209)
+        inst = random_convex_instance(rng, 12, 9, 1.3)
+        a = solve_binary_search(inst)
+        b = solve_binary_search(inst)
+        np.testing.assert_array_equal(a.schedule, b.schedule)
+        assert a.cost == b.cost
+
+    def test_online_replay_is_deterministic(self):
+        rng = np.random.default_rng(210)
+        inst = random_convex_instance(rng, 30, 7, 2.0)
+        for make in (LCP, ThresholdFractional):
+            a = run_online(inst, make())
+            b = run_online(inst, make())
+            np.testing.assert_array_equal(a.schedule, b.schedule)
+
+    def test_instance_is_immutable_through_solving(self):
+        rng = np.random.default_rng(211)
+        inst = random_convex_instance(rng, 10, 5, 1.0)
+        before = inst.F.copy()
+        solve_dp(inst)
+        solve_binary_search(inst)
+        run_online(inst, LCP())
+        run_online(inst, ThresholdFractional())
+        np.testing.assert_array_equal(inst.F, before)
+
+
+class TestLongHorizons:
+    def test_long_horizon_smoke(self):
+        """T = 20000 stays fast and the guarantees hold."""
+        rng = np.random.default_rng(212)
+        from repro.workloads import diurnal_loads, instance_from_loads
+        loads = diurnal_loads(20000, peak=8.0, rng=rng)
+        inst = instance_from_loads(loads, m=10, beta=3.0)
+        opt = solve_dp(inst, return_schedule=False).cost
+        assert solve_binary_search(inst).cost == pytest.approx(opt)
+        assert run_online(inst, LCP()).cost <= 3 * opt + 1e-6

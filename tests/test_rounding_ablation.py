@@ -1,0 +1,84 @@
+"""Tests for the independent-rounding ablation: why the Markov kernel of
+Section 4 is necessary."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.online import (ThresholdFractional, expected_cost_exact,
+                          expected_cost_independent, independent_rounding,
+                          run_online)
+from tests.conftest import random_convex_instance
+
+
+class TestIndependentRounding:
+    def test_marginals_still_correct(self):
+        """Lemma 18 needs only the marginals, which independent rounding
+        preserves."""
+        rng = np.random.default_rng(220)
+        xbars = np.array([0.3, 0.3, 0.3, 0.3])
+        ups = 0
+        n = 4000
+        for seed in range(n):
+            x = independent_rounding(xbars, np.random.default_rng(seed))
+            ups += int(np.sum(x))
+        assert ups / (n * 4) == pytest.approx(0.3, abs=0.03)
+
+    def test_operating_cost_unchanged(self):
+        """Lemma 19 survives: operating expectation equals fractional."""
+        rng = np.random.default_rng(221)
+        inst = random_convex_instance(rng, 10, 5, 1.0)
+        fr = run_online(inst, ThresholdFractional())
+        markov = expected_cost_exact(inst, fr.schedule)
+        indep = expected_cost_independent(inst, fr.schedule)
+        assert indep["operating"] == pytest.approx(markov["operating"],
+                                                   abs=1e-9)
+
+    def test_switching_cost_blows_up(self):
+        """Lemma 20 breaks: a constant fractional schedule has zero
+        marginal movement but independent rounding flips states at
+        Bernoulli variance rate every step."""
+        T = 50
+        xbars = np.full(T, 2.5)
+        inst = Instance(beta=2.0, F=np.zeros((T, 6)))
+        markov = expected_cost_exact(inst, xbars)
+        indep = expected_cost_independent(inst, xbars)
+        # Markov kernel: pay only the initial ramp 2.5 * beta.
+        assert markov["switching"] == pytest.approx(2.0 * 2.5)
+        # Independent: ~ beta * p(1-p) per interior step on top.
+        expected_extra = 2.0 * 0.25 * (T - 1)
+        assert indep["switching"] == pytest.approx(
+            markov["switching"] + expected_extra)
+
+    def test_independent_breaks_two_competitiveness(self):
+        """On a long flat-fractional instance the independent rounding's
+        expected total exceeds 2x OPT, while the Markov kernel stays
+        within the guarantee."""
+        T = 200
+        eps = 0.01
+        # Rows that pin the threshold algorithm mid-cell: a tiny slope
+        # toward state 1 first, then flat.
+        rows = [[2.0 * 0.5, 0.0]] + [[eps, eps]] * (T - 1)
+        inst = Instance(beta=2.0, F=np.array(rows))
+        fr = run_online(inst, ThresholdFractional())
+        assert 0.2 < fr.schedule[-1] < 0.8  # genuinely fractional
+        from repro.analysis import optimal_cost
+        opt = optimal_cost(inst)
+        markov = expected_cost_exact(inst, fr.schedule)["total"]
+        indep = expected_cost_independent(inst, fr.schedule)["total"]
+        assert markov <= 2 * opt + 1e-7
+        assert indep > 2 * opt
+
+    def test_monte_carlo_matches_closed_form(self):
+        rng = np.random.default_rng(222)
+        inst = random_convex_instance(rng, 12, 4, 1.5)
+        fr = run_online(inst, ThresholdFractional())
+        exact = expected_cost_independent(inst, fr.schedule)["total"]
+        from repro.core.schedule import cost
+        total = 0.0
+        n = 800
+        for seed in range(n):
+            x = independent_rounding(fr.schedule,
+                                     np.random.default_rng(seed))
+            total += cost(inst, x.astype(np.float64))
+        assert total / n == pytest.approx(exact, rel=0.05)

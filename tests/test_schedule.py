@@ -1,0 +1,131 @@
+"""Tests for cost functionals (repro.core.schedule) — eqs. (1), (11), (12),
+(14) and the Section 5 symmetric convention."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schedule import (cost, cost_breakdown, cost_L, cost_U,
+                                 interp_operating, operating_cost,
+                                 switching_cost_down, switching_cost_up,
+                                 symmetric_cost, validate_schedule)
+from tests.conftest import random_convex_instance
+
+
+@pytest.fixture
+def inst():
+    F = np.array([
+        [2.0, 1.0, 0.5],
+        [0.0, 1.0, 2.0],
+        [3.0, 1.0, 0.0],
+    ])
+    return Instance(beta=2.0, F=F)
+
+
+class TestValidate:
+    def test_accepts_valid(self, inst):
+        out = validate_schedule(inst, [0, 1, 2])
+        assert out.dtype == np.float64
+
+    def test_rejects_wrong_length(self, inst):
+        with pytest.raises(ValueError, match="shape"):
+            validate_schedule(inst, [0, 1])
+
+    def test_rejects_out_of_range(self, inst):
+        with pytest.raises(ValueError, match="state range"):
+            validate_schedule(inst, [0, 1, 3])
+        with pytest.raises(ValueError, match="state range"):
+            validate_schedule(inst, [-1, 1, 2])
+
+    def test_rejects_fractional_when_integral(self, inst):
+        with pytest.raises(ValueError, match="integral"):
+            validate_schedule(inst, [0.5, 1, 2])
+
+    def test_accepts_fractional_when_allowed(self, inst):
+        validate_schedule(inst, [0.5, 1, 2], integral=False)
+
+
+class TestOperating:
+    def test_integral_values(self, inst):
+        # f1(1) + f2(0) + f3(2) = 1 + 0 + 0.
+        assert operating_cost(inst, [1, 0, 2]) == pytest.approx(1.0)
+
+    def test_prefix(self, inst):
+        assert operating_cost(inst, [1, 0, 2], upto=2) == pytest.approx(1.0)
+        assert operating_cost(inst, [1, 0, 2], upto=1) == pytest.approx(1.0)
+
+    def test_fractional_interpolation(self, inst):
+        # f1(0.5) = 1.5 by eq. (3).
+        assert operating_cost(inst, [0.5, 0, 0]) == pytest.approx(1.5 + 0 + 3)
+
+    def test_interp_operating_matches_rows(self, inst):
+        per = interp_operating(inst.F, np.array([1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(per, [1.0, 0.0, 0.0])
+
+
+class TestSwitching:
+    def test_up_counts_increases_from_zero(self, inst):
+        # 0 -> 2 -> 1 -> 2: ups are 2 and 1.
+        assert switching_cost_up(inst, [2, 1, 2]) == pytest.approx(2.0 * 3)
+
+    def test_down_counts_decreases(self, inst):
+        assert switching_cost_down(inst, [2, 1, 2]) == pytest.approx(2.0 * 1)
+
+    def test_eq14_identity(self, inst):
+        # S^L_tau = S^U_tau + beta x_tau for every prefix.
+        X = np.array([2, 0, 1])
+        for tau in (1, 2, 3):
+            sl = switching_cost_up(inst, X, upto=tau)
+            su = switching_cost_down(inst, X, upto=tau)
+            assert sl == pytest.approx(su + inst.beta * X[tau - 1])
+
+    def test_eq14_identity_random(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            inst = random_convex_instance(rng, int(rng.integers(1, 9)),
+                                          int(rng.integers(1, 6)), 1.7)
+            X = rng.integers(0, inst.m + 1, size=inst.T)
+            for tau in range(1, inst.T + 1):
+                sl = switching_cost_up(inst, X, upto=tau)
+                su = switching_cost_down(inst, X, upto=tau)
+                assert sl == pytest.approx(su + inst.beta * X[tau - 1])
+
+
+class TestTotalCost:
+    def test_eq1(self, inst):
+        # X = (1, 1, 2): op = 1 + 1 + 0, switch = beta*(1 + 0 + 1).
+        assert cost(inst, [1, 1, 2]) == pytest.approx(2.0 + 2.0 * 2)
+
+    def test_cost_L_at_T_equals_cost(self, inst):
+        for X in ([0, 0, 0], [2, 1, 0], [1, 2, 1]):
+            assert cost_L(inst, X) == pytest.approx(cost(inst, X))
+
+    def test_cost_U_identity(self, inst):
+        X = [1, 2, 1]
+        for tau in (1, 2, 3):
+            assert cost_L(inst, X, tau) == pytest.approx(
+                cost_U(inst, X, tau) + inst.beta * X[tau - 1])
+
+    def test_symmetric_equals_eq1_for_closed_schedules(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            inst = random_convex_instance(rng, int(rng.integers(1, 10)),
+                                          int(rng.integers(1, 7)),
+                                          float(rng.uniform(0.5, 4)))
+            X = rng.integers(0, inst.m + 1, size=inst.T)
+            assert symmetric_cost(inst, X) == pytest.approx(cost(inst, X))
+
+    def test_breakdown_sums(self, inst):
+        b = cost_breakdown(inst, [1, 1, 2])
+        assert b["total"] == pytest.approx(b["operating"] + b["switching"])
+        assert b["peak"] == 2.0
+        assert b["mean"] == pytest.approx(4 / 3)
+
+    def test_zero_schedule_costs_operating_only(self, inst):
+        assert cost(inst, [0, 0, 0]) == pytest.approx(2.0 + 0.0 + 3.0)
+
+    def test_fractional_cost(self, inst):
+        c = cost(inst, [0.5, 0.5, 0.5], integral=False)
+        op = 1.5 + 0.5 + 2.0
+        sw = 2.0 * 0.5
+        assert c == pytest.approx(op + sw)

@@ -1,0 +1,154 @@
+"""Tests for sensitivity analysis and instance/schedule persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import beta_sweep, capacity_sweep, is_concave_sequence
+from repro.analysis.sensitivity import (evaluate_envelope,
+                                        exact_beta_envelope)
+from repro.io import (load_instance, load_schedule, save_instance,
+                      save_schedule)
+from tests.conftest import random_convex_instance, trace_instance
+
+
+class TestBetaSweep:
+    def test_opt_is_nondecreasing_and_concave_in_beta(self):
+        """The pointwise-min-of-affine envelope structure of OPT(beta)."""
+        rng = np.random.default_rng(270)
+        for _ in range(6):
+            inst = random_convex_instance(rng, 12, 6, 1.0)
+            betas = np.linspace(0.1, 8.0, 12)
+            rows = beta_sweep(inst, betas)
+            costs = [r["opt_cost"] for r in rows]
+            assert all(b >= a - 1e-9 for a, b in zip(costs, costs[1:]))
+            assert is_concave_sequence(costs)
+
+    def test_power_ups_nonincreasing_in_beta(self):
+        """Envelope slope = optimal power-ups, so it must decrease."""
+        inst = trace_instance(seed=3, T=72, peak=10.0)
+        rows = beta_sweep(inst, [0.5, 2.0, 8.0, 32.0])
+        ups = [r["power_ups"] for r in rows]
+        assert all(b <= a + 1e-9 for a, b in zip(ups, ups[1:]))
+
+    def test_slope_matches_power_ups(self):
+        """Finite-difference slope of OPT(beta) is bracketed by the
+        optimal power-up counts at the endpoints (envelope theorem)."""
+        inst = trace_instance(seed=4, T=48, peak=8.0)
+        b1, b2 = 2.0, 2.2
+        rows = beta_sweep(inst, [b1, b2])
+        slope = (rows[1]["opt_cost"] - rows[0]["opt_cost"]) / (b2 - b1)
+        assert rows[1]["power_ups"] - 1e-9 <= slope \
+            <= rows[0]["power_ups"] + 1e-9
+
+
+class TestExactEnvelope:
+    def test_matches_dp_everywhere(self):
+        """The parametric envelope equals the DP at every sampled beta."""
+        from repro.offline import solve_dp
+        rng = np.random.default_rng(274)
+        for _ in range(6):
+            inst = random_convex_instance(rng, int(rng.integers(2, 10)),
+                                          int(rng.integers(1, 7)), 1.0)
+            segs = exact_beta_envelope(inst, 0.1, 15.0)
+            for beta in np.linspace(0.1, 15.0, 17):
+                want = solve_dp(inst.with_beta(float(beta)),
+                                return_schedule=False).cost
+                assert evaluate_envelope(segs, float(beta)) == \
+                    pytest.approx(want, rel=1e-9, abs=1e-9)
+
+    def test_slopes_strictly_decreasing(self):
+        """Concavity: segment slopes (power-ups) decrease left to right."""
+        inst = trace_instance(seed=5, T=48, peak=8.0)
+        segs = exact_beta_envelope(inst, 0.25, 24.0)
+        ups = [s["power_ups"] for s in segs]
+        assert all(b < a + 1e-9 for a, b in zip(ups, ups[1:]))
+
+    def test_segments_tile_the_interval(self):
+        inst = trace_instance(seed=6, T=48, peak=8.0)
+        segs = exact_beta_envelope(inst, 0.5, 10.0)
+        assert segs[0]["beta_lo"] == pytest.approx(0.5)
+        assert segs[-1]["beta_hi"] == pytest.approx(10.0)
+        for a, b in zip(segs, segs[1:]):
+            assert b["beta_lo"] == pytest.approx(a["beta_hi"])
+
+    def test_range_validation(self):
+        rng = np.random.default_rng(275)
+        inst = random_convex_instance(rng, 3, 2, 1.0)
+        with pytest.raises(ValueError):
+            exact_beta_envelope(inst, 0.0, 1.0)
+        segs = exact_beta_envelope(inst, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            evaluate_envelope(segs, 5.0)
+
+
+class TestCapacitySweep:
+    def test_opt_nonincreasing_in_m(self):
+        rng = np.random.default_rng(271)
+        inst = random_convex_instance(rng, 10, 8, 1.5)
+        rows = capacity_sweep(inst, range(0, 9))
+        costs = [r["opt_cost"] for r in rows]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_bounds_checked(self):
+        rng = np.random.default_rng(272)
+        inst = random_convex_instance(rng, 4, 3, 1.0)
+        with pytest.raises(ValueError):
+            capacity_sweep(inst, [5])
+
+
+class TestConcavityCheck:
+    def test_accepts_concave(self):
+        assert is_concave_sequence([0.0, 1.0, 1.8, 2.4])
+
+    def test_rejects_convex_kink(self):
+        assert not is_concave_sequence([0.0, 1.0, 3.0])
+
+    def test_short_sequences(self):
+        assert is_concave_sequence([1.0])
+        assert is_concave_sequence([3.0, 1.0])
+
+
+class TestInstanceIO:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(273)
+        inst = random_convex_instance(rng, 7, 5, 2.5)
+        path = tmp_path / "instance.npz"
+        save_instance(path, inst)
+        loaded = load_instance(path)
+        assert loaded.beta == inst.beta
+        np.testing.assert_array_equal(loaded.F, inst.F)
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, F=np.zeros((1, 2)), beta=np.float64(1.0),
+                 version=np.int64(99))
+        with pytest.raises(ValueError, match="version"):
+            load_instance(path)
+
+    def test_loaded_instance_revalidated(self, tmp_path):
+        path = tmp_path / "nonconvex.npz"
+        np.savez(path, F=np.array([[0.0, 5.0, 5.0, 0.0]]),
+                 beta=np.float64(1.0), version=np.int64(1))
+        with pytest.raises(ValueError):
+            load_instance(path)
+
+
+class TestScheduleIO:
+    def test_integer_roundtrip(self, tmp_path):
+        path = tmp_path / "sched.csv"
+        save_schedule(path, np.array([0, 3, 2, 5]))
+        out = load_schedule(path)
+        np.testing.assert_array_equal(out, [0, 3, 2, 5])
+        assert "3" in path.read_text()
+
+    def test_fractional_roundtrip(self, tmp_path):
+        path = tmp_path / "frac.csv"
+        x = np.array([0.25, 1.75, 2.0])
+        save_schedule(path, x)
+        np.testing.assert_allclose(load_schedule(path), x)
+
+    def test_single_value(self, tmp_path):
+        path = tmp_path / "one.csv"
+        save_schedule(path, np.array([4]))
+        out = load_schedule(path)
+        assert out.shape == (1,)

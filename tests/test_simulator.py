@@ -1,0 +1,237 @@
+"""Tests for the data-center simulator substrate and its cost bridge."""
+
+import numpy as np
+import pytest
+
+from repro.offline import solve_dp
+from repro.online import solve_static
+from repro.simulator import (DataCenter, JobTrace, ServerPowerModel,
+                             bridge_instance, poisson_job_trace,
+                             replay_schedule, simulated_cost)
+from repro.workloads import diurnal_loads
+
+
+class TestJobTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobTrace(work=np.array([1.0, -1.0]), jobs=np.array([1, 1]))
+        with pytest.raises(ValueError):
+            JobTrace(work=np.array([1.0]), jobs=np.array([1, 2]))
+
+    def test_poisson_trace_matches_rate_in_expectation(self):
+        rng = np.random.default_rng(0)
+        rate = np.full(4000, 5.0)
+        trace = poisson_job_trace(rate, rng=rng)
+        assert trace.T == 4000
+        assert np.mean(trace.work) == pytest.approx(5.0, rel=0.1)
+
+    def test_zero_rate_zero_work(self):
+        trace = poisson_job_trace(np.zeros(10), rng=1)
+        assert np.all(trace.work == 0)
+        assert np.all(trace.jobs == 0)
+
+    def test_deterministic_services(self):
+        trace = poisson_job_trace(np.full(100, 4.0), service_cv=0.0,
+                                  mean_service=2.0, rng=2)
+        # Work is an exact multiple of the job size.
+        np.testing.assert_allclose(trace.work, trace.jobs * 2.0)
+
+    def test_heavier_tail_larger_variance(self):
+        rate = np.full(2000, 5.0)
+        light = poisson_job_trace(rate, service_cv=0.2, rng=3).work
+        heavy = poisson_job_trace(rate, service_cv=3.0, rng=3).work
+        assert np.var(heavy) > np.var(light)
+
+    def test_smoothed_loads(self):
+        trace = JobTrace(work=np.array([0.0, 4.0, 0.0, 4.0]),
+                         jobs=np.array([0, 1, 0, 1]))
+        sm = trace.smoothed_loads(2)
+        np.testing.assert_allclose(sm, [0.0, 2.0, 2.0, 2.0])
+        with pytest.raises(ValueError):
+            trace.smoothed_loads(0)
+
+    def test_seed_determinism(self):
+        rate = np.full(50, 3.0)
+        a = poisson_job_trace(rate, rng=np.random.default_rng(9)).work
+        b = poisson_job_trace(rate, rng=np.random.default_rng(9)).work
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDataCenter:
+    def test_work_conservation(self):
+        """Work in == work served + final backlog."""
+        rng = np.random.default_rng(10)
+        dc = DataCenter(5)
+        sched = rng.integers(0, 6, size=200)
+        work = rng.uniform(0, 4, size=200)
+        log = dc.run(sched, work)
+        served = sum(s.served_work for s in log.steps)
+        assert served + log.final_backlog == pytest.approx(float(work.sum()))
+
+    def test_capacity_limits_service(self):
+        dc = DataCenter(4)
+        m1 = dc.step(2, 5.0)
+        assert m1.served_work == pytest.approx(2.0)
+        assert m1.backlog == pytest.approx(3.0)
+        assert m1.utilization == pytest.approx(1.0)
+
+    def test_idle_energy_accounting(self):
+        p = ServerPowerModel(busy_power=1.0, idle_power=0.5, sleep_power=0.0,
+                             transition_energy=0.0)
+        dc = DataCenter(4, p)
+        m1 = dc.step(2, 1.0)  # one server-busy of work on two servers
+        # busy = 1.0, idle = 1.0 servers.
+        assert m1.energy == pytest.approx(1.0 * 1.0 + 1.0 * 0.5)
+
+    def test_sleep_energy_accounting(self):
+        p = ServerPowerModel(sleep_power=0.1, transition_energy=0.0)
+        dc = DataCenter(10, p)
+        m1 = dc.step(0, 0.0)
+        assert m1.energy == pytest.approx(1.0)
+
+    def test_transition_energy_on_powerup_only(self):
+        p = ServerPowerModel(transition_energy=3.0)
+        dc = DataCenter(4, p)
+        up = dc.step(3, 0.0)
+        assert up.transition_energy == pytest.approx(9.0)
+        down = dc.step(1, 0.0)
+        assert down.transition_energy == 0.0
+        up2 = dc.step(2, 0.0)
+        assert up2.transition_energy == pytest.approx(3.0)
+
+    def test_setup_delay_blocks_service(self):
+        p = ServerPowerModel(setup_steps=2, transition_energy=0.0)
+        dc = DataCenter(2, p)
+        m1 = dc.step(2, 2.0)
+        assert m1.ready == 0 and m1.served_work == 0.0
+        m2 = dc.step(2, 0.0)
+        assert m2.ready == 0
+        m3 = dc.step(2, 0.0)
+        assert m3.ready == 2
+        assert m3.served_work == pytest.approx(2.0)
+
+    def test_powering_down_drops_warming_servers_first(self):
+        p = ServerPowerModel(setup_steps=3, transition_energy=0.0)
+        dc = DataCenter(4, p)
+        dc.step(2, 0.0)   # 2 warming
+        dc.step(4, 0.0)   # +2 warming
+        m = dc.step(1, 0.0)
+        assert m.active == 1
+
+    def test_latency_grows_with_backlog(self):
+        dc = DataCenter(2)
+        lat_low = dc.step(2, 1.0).latency
+        dc.reset()
+        lat_high = dc.step(2, 6.0).latency
+        assert lat_high > lat_low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataCenter(0)
+        dc = DataCenter(2)
+        with pytest.raises(ValueError):
+            dc.step(3, 0.0)
+        with pytest.raises(ValueError):
+            dc.step(1, -1.0)
+        with pytest.raises(ValueError):
+            ServerPowerModel(busy_power=-1.0)
+        with pytest.raises(ValueError):
+            dc.run([1, 2], [1.0])
+
+    def test_log_aggregates(self):
+        dc = DataCenter(3)
+        log = dc.run([1, 2, 2], [0.5, 1.0, 0.0])
+        assert log.total_energy > 0
+        assert log.total_cost(0.0) == pytest.approx(log.total_energy)
+        assert log.total_cost(2.0) == pytest.approx(
+            log.total_energy + 2 * log.total_latency)
+
+
+class TestBridge:
+    def make_trace(self, T=72, peak=10.0, seed=0):
+        rng = np.random.default_rng(seed)
+        rate = diurnal_loads(T, peak=peak, rng=rng)
+        return poisson_job_trace(rate, rng=rng)
+
+    def test_bridge_instance_valid(self):
+        trace = self.make_trace()
+        inst = bridge_instance(trace, m=14, beta=5.0)
+        assert inst.T == trace.T and inst.m == 14
+        # Construction validates convexity; rows must be finite/nonneg.
+        assert np.all(np.isfinite(inst.F))
+
+    def test_bridge_costs_fall_then_rise(self):
+        """More servers first reduce latency then waste energy."""
+        trace = JobTrace(work=np.array([6.0]), jobs=np.array([3]))
+        inst = bridge_instance(trace, m=15, beta=1.0, latency_weight=0.5)
+        row = inst.F[0]
+        j_star = int(np.argmin(row))
+        assert 6 <= j_star <= 13
+        assert row[0] > row[j_star]
+        assert row[15] > row[j_star]
+
+    def test_bridge_latency_weight_moves_minimizer_up(self):
+        trace = JobTrace(work=np.array([6.0]), jobs=np.array([3]))
+        lo = bridge_instance(trace, m=15, beta=1.0, latency_weight=0.25)
+        hi = bridge_instance(trace, m=15, beta=1.0, latency_weight=2.0)
+        assert int(np.argmin(hi.F[0])) >= int(np.argmin(lo.F[0]))
+
+    def test_optimizer_beats_always_max_too(self):
+        """With the congestion-aware bridge the optimizer also beats
+        maximal provisioning (it stops buying latency once the queue is
+        drained)."""
+        trace = self.make_trace(T=96, peak=12.0, seed=7)
+        m = 18
+        from repro.simulator import ServerPowerModel
+        power = ServerPowerModel(idle_power=0.7, transition_energy=3.0)
+        inst = bridge_instance(trace, m, beta=6.0, power=power,
+                               latency_weight=0.5)
+        opt = solve_dp(inst).schedule
+        always_max = np.full(trace.T, m)
+        from repro.simulator import replay_schedule
+        c_opt = replay_schedule(opt, trace, m, power=power).total_cost(0.5)
+        c_max = replay_schedule(always_max, trace, m,
+                                power=power).total_cost(0.5)
+        assert c_opt < c_max
+
+    def test_optimized_schedule_beats_static_in_simulation(self):
+        """E13's headline: the Section-2 optimum of the bridged instance
+        costs less in the *simulator* than static provisioning."""
+        trace = self.make_trace(T=96, peak=12.0, seed=1)
+        m = 18
+        inst = bridge_instance(trace, m, beta=6.0)
+        opt = solve_dp(inst).schedule
+        static = solve_static(inst).schedule
+        assert simulated_cost(opt, trace, m) < simulated_cost(
+            static, trace, m)
+
+    def test_abstract_cost_tracks_simulated_cost(self):
+        """Across a family of schedules, abstract and simulated costs are
+        strongly rank-correlated."""
+        trace = self.make_trace(T=48, peak=8.0, seed=2)
+        m = 12
+        inst = bridge_instance(trace, m, beta=4.0)
+        from repro.core.schedule import cost as abstract_cost
+        rng = np.random.default_rng(3)
+        abstract, simulated = [], []
+        for _ in range(25):
+            level = int(rng.integers(1, m + 1))
+            jitter = rng.integers(-2, 3, size=trace.T)
+            sched = np.clip(level + jitter, 0, m)
+            abstract.append(abstract_cost(inst, sched.astype(float)))
+            simulated.append(simulated_cost(sched, trace, m))
+        from scipy.stats import spearmanr
+        rho = spearmanr(abstract, simulated).statistic
+        assert rho > 0.8
+
+    def test_replay_matches_datacenter_run(self):
+        trace = self.make_trace(T=24, peak=6.0, seed=4)
+        sched = np.full(24, 8)
+        log = replay_schedule(sched, trace, m=10)
+        dc = DataCenter(10)
+        direct = dc.run(sched, trace.work)
+        assert log.total_energy == pytest.approx(direct.total_energy)
+
+    def test_plain_array_trace_accepted(self):
+        inst = bridge_instance(np.array([2.0, 3.0]), m=5, beta=1.0)
+        assert inst.T == 2

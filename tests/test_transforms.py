@@ -1,0 +1,185 @@
+"""Tests for instance transforms (repro.core.transforms): the Section 2.2
+padding, the Phi/Psi scaling (Lemma 1), and the continuous extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schedule import cost
+from repro.core.transforms import (continuous_extension, lift_schedule,
+                                   next_power_of_two, pad_to_power_of_two,
+                                   padded_cost, project_schedule, scale_down)
+from repro.offline import solve_dp
+from tests.conftest import random_convex_instance
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize("m,expected", [
+        (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (7, 8), (8, 8), (9, 16),
+        (100, 128), (1023, 1024), (1024, 1024),
+    ])
+    def test_values(self, m, expected):
+        assert next_power_of_two(m) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestPadding:
+    def test_noop_for_power_of_two(self):
+        inst = Instance(beta=1.0, F=np.zeros((3, 5)))  # m = 4
+        assert pad_to_power_of_two(inst) is inst
+
+    def test_padded_shape(self):
+        inst = Instance(beta=1.0, F=np.ones((3, 6)))  # m = 5 -> 8
+        padded = pad_to_power_of_two(inst)
+        assert padded.m == 8
+
+    def test_padded_rows_remain_convex(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            m = int(rng.integers(1, 12))
+            inst = random_convex_instance(rng, 4, m, 1.0)
+            padded = pad_to_power_of_two(inst, eps=0.5)
+            # Instance construction re-validates convexity; also check the
+            # original costs are untouched.
+            np.testing.assert_allclose(padded.F[:, :m + 1], inst.F)
+
+    def test_padding_formula(self):
+        inst = Instance(beta=1.0,
+                        F=np.array([[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]))  # m=5
+        padded = pad_to_power_of_two(inst, eps=0.25)  # m' = 8
+        # f'(x) = f(m) + (x - m)(f(m) + eps) for x > m (convex extension;
+        # see the padded_cost docstring for the deviation note).
+        np.testing.assert_allclose(
+            padded.F[0],
+            [1, 2, 3, 4, 5, 6, 6 + 6.25, 6 + 2 * 6.25, 6 + 3 * 6.25])
+
+    def test_paper_literal_padding_is_nonconvex(self):
+        """Documents why the implementation deviates: the paper's displayed
+        x*(f(m)+eps) padding violates convexity at the junction for
+        m >= 2."""
+        from repro.core.costs import is_convex_table
+        f = np.array([1.0, 2.0, 3.0])  # m = 2, f(m) = 3
+        eps = 0.25
+        literal = np.concatenate([f, [3 * (3 + eps), 4 * (3 + eps)]])
+        assert not is_convex_table(literal)
+
+    def test_padded_states_never_optimal(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            m = int(rng.integers(1, 7))
+            inst = random_convex_instance(rng, 5, m, 1.3)
+            padded = pad_to_power_of_two(inst, eps=1.0)
+            res = solve_dp(padded)
+            assert np.all(res.schedule <= m)
+            assert res.cost == pytest.approx(solve_dp(inst).cost)
+
+    def test_rejects_nonpositive_eps(self):
+        inst = Instance(beta=1.0, F=np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            pad_to_power_of_two(inst, eps=0.0)
+
+    def test_lazy_padded_cost_matches_materialized(self):
+        rng = np.random.default_rng(9)
+        inst = random_convex_instance(rng, 4, 5, 1.0)
+        padded = pad_to_power_of_two(inst, eps=0.7)
+        states = np.array([0, 3, 5, 6, 8])
+        for t in (1, 4):
+            lazy = padded_cost(inst.F, t, states, 0.7)
+            np.testing.assert_allclose(lazy, padded.F[t - 1, states])
+
+
+class TestScaleDown:
+    def test_requires_divisibility(self):
+        inst = Instance(beta=1.0, F=np.zeros((2, 7)))  # m = 6
+        with pytest.raises(ValueError):
+            scale_down(inst, 2)
+
+    def test_identity_for_l0(self):
+        inst = Instance(beta=1.0, F=np.zeros((2, 5)))
+        assert scale_down(inst, 0) is inst
+
+    def test_shapes_and_beta(self):
+        inst = Instance(beta=1.5, F=np.zeros((3, 9)))  # m = 8
+        scaled = scale_down(inst, 2)
+        assert scaled.m == 2
+        assert scaled.beta == 6.0
+
+    def test_cost_preservation(self):
+        """Psi preserves cost: C_Q(X) = C_{Psi_l(Q)}(X / 2^l)."""
+        rng = np.random.default_rng(21)
+        for _ in range(10):
+            inst = random_convex_instance(rng, 6, 8, float(rng.uniform(0.5, 3)))
+            scaled = scale_down(inst, 1)
+            Xs = rng.integers(0, 5, size=6)  # schedule of the scaled inst.
+            X = lift_schedule(Xs, 1)
+            assert cost(inst, X) == pytest.approx(cost(scaled, Xs))
+
+    def test_lemma1_composition(self):
+        """Phi_{k-l}(Psi_l(P_l)) = Psi_l(P_k): scaling twice equals scaling
+        once by the sum (the testable form of Lemma 1)."""
+        rng = np.random.default_rng(22)
+        inst = random_convex_instance(rng, 5, 16, 1.0)
+        once = scale_down(inst, 3)
+        twice = scale_down(scale_down(inst, 1), 2)
+        assert once.beta == pytest.approx(twice.beta)
+        np.testing.assert_allclose(once.F, twice.F)
+
+    def test_optimal_cost_of_scaled_equals_restricted_dp(self):
+        """Solving Psi_k(P_k) solves P_k (states = multiples of 2^k)."""
+        rng = np.random.default_rng(23)
+        inst = random_convex_instance(rng, 5, 8, 2.0)
+        scaled = scale_down(inst, 1)
+        res = solve_dp(scaled)
+        X = lift_schedule(res.schedule, 1)
+        assert cost(inst, X) == pytest.approx(res.cost)
+        # No schedule on even states beats it (exhaustive over even states).
+        import itertools
+        best = min(cost(inst, np.array(Z))
+                   for Z in itertools.product([0, 2, 4, 6, 8], repeat=5))
+        assert res.cost == pytest.approx(best)
+
+    def test_project_schedule(self):
+        np.testing.assert_array_equal(project_schedule([0, 4, 2], 1),
+                                      [0, 2, 1])
+        with pytest.raises(ValueError):
+            project_schedule([1, 2], 1)
+
+
+class TestContinuousExtension:
+    def test_matches_table_at_integers(self):
+        F = np.array([[3.0, 1.0, 0.0, 2.0]])
+        fbar = continuous_extension(F)
+        for j, v in enumerate(F[0]):
+            assert fbar(1, j) == pytest.approx(v)
+
+    def test_linear_interpolation(self):
+        F = np.array([[3.0, 1.0, 0.0, 2.0]])
+        fbar = continuous_extension(F)
+        assert fbar(1, 0.25) == pytest.approx(2.5)
+        assert fbar(1, 2.5) == pytest.approx(1.0)
+
+    def test_vectorized(self):
+        F = np.array([[0.0, 2.0]])
+        fbar = continuous_extension(F)
+        np.testing.assert_allclose(fbar(1, np.array([0.0, 0.5, 1.0])),
+                                   [0.0, 1.0, 2.0])
+
+    def test_bounds_enforced(self):
+        fbar = continuous_extension(np.array([[0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            fbar(1, 1.5)
+        with pytest.raises(IndexError):
+            fbar(2, 0.5)
+
+    def test_convexity_of_extension(self):
+        """eq. (3): linear interpolation of a convex table is convex."""
+        rng = np.random.default_rng(31)
+        inst = random_convex_instance(rng, 1, 9, 1.0)
+        fbar = continuous_extension(inst.F)
+        xs = np.linspace(0, 9, 37)
+        vals = fbar(1, xs)
+        d2 = np.diff(vals, n=2)
+        assert np.all(d2 >= -1e-9)

@@ -1,0 +1,70 @@
+"""Tests for the vectorized kernels in repro._util."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro._util import (argmin_first, argmin_last, prefix_argmin, prefix_min,
+                         suffix_argmin, suffix_min)
+
+finite_arrays = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=60,
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+class TestPrefixSuffixMin:
+    def test_prefix_min_example(self):
+        v = np.array([3.0, 1.0, 2.0, 0.0, 5.0])
+        np.testing.assert_allclose(prefix_min(v), [3, 1, 1, 0, 0])
+
+    def test_suffix_min_example(self):
+        v = np.array([3.0, 1.0, 2.0, 0.0, 5.0])
+        np.testing.assert_allclose(suffix_min(v), [0, 0, 0, 0, 5])
+
+    @given(finite_arrays)
+    def test_prefix_min_matches_naive(self, v):
+        expected = np.array([v[:j + 1].min() for j in range(v.size)])
+        np.testing.assert_allclose(prefix_min(v), expected)
+
+    @given(finite_arrays)
+    def test_suffix_min_matches_naive(self, v):
+        expected = np.array([v[j:].min() for j in range(v.size)])
+        np.testing.assert_allclose(suffix_min(v), expected)
+
+
+class TestArgmins:
+    def test_prefix_argmin_ties_take_smallest(self):
+        v = np.array([2.0, 1.0, 1.0, 3.0])
+        np.testing.assert_array_equal(prefix_argmin(v), [0, 1, 1, 1])
+
+    def test_suffix_argmin_ties_take_largest(self):
+        v = np.array([2.0, 1.0, 1.0, 3.0])
+        np.testing.assert_array_equal(suffix_argmin(v), [2, 2, 2, 3])
+
+    @given(finite_arrays)
+    def test_prefix_argmin_matches_naive(self, v):
+        got = prefix_argmin(v)
+        for j in range(v.size):
+            sub = v[:j + 1]
+            expected = int(np.flatnonzero(sub == sub.min())[0])
+            assert got[j] == expected
+
+    @given(finite_arrays)
+    def test_suffix_argmin_matches_naive(self, v):
+        got = suffix_argmin(v)
+        for j in range(v.size):
+            sub = v[j:]
+            expected = j + int(np.flatnonzero(sub == sub.min())[-1])
+            assert got[j] == expected
+
+    def test_argmin_first_last(self):
+        v = np.array([1.0, 0.0, 0.0, 2.0])
+        assert argmin_first(v) == 1
+        assert argmin_last(v) == 2
+
+    @given(finite_arrays)
+    def test_argmin_first_last_consistent(self, v):
+        lo, hi = argmin_first(v), argmin_last(v)
+        assert lo <= hi
+        assert v[lo] == v.min()
+        assert v[hi] == v.min()

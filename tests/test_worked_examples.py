@@ -1,0 +1,136 @@
+"""Hand-computed worked examples.
+
+Each test pins an algorithm's exact arithmetic on a miniature instance
+small enough to verify with pencil and paper — the reproduction's
+equivalent of the paper's inline examples.  If any of these change, an
+algorithm's semantics changed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.offline import (dp_value_table, solve_backward_lcp, solve_dp,
+                           solve_binary_search)
+from repro.online import (LCP, AlgorithmB, ThresholdFractional,
+                          WorkFunctions, exact_rounding_distribution,
+                          run_online)
+
+
+class TestOfflineByHand:
+    """Instance: beta = 1, m = 2, rows
+    f1 = (4, 1, 0), f2 = (0, 1, 4), f3 = (4, 1, 0)."""
+
+    def make(self):
+        return Instance(beta=1.0, F=np.array([
+            [4.0, 1.0, 0.0],
+            [0.0, 1.0, 4.0],
+            [4.0, 1.0, 0.0],
+        ]))
+
+    def test_dp_value_table(self):
+        """D1 = f1 + x = (4, 2, 2);
+        D2(j) = f2(j) + min(D1 under up-charge):
+          D2(0) = 0 + min(4, 2, 2) = 2
+          D2(1) = 1 + min(4+1, 2, 2) = 3
+          D2(2) = 4 + min(4+2, 2+1, 2) = 6
+        D3(0) = 4 + min(2,3,6) = 6; D3(1) = 1 + min(2+1,3,6) = 4;
+        D3(2) = 0 + min(2+2,3+1,6) = 4."""
+        D = dp_value_table(self.make())
+        np.testing.assert_allclose(D[0], [4, 2, 2])
+        np.testing.assert_allclose(D[1], [2, 3, 6])
+        np.testing.assert_allclose(D[2], [6, 4, 4])
+
+    def test_optimal_cost_and_schedules(self):
+        inst = self.make()
+        res = solve_dp(inst)
+        assert res.cost == pytest.approx(4.0)
+        # The optimum is not unique: (1,1,1) costs 3 ops + 1 up = 4 and
+        # (1,0,1) costs 2 ops + 2 ups = 4.  The smallest-tie backward
+        # reconstruction chooses the smaller state at t=2: (1, 0, 1).
+        np.testing.assert_array_equal(res.schedule, [1, 0, 1])
+        assert solve_binary_search(inst).cost == pytest.approx(4.0)
+        assert solve_backward_lcp(inst).cost == pytest.approx(4.0)
+
+    def test_largest_tie_optimum(self):
+        """(2, 1, 2) costs 0+1+0 + 2+1 = 4 as well? ups: 2 then +1 = 3;
+        total = 1 + 3 = 4. The largest-tie reconstruction must also cost
+        4."""
+        res = solve_dp(self.make(), tie="largest")
+        assert res.cost == pytest.approx(4.0)
+        from repro.core.schedule import cost
+        assert cost(self.make(), res.schedule) == pytest.approx(4.0)
+
+
+class TestWorkFunctionsByHand:
+    def test_two_steps(self):
+        """beta = 1, m = 2, f1 = (4, 1, 0):
+        CL1 = f1 + x = (4, 2, 2)  -> x^L_1 = 1 (smallest argmin)
+        CU1 = f1     = (4, 1, 0)  -> x^U_1 = 2 (largest argmin)
+        After f2 = (0, 1, 4):
+        CL2(x) = f2(x) + min(x' <= x relax) = (2, 3, 6) (DP row 2)
+        CU2 = CL2 - x = (2, 2, 4) -> x^U_2 = 1."""
+        wf = WorkFunctions(2, 1.0, track_U=True)
+        wf.update(np.array([4.0, 1.0, 0.0]))
+        np.testing.assert_allclose(wf.CL, [4, 2, 2])
+        np.testing.assert_allclose(wf.CU, [4, 1, 0])
+        assert wf.bounds() == (1, 2)
+        wf.update(np.array([0.0, 1.0, 4.0]))
+        np.testing.assert_allclose(wf.CL, [2, 3, 6])
+        np.testing.assert_allclose(wf.CU, [2, 2, 4])
+        assert wf.bounds() == (0, 1)
+
+
+class TestLCPByHand:
+    def test_three_steps(self):
+        """Same instance as above: bounds are (1,2) then (0,1) then...
+        LCP: x1 = clamp(0 -> [1,2]) = 1; x2 = clamp(1 -> [0,1]) = 1;
+        f3 = (4,1,0): CL3 = (6,4,4) -> x^L_3 = 1; x^U from
+        CU3 = (6,3,2) -> x^U_3 = 2; x3 = clamp(1 -> [1,2]) = 1."""
+        inst = Instance(beta=1.0, F=np.array([
+            [4.0, 1.0, 0.0],
+            [0.0, 1.0, 4.0],
+            [4.0, 1.0, 0.0],
+        ]))
+        algo = LCP(record_bounds=True)
+        res = run_online(inst, algo)
+        assert algo.bounds_log == [(1, 2), (0, 1), (1, 2)]
+        np.testing.assert_array_equal(res.schedule, [1, 1, 1])
+        assert res.cost == pytest.approx(4.0)
+
+
+class TestThresholdByHand:
+    def test_two_server_steps(self):
+        """beta = 2, m = 2, f = (2, 1, 2): increments g = (-1, +1), so
+        q1 += 1/2, q2 -= 1/2 (clamped at 0): x = 0.5.
+        Repeating the same row: q1 = 1.0, q2 = 0: x = 1.0."""
+        algo = ThresholdFractional()
+        algo.reset(2, 2.0)
+        row = np.array([2.0, 1.0, 2.0])
+        assert algo.step(row) == pytest.approx(0.5)
+        assert algo.step(row) == pytest.approx(1.0)
+        assert algo.step(row) == pytest.approx(1.0)  # clamped
+        np.testing.assert_allclose(algo.thresholds, [1.0, 0.0])
+
+    def test_algorithm_b_steps(self):
+        """beta = 2, phi1 = (0.4, 0): B moves 0.2 per step toward 1."""
+        algo = AlgorithmB()
+        algo.reset(1, 2.0)
+        row = np.array([0.4, 0.0])
+        assert algo.step(row) == pytest.approx(0.2)
+        assert algo.step(row) == pytest.approx(0.4)
+
+
+class TestRoundingByHand:
+    def test_three_step_chain(self):
+        """x-bar = (0.5, 1.5, 1.0):
+        t1: from 0, P(up) = frac = 0.5 -> states {0,1} at (0.5, 0.5);
+        t2: increasing into cell [1,2]; from state <= 1 projection is 1,
+            P(up) = 0.5; from either previous state the same -> p = 0.5;
+            E[(x2-x1)^+]: pairs (0->1):.25*1,(0->2):.25*2,(1->1):.25*0,
+            (1->2):.25*1 = 1.0 = (1.5-0.5)^+.
+        t3: decreasing to integral 1.0: everyone lands on 1, p_up = 0."""
+        dist = exact_rounding_distribution(np.array([0.5, 1.5, 1.0]))
+        np.testing.assert_allclose(dist.p_upper, [0.5, 0.5, 0.0])
+        np.testing.assert_array_equal(dist.lowers, [0, 1, 1])
+        np.testing.assert_allclose(dist.expected_up, [0.5, 1.0, 0.0])

@@ -1,0 +1,173 @@
+"""Tests for the incremental work functions (Section 3.2, Lemmas 7–10)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import cost_L, cost_U
+from repro.online.workfunction import WorkFunctions, update_CL, update_CU
+from tests.conftest import random_convex_instance
+
+
+def brute_CL(inst, tau, x):
+    """min C^L_tau over schedules with x_tau = x (exhaustive)."""
+    best = np.inf
+    for pre in itertools.product(range(inst.m + 1), repeat=tau - 1):
+        X = list(pre) + [x] + [0] * (inst.T - tau)
+        best = min(best, cost_L(inst, X, tau))
+    return best
+
+
+def brute_CU(inst, tau, x):
+    best = np.inf
+    for pre in itertools.product(range(inst.m + 1), repeat=tau - 1):
+        X = list(pre) + [x] + [0] * (inst.T - tau)
+        best = min(best, cost_U(inst, X, tau))
+    return best
+
+
+class TestRecurrences:
+    def test_CL_matches_bruteforce(self):
+        rng = np.random.default_rng(80)
+        for _ in range(8):
+            inst = random_convex_instance(rng, int(rng.integers(1, 4)),
+                                          int(rng.integers(1, 4)),
+                                          float(rng.uniform(0.3, 3)))
+            wf = WorkFunctions(inst.m, inst.beta)
+            for tau in range(1, inst.T + 1):
+                wf.update(inst.F[tau - 1])
+                for x in range(inst.m + 1):
+                    assert wf.CL[x] == pytest.approx(
+                        brute_CL(inst, tau, x)), (tau, x)
+
+    def test_CU_matches_bruteforce(self):
+        rng = np.random.default_rng(81)
+        for _ in range(8):
+            inst = random_convex_instance(rng, int(rng.integers(1, 4)),
+                                          int(rng.integers(1, 4)),
+                                          float(rng.uniform(0.3, 3)))
+            wf = WorkFunctions(inst.m, inst.beta, track_U=True)
+            for tau in range(1, inst.T + 1):
+                wf.update(inst.F[tau - 1])
+                for x in range(inst.m + 1):
+                    assert wf.CU[x] == pytest.approx(
+                        brute_CU(inst, tau, x)), (tau, x)
+
+    def test_first_step_formulas(self):
+        """hat-C^L_1 = f_1 + beta x; hat-C^U_1 = f_1."""
+        f = np.array([3.0, 1.0, 0.5, 2.0])
+        np.testing.assert_allclose(update_CL(None, f, 2.0),
+                                   f + 2.0 * np.arange(4))
+        np.testing.assert_allclose(update_CU(None, f, 2.0), f)
+
+
+class TestLemma7:
+    def test_identity_CL_CU(self):
+        """hat-C^L_tau(x) = hat-C^U_tau(x) + beta x for every tau, x."""
+        rng = np.random.default_rng(82)
+        for _ in range(10):
+            inst = random_convex_instance(rng, int(rng.integers(1, 12)),
+                                          int(rng.integers(1, 9)),
+                                          float(rng.uniform(0.3, 4)))
+            wf = WorkFunctions(inst.m, inst.beta, track_U=True)
+            states = np.arange(inst.m + 1)
+            for tau in range(1, inst.T + 1):
+                wf.update(inst.F[tau - 1])
+                np.testing.assert_allclose(wf.CL,
+                                           wf.CU + inst.beta * states,
+                                           atol=1e-9)
+
+
+class TestLemma8:
+    def test_work_functions_convex(self):
+        rng = np.random.default_rng(83)
+        for _ in range(10):
+            inst = random_convex_instance(rng, int(rng.integers(1, 15)),
+                                          int(rng.integers(2, 10)),
+                                          float(rng.uniform(0.3, 4)))
+            wf = WorkFunctions(inst.m, inst.beta)
+            for tau in range(1, inst.T + 1):
+                wf.update(inst.F[tau - 1])
+                for table in (wf.CL, wf.CU):
+                    d2 = np.diff(table, n=2)
+                    assert np.all(d2 >= -1e-9 * max(1, np.abs(table).max()))
+
+
+class TestLemma9and10:
+    def test_slope_beta_at_xU(self):
+        """Delta hat-C^L(x^U) <= beta and Delta hat-C^L(x^U + 1) >= beta."""
+        rng = np.random.default_rng(84)
+        for _ in range(15):
+            inst = random_convex_instance(rng, int(rng.integers(1, 12)),
+                                          int(rng.integers(1, 9)),
+                                          float(rng.uniform(0.3, 4)))
+            wf = WorkFunctions(inst.m, inst.beta)
+            for tau in range(1, inst.T + 1):
+                wf.update(inst.F[tau - 1])
+                xu = wf.x_upper()
+                CL = wf.CL
+                if xu >= 1:
+                    assert CL[xu] - CL[xu - 1] <= inst.beta + 1e-9
+                if xu + 1 <= inst.m:
+                    assert CL[xu + 1] - CL[xu] >= inst.beta - 1e-9
+
+    def test_slope_at_most_beta_below_xU(self):
+        """Lemma 10: Delta hat-C^L(x) <= beta for all x <= x^U."""
+        rng = np.random.default_rng(85)
+        for _ in range(15):
+            inst = random_convex_instance(rng, int(rng.integers(1, 10)),
+                                          int(rng.integers(1, 9)),
+                                          float(rng.uniform(0.3, 4)))
+            wf = WorkFunctions(inst.m, inst.beta)
+            for tau in range(1, inst.T + 1):
+                wf.update(inst.F[tau - 1])
+                xu = wf.x_upper()
+                CL = wf.CL
+                for x in range(1, xu + 1):
+                    assert CL[x] - CL[x - 1] <= inst.beta + 1e-9
+
+
+class TestBounds:
+    def test_bounds_ordering(self):
+        rng = np.random.default_rng(86)
+        for _ in range(20):
+            inst = random_convex_instance(rng, int(rng.integers(1, 15)),
+                                          int(rng.integers(1, 10)),
+                                          float(rng.uniform(0.3, 4)))
+            wf = WorkFunctions(inst.m, inst.beta)
+            for tau in range(1, inst.T + 1):
+                wf.update(inst.F[tau - 1])
+                lo, hi = wf.bounds()
+                assert 0 <= lo <= hi <= inst.m
+
+    def test_bounds_match_paper_definitions(self):
+        """x^L = smallest last state of an optimizer of C^L_tau;
+        x^U = largest last state of an optimizer of C^U_tau."""
+        rng = np.random.default_rng(87)
+        for _ in range(6):
+            inst = random_convex_instance(rng, 3, 3, 1.2)
+            wf = WorkFunctions(inst.m, inst.beta)
+            for tau in range(1, inst.T + 1):
+                wf.update(inst.F[tau - 1])
+                tablesL = [brute_CL(inst, tau, x) for x in range(inst.m + 1)]
+                tablesU = [brute_CU(inst, tau, x) for x in range(inst.m + 1)]
+                bestL = min(tablesL)
+                bestU = min(tablesU)
+                expectL = min(x for x, v in enumerate(tablesL)
+                              if v <= bestL + 1e-12)
+                expectU = max(x for x, v in enumerate(tablesU)
+                              if v <= bestU + 1e-12)
+                assert wf.x_lower() == expectL
+                assert wf.x_upper() == expectU
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkFunctions(-1, 1.0)
+        with pytest.raises(ValueError):
+            WorkFunctions(3, 0.0)
+        wf = WorkFunctions(3, 1.0)
+        with pytest.raises(RuntimeError):
+            _ = wf.CL
+        with pytest.raises(ValueError):
+            wf.update(np.zeros(3))

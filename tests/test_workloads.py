@@ -1,0 +1,132 @@
+"""Tests for the synthetic workload generators and trace builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import is_convex_table
+from repro.workloads import (bursty_loads, capacity_for, constant_loads,
+                             default_server_cost, diurnal_loads,
+                             hotmail_like_loads, instance_from_loads,
+                             msr_like_loads, onoff_loads, peak_to_mean_ratio,
+                             random_walk_loads, restricted_from_loads,
+                             sawtooth_loads)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen,kwargs", [
+        (diurnal_loads, dict(peak=10.0)),
+        (bursty_loads, dict(peak=10.0)),
+        (random_walk_loads, dict(peak=10.0)),
+        (onoff_loads, dict(peak=10.0)),
+        (msr_like_loads, dict(peak=10.0)),
+        (hotmail_like_loads, dict(peak=10.0)),
+    ])
+    def test_shape_and_nonnegativity(self, gen, kwargs):
+        loads = gen(200, rng=np.random.default_rng(0), **kwargs)
+        assert loads.shape == (200,)
+        assert np.all(loads >= 0)
+
+    @pytest.mark.parametrize("gen,kwargs", [
+        (diurnal_loads, dict(peak=10.0)),
+        (bursty_loads, dict(peak=10.0)),
+        (random_walk_loads, dict(peak=10.0)),
+        (onoff_loads, dict(peak=10.0)),
+        (msr_like_loads, dict(peak=10.0)),
+        (hotmail_like_loads, dict(peak=10.0)),
+    ])
+    def test_seed_determinism(self, gen, kwargs):
+        a = gen(100, rng=np.random.default_rng(7), **kwargs)
+        b = gen(100, rng=np.random.default_rng(7), **kwargs)
+        np.testing.assert_array_equal(a, b)
+
+    def test_diurnal_period_structure(self):
+        loads = diurnal_loads(48, peak=10.0, period=24, noise=0.0)
+        # Trough at t=0, peak mid-period.
+        assert loads[12] > loads[0]
+        assert loads[0] == pytest.approx(loads[24])
+
+    def test_diurnal_base_frac(self):
+        loads = diurnal_loads(48, peak=10.0, base_frac=0.5, noise=0.0)
+        assert loads.min() == pytest.approx(5.0, abs=1e-6)
+        assert loads.max() == pytest.approx(10.0, abs=1e-6)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_loads(10, peak=-1.0)
+        with pytest.raises(ValueError):
+            diurnal_loads(10, peak=1.0, base_frac=1.5)
+
+    def test_sawtooth_shape(self):
+        loads = sawtooth_loads(10, peak=9.0, period=10)
+        np.testing.assert_allclose(loads, np.arange(10.0))
+
+    def test_constant(self):
+        np.testing.assert_allclose(constant_loads(5, 3.0), 3.0)
+        with pytest.raises(ValueError):
+            constant_loads(5, -1.0)
+
+    def test_random_walk_reflects_at_bounds(self):
+        loads = random_walk_loads(500, peak=5.0, step_frac=0.3,
+                                  rng=np.random.default_rng(3))
+        assert np.all(loads >= 0) and np.all(loads <= 5.0)
+
+    def test_onoff_two_levels(self):
+        loads = onoff_loads(300, peak=8.0, base_frac=0.25,
+                            rng=np.random.default_rng(4))
+        assert set(np.round(loads, 6)) <= {2.0, 8.0}
+
+    def test_pmr_targets(self):
+        """MSR-like traces are smoother than Hotmail-like ones."""
+        rng = np.random.default_rng(5)
+        msr = peak_to_mean_ratio(msr_like_loads(24 * 14, rng=rng))
+        hot = peak_to_mean_ratio(hotmail_like_loads(24 * 14,
+                                                    rng=np.random.default_rng(5)))
+        assert 1.2 < msr < 3.5
+        assert hot > msr
+
+    def test_pmr_validation(self):
+        with pytest.raises(ValueError):
+            peak_to_mean_ratio(np.zeros(5))
+
+
+class TestBuilders:
+    def test_capacity_for(self):
+        assert capacity_for(np.array([4.0, 7.9]), slack=1.25) == 10
+        assert capacity_for(np.array([0.0])) == 1
+
+    def test_instance_rows_convex(self):
+        loads = diurnal_loads(30, peak=6.0, rng=np.random.default_rng(1))
+        inst = instance_from_loads(loads, m=8, beta=3.0, sla_penalty=2.0)
+        assert inst.T == 30 and inst.m == 8
+        for t in range(30):
+            assert is_convex_table(inst.F[t])
+
+    def test_instance_rejects_undersized_m(self):
+        with pytest.raises(ValueError):
+            instance_from_loads(np.array([5.0]), m=4, beta=1.0)
+
+    def test_energy_delay_tension(self):
+        """Cost decreases then increases around the sweet spot."""
+        inst = instance_from_loads(np.array([4.0]), m=12, beta=1.0,
+                                   energy=1.0, delay_weight=8.0)
+        row = inst.F[0]
+        j = int(np.argmin(row))
+        assert 4 <= j <= 12
+        assert row[0] > row[j] or row[0] == pytest.approx(row[j])
+
+    def test_restricted_builder(self):
+        loads = diurnal_loads(20, peak=5.0, rng=np.random.default_rng(2))
+        ri = restricted_from_loads(loads, m=6, beta=2.0)
+        assert ri.T == 20
+        inst = ri.to_general()
+        res_schedule = np.full(20, 6)
+        assert ri.is_feasible(res_schedule)
+        for t in range(20):
+            assert is_convex_table(inst.F[t])
+
+    def test_default_server_cost_convex_increasing(self):
+        f = default_server_cost()
+        zs = np.linspace(0, 1, 11)
+        vals = np.array([f(z) for z in zs])
+        assert np.all(np.diff(vals) >= 0)
+        assert np.all(np.diff(vals, n=2) >= -1e-12)

@@ -1,0 +1,85 @@
+"""Tests for the regime-switching and composition workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (compose_loads, constant_loads, diurnal_loads,
+                             regime_switching_loads)
+
+
+class TestRegimeSwitching:
+    def test_levels_respected(self):
+        loads = regime_switching_loads(500, peak=10.0,
+                                       levels=(0.2, 0.6, 1.0),
+                                       rng=np.random.default_rng(0))
+        assert set(np.round(loads, 6)) <= {2.0, 6.0, 10.0}
+
+    def test_dwell_controls_switch_rate(self):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        fast = regime_switching_loads(2000, peak=5.0, dwell=3.0, rng=rng1)
+        slow = regime_switching_loads(2000, peak=5.0, dwell=50.0, rng=rng2)
+        changes = lambda x: int(np.count_nonzero(np.diff(x)))
+        assert changes(fast) > changes(slow)
+
+    def test_never_repeats_level_on_switch(self):
+        loads = regime_switching_loads(1000, peak=1.0,
+                                       levels=(0.1, 0.5, 0.9),
+                                       dwell=5.0,
+                                       rng=np.random.default_rng(2))
+        d = np.diff(loads)
+        boundaries = np.flatnonzero(d)
+        # A regime change always lands on a different level by design;
+        # every boundary shows a real jump.
+        assert np.all(np.abs(d[boundaries]) > 1e-9)
+
+    def test_seed_determinism(self):
+        a = regime_switching_loads(300, peak=7.0,
+                                   rng=np.random.default_rng(3))
+        b = regime_switching_loads(300, peak=7.0,
+                                   rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regime_switching_loads(10, peak=1.0, levels=())
+        with pytest.raises(ValueError):
+            regime_switching_loads(10, peak=1.0, dwell=0.5)
+
+
+class TestCompose:
+    def test_weighted_sum(self):
+        a = constant_loads(5, 2.0)
+        b = constant_loads(5, 3.0)
+        out = compose_loads(a, b, weights=[1.0, 2.0])
+        np.testing.assert_allclose(out, 8.0)
+
+    def test_default_weights(self):
+        a = constant_loads(4, 1.0)
+        np.testing.assert_allclose(compose_loads(a, a), 2.0)
+
+    def test_clipping_at_zero(self):
+        a = constant_loads(3, 1.0)
+        out = compose_loads(a, a, weights=[1.0, -5.0])
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compose_loads(constant_loads(3, 1.0), constant_loads(4, 1.0))
+
+    def test_weight_count_checked(self):
+        a = constant_loads(3, 1.0)
+        with pytest.raises(ValueError):
+            compose_loads(a, a, weights=[1.0])
+
+    def test_daily_plus_weekly_shape(self):
+        rng = np.random.default_rng(4)
+        daily = diurnal_loads(24 * 7, peak=10.0, period=24, noise=0.0,
+                              rng=rng)
+        weekly = diurnal_loads(24 * 7, peak=4.0, period=24 * 7, noise=0.0,
+                               rng=rng)
+        out = compose_loads(daily, weekly)
+        assert out.shape == (24 * 7,)
+        assert out.max() <= 14.0 + 1e-9
+        # The weekly modulation separates identical daily phases.
+        assert abs(out[12] - out[12 + 24 * 3]) > 0.1
