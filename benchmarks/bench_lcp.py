@@ -8,47 +8,27 @@ adversarial hinge family pushing toward it.
 import numpy as np
 
 from repro.analysis import optimal_cost
-from repro.core.instance import Instance
 from repro.online import LCP, run_online
+from repro.runner import GridSpec, run_grid
+from repro.runner.scenarios import TRACE_FAMILIES, adversarial_hinge_instance
 
-from conftest import random_convex_instance, record, trace_suite
-
-
-def _hinge_instance(T: int, eps: float) -> Instance:
-    """The trace the Theorem-4 adversary produces against LCP, replayed
-    non-adaptively: blocks of ~2/eps identical hinges, flipping right
-    after LCP's laziness threshold (k eps >= beta) so LCP pays waiting
-    cost ~beta, then switching beta, every block."""
-    block = int(np.ceil(2.0 / eps)) + 1
-    rows = np.empty((T, 2))
-    for t in range(T):
-        up_phase = (t // block) % 2 == 0
-        rows[t] = [eps, 0.0] if up_phase else [0.0, eps]
-    return Instance(beta=2.0, F=rows)
+from conftest import record, trace_suite
 
 
 def test_e4_ratio_table(benchmark):
-    rows = []
-    worst = 0.0
-    for name, inst in trace_suite(T=168):
-        res = run_online(inst, LCP())
-        opt = optimal_cost(inst)
-        rows.append({"workload": name, "beta": inst.beta,
-                     "lcp_cost": res.cost, "opt_cost": opt,
-                     "ratio": res.cost / opt})
-        worst = max(worst, res.cost / opt)
-    rng = np.random.default_rng(21)
-    for i in range(3):
-        inst = random_convex_instance(rng, 100, 20,
-                                      float(rng.uniform(0.5, 6)))
-        res = run_online(inst, LCP())
-        opt = optimal_cost(inst)
-        rows.append({"workload": f"random-{i}", "beta": inst.beta,
-                     "lcp_cost": res.cost, "opt_cost": opt,
-                     "ratio": res.cost / opt})
-        worst = max(worst, res.cost / opt)
+    # Engine-backed grid: the five trace families (one seed) plus three
+    # random convex instances (one per seed), all through `run_grid`.
+    grid_rows = run_grid(GridSpec(scenarios=TRACE_FAMILIES,
+                                  algorithms=("lcp",), seeds=(0,),
+                                  sizes=(168,)))
+    grid_rows += run_grid(GridSpec(scenarios=("random-convex",),
+                                   algorithms=("lcp",), seeds=(0, 1, 2),
+                                   sizes=(100,)))
+    rows = [{"workload": f"{r['scenario']}/{r['seed']}", "beta": r["beta"],
+             "lcp_cost": r["cost"], "opt_cost": r["opt"],
+             "ratio": r["ratio"]} for r in grid_rows]
     record("E4_lcp_ratios", rows, title="E4: LCP competitive ratios")
-    assert worst <= 3.0 + 1e-7
+    assert max(r["ratio"] for r in grid_rows) <= 3.0 + 1e-7
     # Timing: LCP replay on a long trace.
     name, inst = trace_suite(T=2000)[1]
     benchmark(run_online, inst, LCP())
@@ -58,7 +38,7 @@ def test_e4_adversarial_ratio_approaches_three(benchmark):
     rows = []
     for eps in (0.2, 0.1, 0.05, 0.02):
         T = int(6 / eps ** 2)
-        inst = _hinge_instance(T, eps)
+        inst = adversarial_hinge_instance(T, eps)
         res = run_online(inst, LCP())
         opt = optimal_cost(inst)
         rows.append({"eps": eps, "T": T, "ratio": res.cost / opt})
@@ -67,7 +47,7 @@ def test_e4_adversarial_ratio_approaches_three(benchmark):
     ratios = [r["ratio"] for r in rows]
     assert ratios[-1] > 2.8
     assert all(r <= 3.0 + 1e-7 for r in ratios)
-    benchmark(run_online, _hinge_instance(2000, 0.05), LCP())
+    benchmark(run_online, adversarial_hinge_instance(2000, 0.05), LCP())
 
 
 def test_e4_beta_sweep(benchmark):

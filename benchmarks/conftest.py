@@ -18,8 +18,9 @@ import pytest
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from repro import Instance  # noqa: E402
 from repro.analysis import format_table  # noqa: E402
+from repro.runner.scenarios import trace_suite  # noqa: E402,F401
+from repro.workloads import random_convex_instance  # noqa: E402,F401
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
@@ -33,41 +34,6 @@ def record(name: str, rows, columns=None, title: str | None = None) -> str:
     return text
 
 
-def random_convex_instance(rng: np.random.Generator, T: int, m: int,
-                           beta: float, scale: float = 5.0) -> Instance:
-    """Same generator as the test suite's conftest (duplicated here so the
-    benchmarks are runnable standalone)."""
-    rows = np.empty((T, m + 1))
-    for t in range(T):
-        slopes = np.sort(rng.uniform(-scale, scale, m))
-        vals = np.concatenate([[0.0], np.cumsum(slopes)])
-        vals -= vals.min()
-        vals += rng.uniform(0, scale / 5)
-        rows[t] = vals
-    return Instance(beta=beta, F=rows)
-
-
 @pytest.fixture
 def rng():
     return np.random.default_rng(2018)
-
-
-def trace_suite(T: int = 168, seed: int = 0):
-    """The workload families used by the online-algorithm experiments."""
-    from repro.workloads import (bursty_loads, capacity_for, diurnal_loads,
-                                 hotmail_like_loads, instance_from_loads,
-                                 msr_like_loads, onoff_loads)
-
-    rng = np.random.default_rng(seed)
-    suites = []
-    for name, loads in [
-        ("diurnal", diurnal_loads(T, peak=24.0, rng=rng)),
-        ("msr-like", msr_like_loads(T, peak=24.0, rng=rng)),
-        ("hotmail-like", hotmail_like_loads(T, peak=24.0, rng=rng)),
-        ("bursty", bursty_loads(T, peak=24.0, rng=rng)),
-        ("onoff", onoff_loads(T, peak=24.0, rng=rng)),
-    ]:
-        m = capacity_for(loads)
-        inst = instance_from_loads(loads, m=m, beta=4.0, delay_weight=10.0)
-        suites.append((name, inst))
-    return suites

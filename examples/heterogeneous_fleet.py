@@ -14,7 +14,7 @@ Run:  python examples/heterogeneous_fleet.py
 import numpy as np
 
 from repro.analysis import format_table, schedule_chart
-from repro.extensions import (hetero_cost, hetero_instance_from_loads,
+from repro.extensions import (hetero_instance_from_loads,
                               solve_dp_hetero, solve_greedy_hetero,
                               solve_static_hetero)
 from repro.workloads import diurnal_loads

@@ -4,6 +4,13 @@ A sweep is the cartesian product of parameter axes; each grid point is
 evaluated by a user function returning a dict of measurements, and the
 results are collected as a list of flat row dicts ready for
 :mod:`repro.analysis.tables`.
+
+Evaluation runs through the batch engine's
+:func:`repro.runner.engine.parallel_map`, so passing ``n_jobs > 1``
+fans grid points out over a process pool (the function must then be
+picklable, i.e. module-level).  For named (scenario x algorithm) grids
+with caching and competitive-ratio aggregation, prefer
+:func:`repro.runner.run_grid`.
 """
 
 from __future__ import annotations
@@ -11,21 +18,36 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Mapping, Sequence
 
+from ..runner.engine import parallel_map
+
 __all__ = ["sweep"]
 
 
-def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence]) -> list[dict]:
+class _Eval:
+    """Picklable ``point -> fn(**point)`` wrapper for the process pool."""
+
+    def __init__(self, fn: Callable[..., Mapping]):
+        self.fn = fn
+
+    def __call__(self, point: dict) -> dict:
+        return dict(self.fn(**point))
+
+
+def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence], *,
+          n_jobs: int = 1) -> list[dict]:
     """Evaluate ``fn(**point)`` on every point of the parameter grid.
 
     ``grid`` maps parameter names to value lists; the returned rows merge
     the grid point with ``fn``'s measurement dict (measurements win on
-    key collisions being forbidden).
+    key collisions being forbidden).  ``n_jobs > 1`` evaluates points on
+    a process pool; row order is always the grid-product order.
     """
     names = list(grid.keys())
+    points = [dict(zip(names, values))
+              for values in itertools.product(*(grid[n] for n in names))]
+    results = parallel_map(_Eval(fn), points, n_jobs=n_jobs)
     rows = []
-    for values in itertools.product(*(grid[n] for n in names)):
-        point = dict(zip(names, values))
-        result = dict(fn(**point))
+    for point, result in zip(points, results):
         clash = set(point) & set(result)
         if clash:
             raise ValueError(f"measurement keys collide with grid: {clash}")

@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Three subcommands, mirroring the library's three pillars:
+Subcommands, mirroring the library's pillars:
 
 * ``repro solve``     — optimal offline schedule for a generated (or CSV)
   load trace, with solver selection and cost breakdown.
 * ``repro simulate``  — replay online algorithms on a trace and report
   costs and empirical ratios against the offline optimum.
+* ``repro sweep``     — batch (scenario x algorithm x seed x size) grids
+  through the parallel engine, with caching and ratio aggregation.
+* ``repro bench``     — predefined engine grids with wall-clock timing.
 * ``repro lowerbound`` — run the Section 5 adversarial games and print
   the ratio-vs-eps curves.
 
@@ -13,6 +16,9 @@ Examples::
 
     repro solve --workload diurnal -T 96 --peak 20 --beta 6
     repro simulate --workload hotmail -T 168 --algorithms lcp,threshold
+    repro sweep --scenarios diurnal,bursty --algorithms lcp,threshold \
+        --seeds 0,1,2 -T 168 --n-jobs 4
+    repro bench --grid traces --n-jobs 4
     repro lowerbound --kind deterministic --eps 0.2,0.1,0.05
     repro solve --loads-csv trace.csv --beta 4 --solver dp
 """
@@ -21,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -31,6 +38,26 @@ _WORKLOADS = ("diurnal", "msr", "hotmail", "bursty", "onoff", "sawtooth",
 _SOLVERS = ("binary_search", "dp", "graph", "lp")
 _ALGORITHMS = ("lcp", "threshold", "randomized", "memoryless", "followmin",
                "rhc", "afhc")
+
+#: predefined engine grids for ``repro bench``
+_BENCH_GRIDS = {
+    "smoke": dict(scenarios=("diurnal", "bursty", "adversarial-hinge"),
+                  algorithms=("lcp", "threshold", "randomized"),
+                  seeds=(0,), sizes=(24,)),
+    "traces": dict(scenarios=("diurnal", "msr-like", "hotmail-like",
+                              "bursty", "onoff"),
+                   algorithms=("lcp", "threshold", "randomized",
+                               "memoryless"),
+                   seeds=(0, 1, 2), sizes=(168,)),
+    "solvers": dict(scenarios=("diurnal", "random-convex", "hetero-mix"),
+                    algorithms=("binary_search", "dp", "graph", "lp"),
+                    seeds=(0, 1), sizes=(96,)),
+    "adversarial": dict(scenarios=("adversarial-hinge", "sawtooth",
+                                   "regime-switching"),
+                        algorithms=("lcp", "threshold", "randomized",
+                                    "memoryless"),
+                        seeds=(0,), sizes=(168, 1200)),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +96,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help=f"comma list from {_ALGORITHMS}")
     sp.add_argument("--lookahead", type=int, default=0,
                     help="prediction window w for lcp/rhc/afhc")
+
+    def add_engine_args(sp):
+        sp.add_argument("--n-jobs", type=int, default=1,
+                        help="worker processes (1 = in-process)")
+        sp.add_argument("--cache-dir", metavar="DIR",
+                        help="cache grid results as JSON under DIR")
+        sp.add_argument("--force", action="store_true",
+                        help="recompute even on a cache hit")
+
+    sp = sub.add_parser("sweep",
+                        help="batch a (scenario x algorithm x seed x size) "
+                             "grid through the parallel engine")
+    sp.add_argument("--scenarios",
+                    default="diurnal,msr-like,hotmail-like,bursty,onoff",
+                    help="comma list of scenario names (see --list)")
+    sp.add_argument("--algorithms",
+                    default="lcp,threshold,randomized,memoryless",
+                    help="comma list of registry names (see --list)")
+    sp.add_argument("--seeds", default="0,1,2",
+                    help="comma list of integer seeds")
+    sp.add_argument("-T", default="168",
+                    help="comma list of horizon lengths")
+    sp.add_argument("--lookahead", type=int, default=0,
+                    help="prediction window for lookahead algorithms")
+    sp.add_argument("--per-row", action="store_true",
+                    help="print every job row, not only aggregates")
+    sp.add_argument("--list", action="store_true",
+                    help="list scenarios and registered algorithms")
+    add_engine_args(sp)
+
+    sp = sub.add_parser("bench",
+                        help="run a predefined engine grid with timing")
+    sp.add_argument("--grid", choices=sorted(_BENCH_GRIDS),
+                    default="smoke")
+    add_engine_args(sp)
 
     sp = sub.add_parser("lowerbound", help="Section 5 adversarial games")
     sp.add_argument("--kind",
@@ -146,20 +208,8 @@ def _cmd_solve(args) -> int:
 
 
 def _make_algorithm(name: str, lookahead: int):
-    from .online import (LCP, AveragingFixedHorizonControl,
-                         FollowTheMinimizer, MemorylessBalance,
-                         RandomizedRounding, RecedingHorizonControl,
-                         ThresholdFractional)
-    return {
-        "lcp": lambda: LCP(lookahead=lookahead),
-        "threshold": ThresholdFractional,
-        "randomized": lambda: RandomizedRounding(ThresholdFractional(),
-                                                 rng=0),
-        "memoryless": MemorylessBalance,
-        "followmin": FollowTheMinimizer,
-        "rhc": lambda: RecedingHorizonControl(lookahead=lookahead),
-        "afhc": lambda: AveragingFixedHorizonControl(lookahead=lookahead),
-    }[name]()
+    from .runner import make_algorithm
+    return make_algorithm(name, lookahead=lookahead, seed=0)
 
 
 def _cmd_simulate(args) -> int:
@@ -179,6 +229,80 @@ def _cmd_simulate(args) -> int:
     print(format_table(rows, title=f"online simulation "
                                    f"(T={inst.T}, m={inst.m}, "
                                    f"beta={inst.beta})"))
+    return 0
+
+
+def _split(csv: str, cast=str) -> tuple:
+    try:
+        return tuple(cast(part.strip()) for part in csv.split(",")
+                     if part.strip())
+    except ValueError:
+        raise SystemExit(f"could not parse comma list {csv!r}") from None
+
+
+def _build_spec(scenarios, algorithms, seeds, sizes, lookahead=0,
+                instance_seed=None):
+    """Validate names against the catalogs and build a GridSpec."""
+    from .runner import (GridSpec, algorithm_names, scenario_names,
+                         solver_names)
+    known_scenarios = scenario_names()
+    known_algorithms = algorithm_names() + solver_names()
+    for name in scenarios:
+        if name not in known_scenarios:
+            raise SystemExit(f"unknown scenario {name!r}; choose from "
+                             f"{sorted(known_scenarios)}")
+    for name in algorithms:
+        if name not in known_algorithms:
+            raise SystemExit(f"unknown algorithm {name!r}; choose from "
+                             f"{sorted(known_algorithms)}")
+    try:
+        return GridSpec(scenarios=scenarios, algorithms=algorithms,
+                        seeds=seeds, sizes=sizes, lookahead=lookahead,
+                        instance_seed=instance_seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _print_grid_results(rows, per_row: bool, title: str) -> None:
+    from .analysis import format_table
+    from .runner import aggregate_rows
+    if per_row:
+        print(format_table(rows, title=f"{title} — rows"))
+    print(format_table(aggregate_rows(rows),
+                       title=f"{title} — aggregate ratios"))
+
+
+def _cmd_sweep(args) -> int:
+    if args.list:
+        from .runner import algorithm_table, get_scenario, scenario_names
+        print("scenarios:")
+        for name in scenario_names():
+            print(f"  {name:20s} {get_scenario(name).summary}")
+        print("\nalgorithms/solvers:\n")
+        print(algorithm_table())
+        return 0
+    from .runner import run_grid
+    spec = _build_spec(_split(args.scenarios), _split(args.algorithms),
+                       _split(args.seeds, int), _split(args.T, int),
+                       lookahead=args.lookahead)
+    rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=args.cache_dir,
+                    force=args.force)
+    _print_grid_results(rows, args.per_row,
+                        f"sweep {len(spec)} jobs (key {spec.cache_key()})")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .runner import GridSpec, run_grid
+    spec = GridSpec(**_BENCH_GRIDS[args.grid])
+    start = time.perf_counter()
+    rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=args.cache_dir,
+                    force=args.force)
+    elapsed = time.perf_counter() - start
+    _print_grid_results(rows, per_row=False,
+                        title=f"bench grid {args.grid!r}")
+    print(f"\n{len(rows)} jobs in {elapsed:.2f}s "
+          f"({len(rows) / elapsed:.1f} jobs/s, n_jobs={args.n_jobs})")
     return 0
 
 
@@ -231,6 +355,7 @@ def _cmd_report(args) -> int:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     return {"solve": _cmd_solve, "simulate": _cmd_simulate,
+            "sweep": _cmd_sweep, "bench": _cmd_bench,
             "lowerbound": _cmd_lowerbound, "report": _cmd_report
             }[args.command](args)
 

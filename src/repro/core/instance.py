@@ -27,7 +27,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .costs import (CostFunction, PerspectiveCost, check_cost_matrix,
+from .costs import (PerspectiveCost, check_cost_matrix,
                     tabulate_many)
 
 __all__ = ["Instance", "RestrictedInstance"]

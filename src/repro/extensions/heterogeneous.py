@@ -32,8 +32,6 @@ import dataclasses
 
 import numpy as np
 
-from .._util import prefix_min, suffix_min
-
 __all__ = [
     "HeterogeneousInstance",
     "hetero_instance_from_loads",

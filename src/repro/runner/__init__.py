@@ -1,0 +1,30 @@
+"""Batch experiment runner: registry, scenario catalog, parallel engine.
+
+The runner is the substrate every large-scale experiment stands on:
+
+* :mod:`repro.runner.registry` — every offline solver and online
+  algorithm under a stable name with the paper's taxonomy (variant,
+  discrete/fractional, competitive ratio, lookahead support).
+* :mod:`repro.runner.scenarios` — one named catalog of workload
+  scenarios: the trace families of the experimental evaluation plus
+  adversarial, random-convex and heterogeneous-cost instances.
+* :mod:`repro.runner.engine` — expands a :class:`GridSpec` of
+  (scenario x algorithm x seed x size) into jobs, executes them on a
+  ``multiprocessing`` pool with deterministic per-job seeding, caches
+  results as JSON and aggregates competitive ratios.
+"""
+
+from .engine import (GridSpec, aggregate_rows, cache_path, parallel_map,
+                     run_grid)
+from .registry import (AlgorithmSpec, algorithm_names, algorithm_table,
+                       get_spec, make_algorithm, make_solver, solver_names)
+from .scenarios import (Scenario, build_instance, get_scenario,
+                        scenario_names, trace_suite)
+
+__all__ = [
+    "AlgorithmSpec", "algorithm_names", "algorithm_table", "get_spec",
+    "make_algorithm", "make_solver", "solver_names",
+    "Scenario", "build_instance", "get_scenario", "scenario_names",
+    "trace_suite",
+    "GridSpec", "aggregate_rows", "cache_path", "parallel_map", "run_grid",
+]

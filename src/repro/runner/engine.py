@@ -1,0 +1,210 @@
+"""Parallel batch engine for experiment grids.
+
+A :class:`GridSpec` names the cartesian product of
+(scenario x algorithm x seed x horizon); the engine expands it into
+jobs, executes them — in-process or on a ``multiprocessing`` pool with
+chunking — and aggregates empirical competitive ratios.  Three
+properties make it the substrate for every large experiment:
+
+* **Determinism** — a job is reproducible from its coordinates alone:
+  the scenario instance is seeded from ``(scenario, seed)`` and any
+  algorithm randomness from a stable hash of the full coordinates, so
+  ``n_jobs=1`` and ``n_jobs=8`` produce bit-identical rows.
+* **Caching** — results persist as JSON under a cache directory, keyed
+  by a hash of the spec (plus engine version); re-running the same grid
+  is a file read, changing any coordinate invalidates the key.
+* **Chunking** — jobs are handed to workers in contiguous chunks to
+  amortize IPC, while row order always matches job order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import pathlib
+import zlib
+
+__all__ = [
+    "GridSpec",
+    "run_grid",
+    "aggregate_rows",
+    "cache_path",
+    "parallel_map",
+]
+
+#: bump when row contents / seeding change, to invalidate stale caches
+ENGINE_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class GridSpec:
+    """A grid of experiment jobs.
+
+    ``seeds`` seed the scenario builder (one instance per seed) unless
+    ``instance_seed`` is set, in which case every job shares the one
+    instance and the seeds only drive algorithm randomness — the shape
+    Monte-Carlo experiments need.  ``algorithms`` may name online
+    algorithms and offline solvers interchangeably; both are resolved
+    through :mod:`repro.runner.registry`.
+    """
+
+    scenarios: tuple[str, ...]
+    algorithms: tuple[str, ...]
+    seeds: tuple[int, ...] = (0,)
+    sizes: tuple[int, ...] = (168,)
+    lookahead: int = 0
+    instance_seed: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "sizes", tuple(int(t) for t in self.sizes))
+        if not (self.scenarios and self.algorithms and self.seeds
+                and self.sizes):
+            raise ValueError("grid axes must all be non-empty")
+        if any(s < 0 for s in self.seeds) or (
+                self.instance_seed is not None and self.instance_seed < 0):
+            raise ValueError("seeds must be non-negative")
+        if any(t < 1 for t in self.sizes):
+            raise ValueError("sizes must be positive horizons")
+
+    def to_dict(self) -> dict:
+        """JSON-canonical form (lists, not tuples) so a dict loaded back
+        from a cache file compares equal to a live spec's."""
+        d = {k: list(v) if isinstance(v, tuple) else v
+             for k, v in dataclasses.asdict(self).items()}
+        d["engine_version"] = ENGINE_VERSION
+        return d
+
+    def cache_key(self) -> str:
+        """Stable content hash of the spec (and engine version)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def jobs(self) -> list[tuple]:
+        """Expand into job coordinate tuples, in deterministic order."""
+        out = []
+        for T in self.sizes:
+            for scenario in self.scenarios:
+                for seed in self.seeds:
+                    inst_seed = (seed if self.instance_seed is None
+                                 else self.instance_seed)
+                    for algorithm in self.algorithms:
+                        out.append((scenario, algorithm, T, inst_seed,
+                                    seed, self.lookahead))
+        return out
+
+    def __len__(self) -> int:
+        return (len(self.scenarios) * len(self.algorithms)
+                * len(self.seeds) * len(self.sizes))
+
+
+def _job_seed(job: tuple) -> int:
+    """Stable per-job algorithm seed (hash() is salted; crc32 is not)."""
+    scenario, algorithm, T, inst_seed, seed, lookahead = job
+    blob = f"{scenario}|{algorithm}|{T}|{inst_seed}|{seed}|{lookahead}"
+    return zlib.crc32(blob.encode())
+
+
+def _run_job(job: tuple) -> dict:
+    """Execute one grid job; must stay module-level (pool pickling)."""
+    from ..analysis import optimal_cost
+    from ..online.base import run_online
+    from .registry import get_spec
+    from .scenarios import build_instance
+
+    scenario, algorithm, T, inst_seed, seed, lookahead = job
+    inst = build_instance(scenario, T, inst_seed)
+    spec = get_spec(algorithm)
+    if spec.kind == "online":
+        res = run_online(inst, spec.make(lookahead=lookahead,
+                                         seed=_job_seed(job)))
+        cost = res.cost
+    else:
+        cost = spec.make()(inst).cost
+    opt = optimal_cost(inst)
+    return {
+        "scenario": scenario, "algorithm": algorithm, "T": T,
+        "m": inst.m, "beta": inst.beta, "seed": seed,
+        "cost": float(cost), "opt": float(opt),
+        "ratio": float(cost / opt) if opt > 0 else float("inf"),
+    }
+
+
+def parallel_map(fn, items, n_jobs: int = 1, chunksize: int | None = None):
+    """Order-preserving map, in-process or on a process pool.
+
+    ``fn`` and the items must be picklable for ``n_jobs > 1`` (module
+    -level functions and plain data).  The in-process path is a plain
+    ``map`` so tests can monkeypatch ``fn``'s module-level dependencies.
+    """
+    items = list(items)
+    if n_jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    n_jobs = min(n_jobs, len(items))
+    if chunksize is None:
+        chunksize = max(1, len(items) // (4 * n_jobs))
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    with ctx.Pool(processes=n_jobs) as pool:
+        return pool.map(fn, items, chunksize=chunksize)
+
+
+def cache_path(spec: GridSpec, cache_dir) -> pathlib.Path:
+    """Where a grid's rows live on disk."""
+    return pathlib.Path(cache_dir) / f"grid_{spec.cache_key()}.json"
+
+
+def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
+             force: bool = False) -> list[dict]:
+    """Run every job of a grid and return one row dict per job.
+
+    With ``cache_dir``, rows are loaded from the spec-keyed JSON file
+    when present (unless ``force``) and written back after a live run.
+    """
+    path = cache_path(spec, cache_dir) if cache_dir is not None else None
+    if path is not None and not force and path.exists():
+        try:
+            payload = json.loads(path.read_text())
+            if payload["spec"] == spec.to_dict():
+                return payload["rows"]
+        except (ValueError, KeyError):
+            pass  # corrupt/truncated cache file: fall through and recompute
+    rows = parallel_map(_run_job, spec.jobs(), n_jobs=n_jobs)
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(
+            {"spec": spec.to_dict(), "rows": rows}, indent=1))
+        tmp.replace(path)  # atomic: never leave a half-written cache
+    return rows
+
+
+def aggregate_rows(rows, by=("scenario", "algorithm", "T")) -> list[dict]:
+    """Aggregate rows into mean/max competitive ratios per group.
+
+    Groups preserve first-appearance order; each aggregate row carries
+    the group keys plus ``n``, ``mean_ratio``, ``max_ratio`` and
+    ``mean_cost``.  ``T`` is a default key so multi-size grids never
+    average costs across horizons; when every row shares one horizon
+    the column is constant and harmless.
+    """
+    by = tuple(by)
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        groups.setdefault(tuple(row[k] for k in by), []).append(row)
+    out = []
+    for key, members in groups.items():
+        ratios = [r["ratio"] for r in members]
+        out.append({
+            **dict(zip(by, key)),
+            "n": len(members),
+            "mean_ratio": sum(ratios) / len(ratios),
+            "max_ratio": max(ratios),
+            "mean_cost": sum(r["cost"] for r in members) / len(members),
+        })
+    return out

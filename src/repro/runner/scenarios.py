@@ -1,0 +1,220 @@
+"""Named scenario catalog.
+
+One place for every workload the experiments run on: the five synthetic
+trace families of the evaluation (formerly duplicated as
+``benchmarks/conftest.py:trace_suite``), deterministic stress patterns,
+random convex instances, the adversarial hinge trace of the Theorem-4
+game, a restricted-model (eq. (2)) encoding and a heterogeneous-cost mix.
+
+Each :class:`Scenario` builds an :class:`~repro.core.instance.Instance`
+from ``(T, seed)`` with deterministic per-scenario seeding, so a grid job
+is fully reproducible from its ``(scenario, T, seed)`` coordinates alone
+— the property the batch engine's process pool and result cache rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Scenario",
+    "scenario_names",
+    "get_scenario",
+    "build_instance",
+    "trace_suite",
+    "adversarial_hinge_instance",
+    "TRACE_FAMILIES",
+]
+
+#: defaults matching the historical trace_suite construction
+_PEAK = 24.0
+_BETA = 4.0
+_DELAY_WEIGHT = 10.0
+
+#: the five families of the online-algorithm experiments (E4/E5/E10...)
+TRACE_FAMILIES = ("diurnal", "msr-like", "hotmail-like", "bursty", "onoff")
+
+
+def _scenario_rng(name: str, seed: int) -> np.random.Generator:
+    """Independent, process-stable generator per (scenario, seed)."""
+    return np.random.default_rng([seed, zlib.crc32(name.encode())])
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named instance builder: ``build(T, rng) -> Instance``."""
+
+    name: str
+    build: Callable
+    tags: tuple[str, ...]
+    summary: str = ""
+
+    def instance(self, T: int, seed: int = 0):
+        """Build the scenario's instance for a horizon and seed."""
+        return self.build(T, _scenario_rng(self.name, seed))
+
+
+def _from_loads(loads, *, beta: float = _BETA,
+                delay_weight: float = _DELAY_WEIGHT):
+    from ..workloads import capacity_for, instance_from_loads
+    return instance_from_loads(loads, m=capacity_for(loads), beta=beta,
+                               delay_weight=delay_weight)
+
+
+def _build_diurnal(T, rng):
+    from ..workloads import diurnal_loads
+    return _from_loads(diurnal_loads(T, peak=_PEAK, rng=rng))
+
+
+def _build_msr(T, rng):
+    from ..workloads import msr_like_loads
+    return _from_loads(msr_like_loads(T, peak=_PEAK, rng=rng))
+
+
+def _build_hotmail(T, rng):
+    from ..workloads import hotmail_like_loads
+    return _from_loads(hotmail_like_loads(T, peak=_PEAK, rng=rng))
+
+
+def _build_bursty(T, rng):
+    from ..workloads import bursty_loads
+    return _from_loads(bursty_loads(T, peak=_PEAK, rng=rng))
+
+
+def _build_onoff(T, rng):
+    from ..workloads import onoff_loads
+    return _from_loads(onoff_loads(T, peak=_PEAK, rng=rng))
+
+
+def _build_sawtooth(T, rng):
+    from ..workloads import sawtooth_loads
+    return _from_loads(sawtooth_loads(T, peak=_PEAK))
+
+
+def _build_regime(T, rng):
+    from ..workloads import regime_switching_loads
+    return _from_loads(regime_switching_loads(T, peak=_PEAK, rng=rng))
+
+
+def _build_random_convex(T, rng):
+    from ..workloads import random_convex_instance
+    beta = float(rng.uniform(0.5, 6.0))
+    return random_convex_instance(rng, T, m=20, beta=beta)
+
+
+def adversarial_hinge_instance(T: int, eps: float = 0.05):
+    """The trace the Theorem-4 adversary produces against LCP, replayed
+    non-adaptively: blocks of ~2/eps identical hinges, flipping right
+    after LCP's laziness threshold (k*eps >= beta) so LCP pays waiting
+    cost ~beta, then switching beta, every block."""
+    from ..core.instance import Instance
+    block = int(np.ceil(2.0 / eps)) + 1
+    rows = np.empty((T, 2))
+    for t in range(T):
+        up_phase = (t // block) % 2 == 0
+        rows[t] = [eps, 0.0] if up_phase else [0.0, eps]
+    return Instance(beta=2.0, F=rows)
+
+
+def _build_adversarial_hinge(T, rng):
+    return adversarial_hinge_instance(T)
+
+
+def _build_restricted_diurnal(T, rng):
+    """Restricted model (eq. (2)) on a diurnal trace, encoded as a
+    general instance via the perspective cost."""
+    from ..workloads import (capacity_for, diurnal_loads,
+                             restricted_from_loads)
+    loads = diurnal_loads(T, peak=_PEAK, rng=rng)
+    return restricted_from_loads(loads, m=capacity_for(loads),
+                                 beta=_BETA).to_general()
+
+
+def _build_hetero_mix(T, rng):
+    """Heterogeneous cost structure: per-step costs drawn from three
+    convex families (queueing delay, quadratic bowl, SLA hinge) along one
+    diurnal load trajectory — stresses algorithms whose analysis leans on
+    the cost family staying fixed."""
+    from ..core.costs import (AffineEnergyCost, QuadraticCost,
+                              QueueingDelayCost, SLAHingeCost, SumCost)
+    from ..core.instance import Instance
+    from ..workloads import capacity_for, diurnal_loads
+    loads = diurnal_loads(T, peak=_PEAK, rng=rng)
+    m = capacity_for(loads)
+    fs = []
+    for t, lam in enumerate(loads):
+        lam = float(lam)
+        kind = t % 3
+        if kind == 0:
+            body = QueueingDelayCost(lam, weight=_DELAY_WEIGHT)
+        elif kind == 1:
+            body = QuadraticCost(0.5, lam)
+        else:
+            body = SLAHingeCost(lam, 8.0)
+        fs.append(SumCost(AffineEnergyCost(1.0), body))
+    return Instance.from_functions(fs, m, _BETA)
+
+
+_CATALOG: dict[str, Scenario] = {}
+
+for _sc in (
+    Scenario("diurnal", _build_diurnal, ("trace",),
+             "sinusoidal day/night swing with noise"),
+    Scenario("msr-like", _build_msr, ("trace",),
+             "MSR-trace shape: PMR ~2 diurnal with lulls"),
+    Scenario("hotmail-like", _build_hotmail, ("trace",),
+             "Hotmail-trace shape: PMR ~4-5, weekly dip, bursts"),
+    Scenario("bursty", _build_bursty, ("trace",),
+             "low base load with flash-crowd bursts"),
+    Scenario("onoff", _build_onoff, ("trace",),
+             "two-state Markov-modulated demand"),
+    Scenario("sawtooth", _build_sawtooth, ("deterministic",),
+             "sawtooth oscillation punishing eager switching"),
+    Scenario("regime-switching", _build_regime, ("trace",),
+             "stepwise regime changes stressing laziness thresholds"),
+    Scenario("random-convex", _build_random_convex, ("random",),
+             "random convex rows, random beta (property-test family)"),
+    Scenario("adversarial-hinge", _build_adversarial_hinge,
+             ("adversarial", "deterministic"),
+             "Theorem-4 hinge blocks pushing LCP toward ratio 3"),
+    Scenario("restricted-diurnal", _build_restricted_diurnal,
+             ("restricted", "trace"),
+             "eq. (2) restricted model via the perspective encoding"),
+    Scenario("hetero-mix", _build_hetero_mix, ("heterogeneous", "trace"),
+             "per-step costs alternate between three convex families"),
+):
+    _CATALOG[_sc.name] = _sc
+
+
+def scenario_names(tag: str | None = None) -> tuple[str, ...]:
+    """All scenario names, optionally filtered by tag."""
+    return tuple(n for n, s in _CATALOG.items()
+                 if tag is None or tag in s.tags)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Resolve a scenario; raises ``KeyError`` with choices."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; choose from "
+                       f"{sorted(_CATALOG)}") from None
+
+
+def build_instance(name: str, T: int, seed: int = 0):
+    """Build the instance of scenario ``name`` for ``(T, seed)``."""
+    return get_scenario(name).instance(T, seed)
+
+
+def trace_suite(T: int = 168, seed: int = 0) -> list:
+    """The (name, instance) suite of the five evaluation trace families.
+
+    Replaces the duplicated ``benchmarks/conftest.py:trace_suite``; kept
+    as a function so existing benchmarks keep working unchanged.
+    """
+    return [(name, build_instance(name, T, seed))
+            for name in TRACE_FAMILIES]

@@ -3,7 +3,8 @@
 from .forecast import forecast_runner, noisy_future
 from .synthetic import (bursty_loads, compose_loads, constant_loads,
                         diurnal_loads, hotmail_like_loads, msr_like_loads,
-                        onoff_loads, peak_to_mean_ratio, random_walk_loads,
+                        onoff_loads, peak_to_mean_ratio,
+                        random_convex_instance, random_walk_loads,
                         regime_switching_loads, sawtooth_loads)
 from .traces import (capacity_for, default_server_cost, instance_from_loads,
                      restricted_from_loads)
@@ -11,8 +12,8 @@ from .traces import (capacity_for, default_server_cost, instance_from_loads,
 __all__ = [
     "bursty_loads", "compose_loads", "constant_loads", "diurnal_loads",
     "hotmail_like_loads", "msr_like_loads", "onoff_loads",
-    "peak_to_mean_ratio", "random_walk_loads", "regime_switching_loads",
-    "sawtooth_loads",
+    "peak_to_mean_ratio", "random_convex_instance", "random_walk_loads",
+    "regime_switching_loads", "sawtooth_loads",
     "capacity_for", "default_server_cost", "instance_from_loads",
     "restricted_from_loads",
     "forecast_runner", "noisy_future",

@@ -30,6 +30,7 @@ __all__ = [
     "regime_switching_loads",
     "compose_loads",
     "peak_to_mean_ratio",
+    "random_convex_instance",
 ]
 
 
@@ -194,6 +195,29 @@ def compose_loads(*parts: np.ndarray, weights=None) -> np.ndarray:
     for w, p in zip(weights, parts):
         total += float(w) * np.asarray(p, dtype=np.float64)
     return np.clip(total, 0.0, None)
+
+
+def random_convex_instance(rng, T: int, m: int, beta: float,
+                           scale: float = 5.0):
+    """Random :class:`~repro.core.instance.Instance` with convex
+    non-negative rows.
+
+    Each row is built from sorted slopes (guaranteeing convexity), shifted
+    to be non-negative, so instances cover minimizers at interior states
+    and both boundaries.  This is the shared generator behind the test
+    suite, the benchmarks and the ``random-convex`` scenario.
+    """
+    from ..core.instance import Instance
+
+    g = _rng(rng)
+    rows = np.empty((T, m + 1))
+    for t in range(T):
+        slopes = np.sort(g.uniform(-scale, scale, m))
+        vals = np.concatenate([[0.0], np.cumsum(slopes)])
+        vals -= vals.min()
+        vals += g.uniform(0, scale / 5)
+        rows[t] = vals
+    return Instance(beta=beta, F=rows)
 
 
 def peak_to_mean_ratio(loads: np.ndarray) -> float:

@@ -8,24 +8,7 @@ import pytest
 from repro import Instance
 from repro.core.costs import QuadraticCost, AbsCost
 from repro.workloads import diurnal_loads, instance_from_loads
-
-
-def random_convex_instance(rng: np.random.Generator, T: int, m: int,
-                           beta: float, scale: float = 5.0) -> Instance:
-    """Random instance with convex non-negative rows.
-
-    Each row is built from sorted slopes (guaranteeing convexity), shifted
-    to be non-negative, so instances cover minimizers at interior states
-    and both boundaries.
-    """
-    rows = np.empty((T, m + 1))
-    for t in range(T):
-        slopes = np.sort(rng.uniform(-scale, scale, m))
-        vals = np.concatenate([[0.0], np.cumsum(slopes)])
-        vals -= vals.min()
-        vals += rng.uniform(0, scale / 5)
-        rows[t] = vals
-    return Instance(beta=beta, F=rows)
+from repro.workloads import random_convex_instance  # noqa: F401 (re-export)
 
 
 def hinge_instance(centers, m: int, beta: float, slope: float = 1.0) -> Instance:

@@ -9,7 +9,6 @@ from repro.extensions import (HeterogeneousInstance, hetero_cost,
                               hetero_instance_from_loads, solve_dp_hetero,
                               solve_greedy_hetero, solve_static_hetero)
 from repro.offline import solve_dp
-from repro.core.instance import Instance
 
 
 def random_hetero(rng, T, m1, m2, beta1=1.0, beta2=0.7):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import (LCP, Instance, RandomizedRounding, ThresholdFractional,
+from repro import (LCP, RandomizedRounding, ThresholdFractional,
                    run_online, solve_binary_search, solve_dp)
 from repro.analysis import optimal_cost, savings_vs_static
 from repro.online import MemorylessBalance, expected_cost_exact, solve_static

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.instance import Instance
 from repro.lower_bounds import DeterministicDiscreteAdversary, ratio_curve
 from repro.offline.result import OfflineResult
 from repro.online import LCP, OnlineAlgorithm, run_online

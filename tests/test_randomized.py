@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import optimal_cost
-from repro.core.instance import Instance
 from repro.core.schedule import interp_operating
 from repro.online import (RandomizedRounding, ThresholdFractional, ceil_star,
                           exact_rounding_distribution, expected_cost_exact,

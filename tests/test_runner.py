@@ -1,0 +1,260 @@
+"""Tests for the batch runner: registry, scenarios, engine, CLI."""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+import repro.offline
+import repro.online
+from repro.online.base import OnlineAlgorithm
+from repro.runner import (GridSpec, aggregate_rows, algorithm_names,
+                          algorithm_table, build_instance, cache_path,
+                          get_spec, make_algorithm, make_solver,
+                          run_grid, scenario_names, solver_names,
+                          trace_suite)
+from repro.runner import engine as engine_mod
+from tests.conftest import random_convex_instance
+
+
+class TestRegistry:
+    def test_every_online_name_resolves(self):
+        for name in algorithm_names():
+            algo = make_algorithm(name, lookahead=2, seed=7)
+            assert isinstance(algo, OnlineAlgorithm), name
+
+    def test_every_solver_name_resolves_and_solves(self, rng):
+        inst = random_convex_instance(rng, 5, 3, 1.5)
+        for name in solver_names():
+            res = make_solver(name)(inst)
+            assert res.cost >= 0, name
+            assert res.schedule.shape == (inst.T,), name
+
+    def test_exact_solvers_agree_with_dp(self, rng):
+        from repro.offline import solve_dp
+        inst = random_convex_instance(rng, 6, 4, 2.0)
+        opt = solve_dp(inst).cost
+        for name in solver_names():
+            spec = get_spec(name)
+            if spec.optimal and spec.discrete:
+                assert make_solver(name)(inst).cost == pytest.approx(opt), \
+                    name
+
+    def test_registry_covers_every_exported_online_algorithm(self):
+        covered = {type(make_algorithm(name)) for name in algorithm_names()}
+        for export in repro.online.__all__:
+            obj = getattr(repro.online, export)
+            if (isinstance(obj, type) and issubclass(obj, OnlineAlgorithm)
+                    and obj is not OnlineAlgorithm):
+                assert obj in covered, f"{export} missing from registry"
+
+    def test_registry_covers_every_exported_general_solver(self):
+        # solve_restricted consumes a RestrictedInstance, not a general
+        # Instance, so it cannot run under the engine's job shape.
+        resolved = {make_solver(name) for name in solver_names()}
+        for export in repro.offline.__all__:
+            if export.startswith("solve_") and export != "solve_restricted":
+                assert getattr(repro.offline, export) in resolved, \
+                    f"{export} missing from registry"
+
+    def test_kind_mixups_rejected(self):
+        with pytest.raises(ValueError, match="offline solver"):
+            make_algorithm("dp")
+        with pytest.raises(ValueError, match="online algorithm"):
+            make_solver("lcp")
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_spec("nope")
+
+    def test_table_lists_every_name(self):
+        table = algorithm_table()
+        for name in algorithm_names() + solver_names():
+            assert f"`{name}`" in table
+
+
+class TestScenarios:
+    def test_every_scenario_builds_reproducibly(self):
+        for name in scenario_names():
+            a = build_instance(name, 12, seed=3)
+            b = build_instance(name, 12, seed=3)
+            assert a.T == 12
+            np.testing.assert_array_equal(a.F, b.F)
+            assert a.beta == b.beta
+
+    def test_seeds_vary_random_scenarios(self):
+        a = build_instance("random-convex", 12, seed=0)
+        b = build_instance("random-convex", 12, seed=1)
+        assert not np.array_equal(a.F, b.F)
+
+    def test_tag_filter(self):
+        assert "adversarial-hinge" in scenario_names("adversarial")
+        assert "diurnal" not in scenario_names("adversarial")
+
+    def test_trace_suite_families(self):
+        suite = trace_suite(T=24)
+        assert [name for name, _ in suite] == [
+            "diurnal", "msr-like", "hotmail-like", "bursty", "onoff"]
+        assert all(inst.T == 24 for _, inst in suite)
+
+    def test_benchmarks_conftest_reuses_catalog(self):
+        # the benchmark suite must not re-grow its own copy
+        root = pathlib.Path(__file__).resolve().parent.parent
+        text = (root / "benchmarks" / "conftest.py").read_text()
+        assert "from repro.runner.scenarios import trace_suite" in text
+        assert "from repro.workloads import random_convex_instance" in text
+
+
+SMALL = GridSpec(scenarios=("diurnal", "random-convex"),
+                 algorithms=("lcp", "randomized"),
+                 seeds=(0, 1), sizes=(24,))
+
+
+class TestEngine:
+    def test_rows_match_jobs(self):
+        rows = run_grid(SMALL)
+        assert len(rows) == len(SMALL) == 8
+        assert all(1.0 - 1e-9 <= r["ratio"] for r in rows)
+
+    def test_parallel_identical_to_serial(self):
+        rows1 = run_grid(SMALL, n_jobs=1)
+        rows4 = run_grid(SMALL, n_jobs=4)
+        assert rows1 == rows4  # bit-identical, including float fields
+
+    def test_offline_solver_jobs_have_ratio_one(self):
+        rows = run_grid(GridSpec(scenarios=("diurnal",),
+                                 algorithms=("binary_search", "dp"),
+                                 seeds=(0,), sizes=(16,)))
+        assert all(r["ratio"] == pytest.approx(1.0) for r in rows)
+
+    def test_instance_seed_pins_the_instance(self):
+        rows = run_grid(GridSpec(scenarios=("diurnal",),
+                                 algorithms=("randomized",),
+                                 seeds=(0, 1, 2), sizes=(24,),
+                                 instance_seed=4))
+        assert len({r["opt"] for r in rows}) == 1   # same instance
+        assert len({r["cost"] for r in rows}) == 3  # different rounding
+
+    def test_cache_hit_skips_recomputation(self, tmp_path, monkeypatch):
+        rows = run_grid(SMALL, cache_dir=tmp_path)
+        assert cache_path(SMALL, tmp_path).exists()
+        calls = []
+        real = engine_mod._run_job
+        monkeypatch.setattr(engine_mod, "_run_job",
+                            lambda job: calls.append(job) or real(job))
+        cached = run_grid(SMALL, cache_dir=tmp_path)
+        assert cached == rows and not calls
+        forced = run_grid(SMALL, cache_dir=tmp_path, force=True)
+        assert forced == rows and len(calls) == len(SMALL)
+
+    def test_cache_invalidated_by_spec_change(self, tmp_path):
+        run_grid(SMALL, cache_dir=tmp_path)
+        changed = GridSpec(scenarios=SMALL.scenarios,
+                           algorithms=SMALL.algorithms,
+                           seeds=(0, 1, 2), sizes=SMALL.sizes)
+        assert cache_path(changed, tmp_path) != cache_path(SMALL, tmp_path)
+        rows = run_grid(changed, cache_dir=tmp_path)
+        assert len(rows) == len(changed) == 12
+
+    def test_corrupt_cache_spec_mismatch_recomputes(self, tmp_path):
+        path = cache_path(SMALL, tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"spec": {"bogus": True}, "rows": []}))
+        rows = run_grid(SMALL, cache_dir=tmp_path)
+        assert len(rows) == len(SMALL)
+
+    def test_truncated_cache_file_recomputes(self, tmp_path):
+        # an interrupted earlier run must not poison the cache dir
+        good = run_grid(SMALL, cache_dir=tmp_path)
+        path = cache_path(SMALL, tmp_path)
+        path.write_text(path.read_text()[:40])
+        rows = run_grid(SMALL, cache_dir=tmp_path)
+        assert rows == good
+        assert json.loads(path.read_text())["rows"] == good  # rewritten
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            GridSpec(scenarios=(), algorithms=("lcp",))
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GridSpec(scenarios=("diurnal",), algorithms=("lcp",),
+                     seeds=(-1,))
+        with pytest.raises(ValueError, match="positive horizon"):
+            GridSpec(scenarios=("diurnal",), algorithms=("lcp",),
+                     sizes=(0,))
+
+    def test_aggregate_keeps_sizes_apart(self):
+        rows = run_grid(GridSpec(scenarios=("sawtooth",),
+                                 algorithms=("lcp",), seeds=(0,),
+                                 sizes=(16, 32)))
+        agg = aggregate_rows(rows)
+        assert [a["T"] for a in agg] == [16, 32]  # never averaged across T
+
+    def test_aggregate_rows(self):
+        rows = run_grid(SMALL)
+        agg = aggregate_rows(rows)
+        assert len(agg) == 4  # 2 scenarios x 2 algorithms
+        first = agg[0]
+        assert first["n"] == 2
+        assert first["max_ratio"] >= first["mean_ratio"] >= 1.0 - 1e-9
+
+
+def _measure(T: int, m: int) -> dict:
+    return {"area": T * m}
+
+
+class TestAnalysisSweep:
+    def test_sweep_serial_and_parallel_agree(self):
+        from repro.analysis import sweep
+        grid = {"T": [2, 3], "m": [4, 5, 6]}
+        serial = sweep(_measure, grid)
+        parallel = sweep(_measure, grid, n_jobs=2)
+        assert serial == parallel
+        assert serial[0] == {"T": 2, "m": 4, "area": 8}
+        assert len(serial) == 6
+
+
+class TestCLI:
+    def test_sweep_runs_grid(self, capsys):
+        from repro.cli import main
+        rc = main(["sweep", "--scenarios", "diurnal,bursty,sawtooth",
+                   "--algorithms", "lcp,threshold,randomized,memoryless",
+                   "--seeds", "0,1,2", "-T", "16", "--per-row"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aggregate ratios" in out and "sawtooth" in out
+        assert "36 jobs" in out
+
+    def test_sweep_list(self, capsys):
+        from repro.cli import main
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "adversarial-hinge" in out and "`binary_search`" in out
+
+    def test_sweep_rejects_unknown_names(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["sweep", "--scenarios", "nope"])
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["sweep", "--algorithms", "oracle"])
+
+    def test_bench_smoke_grid(self, tmp_path, capsys):
+        from repro.cli import main
+        rc = main(["bench", "--grid", "smoke",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "jobs/s" in out
+        assert list(tmp_path.glob("grid_*.json"))
+
+
+class TestReadmeTable:
+    def test_readme_algorithm_table_is_current(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        text = (root / "README.md").read_text()
+        begin = text.index("BEGIN ALGORITHM TABLE")
+        end = text.index("<!-- END ALGORITHM TABLE -->")
+        block = text[text.index("\n", begin) + 1:end].strip()
+        assert block == algorithm_table(), \
+            "README table stale — regenerate with " \
+            "`python -m repro.runner.registry`"

@@ -14,7 +14,7 @@ from repro.analysis import (competitive_ratio, format_table, optimal_cost,
 from repro.cli import main
 from repro.io import load_instance, load_schedule, save_instance, save_schedule
 from repro.offline import solve_binary_search, solve_restricted
-from repro.online import LCP, run_online
+from repro.online import LCP
 from repro.simulator import bridge_instance, poisson_job_trace, simulated_cost
 from repro.workloads import (capacity_for, diurnal_loads, instance_from_loads,
                              restricted_from_loads)

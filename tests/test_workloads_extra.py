@@ -19,7 +19,9 @@ class TestRegimeSwitching:
         rng2 = np.random.default_rng(1)
         fast = regime_switching_loads(2000, peak=5.0, dwell=3.0, rng=rng1)
         slow = regime_switching_loads(2000, peak=5.0, dwell=50.0, rng=rng2)
-        changes = lambda x: int(np.count_nonzero(np.diff(x)))
+        def changes(x):
+            return int(np.count_nonzero(np.diff(x)))
+
         assert changes(fast) > changes(slow)
 
     def test_never_repeats_level_on_switch(self):
