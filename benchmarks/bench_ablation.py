@@ -14,11 +14,11 @@ import numpy as np
 from repro._util import argmin_first
 from repro.analysis import optimal_cost
 from repro.offline import solve_dp, window_states, windowed_dp
-from repro.online import LCP, run_online
-from repro.online.base import OnlineAlgorithm
-from repro.online.workfunction import WorkFunctions
+from repro.online import EagerLCP, run_online
+from repro.runner import GridSpec, build_instance, run_grid
+from repro.runner.scenarios import TRACE_FAMILIES
 
-from conftest import random_convex_instance, record, trace_suite
+from conftest import random_convex_instance, record
 
 import sys
 import pathlib
@@ -62,24 +62,6 @@ def test_e12_refinement_ablation(benchmark):
     benchmark(solve_binary_search, inst)
 
 
-class EagerLCP(OnlineAlgorithm):
-    """Anti-laziness ablation: always move to the nearer bound."""
-
-    fractional = False
-    name = "eager-lcp"
-
-    def reset(self, m, beta):
-        self._wf = WorkFunctions(m, beta)
-        self._set_state(0)
-
-    def step(self, f_row, future=None):
-        self._wf.update(f_row)
-        lo, hi = self._wf.bounds()
-        x = lo if abs(lo - self.state) <= abs(hi - self.state) else hi
-        self._set_state(x)
-        return x
-
-
 def test_e12_rounding_kernel_ablation(benchmark):
     """Replacing the Section-4 Markov kernel with independent per-step
     rounding preserves the operating expectation (Lemma 19) but breaks
@@ -113,20 +95,29 @@ def test_e12_rounding_kernel_ablation(benchmark):
 
 def test_e12_laziness_ablation(benchmark):
     """LCP vs the eager variant across trace families: laziness wins in
-    aggregate (that is the 'lazy' in Lazy Capacity Provisioning)."""
+    aggregate (that is the 'lazy' in Lazy Capacity Provisioning).
+
+    Engine-backed: one ``run_grid`` over the five trace families — the
+    shared offline optimum per family is solved once in phase 1."""
+    grid_rows = run_grid(GridSpec(scenarios=TRACE_FAMILIES,
+                                  algorithms=("lcp", "eager-lcp"),
+                                  seeds=(0,), sizes=(168,)))
+    per_alg = {}
+    for g in grid_rows:
+        per_alg.setdefault(g["algorithm"], {})[g["scenario"]] = g
     rows = []
     lcp_total = eager_total = opt_total = 0.0
-    for name, inst in trace_suite(T=168):
-        lcp = run_online(inst, LCP()).cost
-        eager = run_online(inst, EagerLCP()).cost
-        opt = optimal_cost(inst)
-        lcp_total += lcp
-        eager_total += eager
-        opt_total += opt
-        rows.append({"workload": name, "lcp_over_opt": lcp / opt,
-                     "eager_over_opt": eager / opt})
+    for name in TRACE_FAMILIES:
+        lcp_row = per_alg["lcp"][name]
+        eager_row = per_alg["eager-lcp"][name]
+        lcp_total += lcp_row["cost"]
+        eager_total += eager_row["cost"]
+        opt_total += lcp_row["opt"]
+        rows.append({"workload": name, "lcp_over_opt": lcp_row["ratio"],
+                     "eager_over_opt": eager_row["ratio"]})
     rows.append({"workload": "TOTAL", "lcp_over_opt": lcp_total / opt_total,
                  "eager_over_opt": eager_total / opt_total})
     record("E12_laziness", rows, title="E12: laziness ablation")
     assert lcp_total <= eager_total
+    inst = build_instance("onoff", 168)
     benchmark(run_online, inst, EagerLCP())

@@ -5,51 +5,43 @@ the heterogeneous case in follow-up work) — this bench demonstrates and
 times the exact product-space DP and records the fleet-mix behavior:
 the frugal type carries the base load, the fast type rides the peaks,
 and the exact DP beats static pairs and per-step greedy.
+
+Engine-backed: the policy table is one ``run_grid`` over the
+``hetero-fleet`` scenario's hetero pipeline, so the heterogeneous rows
+flow through the same aggregate tables as every other experiment.
 """
 
 import numpy as np
+import pytest
 
-from repro.extensions import (hetero_cost, hetero_instance_from_loads,
-                              solve_dp_hetero, solve_greedy_hetero,
-                              solve_static_hetero)
-from repro.workloads import diurnal_loads
+from repro.extensions import hetero_cost, solve_dp_hetero, solve_static_hetero
+from repro.runner import GridSpec, build_instance, run_grid
 
 from conftest import record
 
 
-def _instance(T=96, seed=0):
-    rng = np.random.default_rng(seed)
-    loads = diurnal_loads(T, peak=8.0, base_frac=0.2, noise=0.05, rng=rng)
-    return hetero_instance_from_loads(loads, m1=10, m2=12, beta1=4.0,
-                                      beta2=1.0)
-
-
 def test_e14_policy_table(benchmark):
-    inst = _instance()
-    X1, X2, opt = solve_dp_hetero(inst)
-    sX1, sX2, static = solve_static_hetero(inst)
-    gX1, gX2, greedy = solve_greedy_hetero(inst)
-    rows = [
-        {"policy": "product DP (exact)", "cost": opt,
-         "type1_mean": float(X1.mean()), "type2_mean": float(X2.mean())},
-        {"policy": "best static pair", "cost": static,
-         "type1_mean": float(sX1.mean()), "type2_mean": float(sX2.mean())},
-        {"policy": "greedy per-step", "cost": greedy,
-         "type1_mean": float(gX1.mean()), "type2_mean": float(gX2.mean())},
-    ]
+    grid_rows = run_grid(GridSpec(scenarios=("hetero-fleet",),
+                                  algorithms=("dp_hetero", "static_hetero",
+                                              "greedy_hetero"),
+                                  seeds=(0,), sizes=(96,)))
+    rows = [{"policy": r["algorithm"], "cost": r["cost"],
+             "cost_over_opt": r["ratio"]} for r in grid_rows]
     record("E14_hetero_policies", rows,
            title="E14: two-type fleet policies (extension)")
-    assert opt <= static + 1e-9
-    assert opt <= greedy + 1e-9
-    assert hetero_cost(inst, X1, X2) == np.float64(opt) or \
-        abs(hetero_cost(inst, X1, X2) - opt) < 1e-9
+    by = {r["algorithm"]: r for r in grid_rows}
+    assert by["dp_hetero"]["ratio"] == pytest.approx(1.0)
+    assert by["static_hetero"]["ratio"] >= 1.0 - 1e-9
+    assert by["greedy_hetero"]["ratio"] >= 1.0 - 1e-9
+    inst = build_instance("hetero-fleet", 96, 0, pipeline="hetero")
     benchmark(solve_dp_hetero, inst)
 
 
 def test_e14_mix_shifts_with_demand(benchmark):
     """The optimal mix uses proportionally more fast servers at peak."""
-    inst = _instance(seed=3)
-    X1, X2, _ = solve_dp_hetero(inst)
+    inst = build_instance("hetero-fleet", 96, 3, pipeline="hetero")
+    X1, X2, opt = solve_dp_hetero(inst)
+    assert abs(hetero_cost(inst, X1, X2) - opt) < 1e-9
     # Peak hours (around t = 12 mod 24) vs trough hours (t = 0 mod 24).
     peak_idx = [t for t in range(inst.T) if 8 <= t % 24 <= 16]
     trough_idx = [t for t in range(inst.T) if t % 24 <= 4]

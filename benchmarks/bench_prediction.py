@@ -39,21 +39,23 @@ def test_e10_dilation_starves_lookahead(benchmark):
 
 def test_e10_window_helps_on_traces(benchmark):
     """Series: window-algorithm cost over OPT vs w on diurnal traces —
-    decreasing for every controller (LCP(w), RHC, AFHC)."""
-    from repro.online import (AveragingFixedHorizonControl,
-                              RecedingHorizonControl)
+    decreasing for every controller (LCP(w), RHC, AFHC).
+
+    Engine-backed: one ``run_grid`` per window length; the three seeds'
+    offline optima are hoisted once in phase 1 and shared by all three
+    controllers."""
+    from repro.runner import GridSpec, build_instance, run_grid
     rows = []
     for w in (0, 2, 6, 12):
-        totals = {"lcp": 0.0, "rhc": 0.0, "afhc": 0.0}
-        opt_total = 0.0
-        for seed in range(3):
-            name, inst = trace_suite(T=168, seed=seed)[0]
-            totals["lcp"] += run_online(inst, LCP(lookahead=w)).cost
-            totals["rhc"] += run_online(
-                inst, RecedingHorizonControl(lookahead=w)).cost
-            totals["afhc"] += run_online(
-                inst, AveragingFixedHorizonControl(lookahead=w)).cost
-            opt_total += optimal_cost(inst)
+        grid_rows = run_grid(GridSpec(scenarios=("diurnal",),
+                                      algorithms=("lcp", "rhc", "afhc"),
+                                      seeds=(0, 1, 2), sizes=(168,),
+                                      lookahead=w))
+        totals = {a: sum(r["cost"] for r in grid_rows
+                         if r["algorithm"] == a)
+                  for a in ("lcp", "rhc", "afhc")}
+        opt_total = sum(r["opt"] for r in grid_rows
+                        if r["algorithm"] == "lcp")
         rows.append({"w": w,
                      "lcp_over_opt": totals["lcp"] / opt_total,
                      "rhc_over_opt": totals["rhc"] / opt_total,
@@ -63,6 +65,7 @@ def test_e10_window_helps_on_traces(benchmark):
     for key in ("lcp_over_opt", "rhc_over_opt", "afhc_over_opt"):
         assert rows[-1][key] <= rows[0][key] + 1e-9, key
         assert all(r[key] <= 3.0 + 1e-7 for r in rows), key
+    inst = build_instance("diurnal", 168, 2)
     benchmark(run_online, inst, LCP(lookahead=12))
 
 

@@ -8,9 +8,14 @@ results are collected as a list of flat row dicts ready for
 Evaluation runs through the batch engine's
 :func:`repro.runner.engine.parallel_map`, so passing ``n_jobs > 1``
 fans grid points out over a process pool (the function must then be
-picklable, i.e. module-level).  For named (scenario x algorithm) grids
-with caching and competitive-ratio aggregation, prefer
-:func:`repro.runner.run_grid`.
+picklable, i.e. module-level).  Passing ``cache_dir`` stores each
+point's measurements in the engine's per-job content-addressed cache
+(:class:`~repro.runner.jobcache.JobCache`), keyed by the function's
+qualified name and the point — extending a sweep's axes re-evaluates
+only the new points.  Cached measurements must be JSON-serializable
+(numpy scalars are converted); don't cache wall-clock timings you mean
+to re-measure.  For named (scenario x algorithm) grids with ratio
+aggregation, prefer :func:`repro.runner.run_grid`.
 """
 
 from __future__ import annotations
@@ -19,8 +24,12 @@ import itertools
 from typing import Callable, Mapping, Sequence
 
 from ..runner.engine import parallel_map
+from ..runner.jobcache import JobCache, content_key, jsonify
 
 __all__ = ["sweep"]
+
+#: bump when the sweep cache record shape changes
+_SWEEP_CACHE_VERSION = 1
 
 
 class _Eval:
@@ -33,19 +42,57 @@ class _Eval:
         return dict(self.fn(**point))
 
 
+def _point_key(fn: Callable, point: dict) -> str:
+    qualname = getattr(fn, "__qualname__", None)
+    fn_id = f"{getattr(fn, '__module__', '?')}.{qualname}"
+    if qualname is None or "<lambda>" in fn_id or "<locals>" in fn_id:
+        # lambdas/closures share qualnames and partials have none at
+        # all, so two different functions would silently share records
+        raise ValueError(
+            "cache_dir requires a module-level function (lambdas, "
+            "closures and partials have ambiguous cache identities): "
+            f"{fn_id if qualname is not None else fn!r}")
+    return content_key({"kind": "sweep", "version": _SWEEP_CACHE_VERSION,
+                        "fn": fn_id, "point": point})
+
+
 def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence], *,
-          n_jobs: int = 1) -> list[dict]:
+          n_jobs: int = 1, cache_dir=None,
+          stats: dict | None = None) -> list[dict]:
     """Evaluate ``fn(**point)`` on every point of the parameter grid.
 
     ``grid`` maps parameter names to value lists; the returned rows merge
     the grid point with ``fn``'s measurement dict (measurements win on
     key collisions being forbidden).  ``n_jobs > 1`` evaluates points on
-    a process pool; row order is always the grid-product order.
+    a process pool; row order is always the grid-product order.  With
+    ``cache_dir``, previously evaluated points are read back from the
+    per-point cache; pass a dict as ``stats`` to receive ``hits`` and
+    ``misses`` counters.
     """
     names = list(grid.keys())
     points = [dict(zip(names, values))
               for values in itertools.product(*(grid[n] for n in names))]
-    results = parallel_map(_Eval(fn), points, n_jobs=n_jobs)
+    cache = JobCache(cache_dir) if cache_dir is not None else None
+    results: list = [None] * len(points)
+    pending: list[tuple[int, dict, str]] = []
+    for i, point in enumerate(points):
+        key = _point_key(fn, point) if cache is not None else ""
+        cached = cache.get("sweep", key) if cache is not None else None
+        if cached is not None:
+            results[i] = cached
+        else:
+            pending.append((i, point, key))
+    for (i, _point, key), result in zip(
+            pending, parallel_map(_Eval(fn), [p for _, p, _ in pending],
+                                  n_jobs=n_jobs)):
+        # canonicalize through the JSON form so hit and miss rows are
+        # indistinguishable (numpy scalars -> float, tuples -> lists)
+        results[i] = jsonify(result) if cache is not None else result
+        if cache is not None:
+            cache.put("sweep", key, result)
+    if stats is not None:
+        stats.update({"hits": len(points) - len(pending),
+                      "misses": len(pending)})
     rows = []
     for point, result in zip(points, results):
         clash = set(point) & set(result)

@@ -57,6 +57,14 @@ _BENCH_GRIDS = {
                         algorithms=("lcp", "threshold", "randomized",
                                     "memoryless"),
                         seeds=(0,), sizes=(168, 1200)),
+    "restricted": dict(scenarios=("restricted-diurnal",),
+                       algorithms=("restricted", "lcp", "threshold",
+                                   "memoryless"),
+                       seeds=(0, 1), sizes=(96,)),
+    "hetero": dict(scenarios=("hetero-fleet",),
+                   algorithms=("dp_hetero", "static_hetero",
+                               "greedy_hetero"),
+                   seeds=(0, 1, 2), sizes=(96,)),
 }
 
 
@@ -101,7 +109,8 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--n-jobs", type=int, default=1,
                         help="worker processes (1 = in-process)")
         sp.add_argument("--cache-dir", metavar="DIR",
-                        help="cache grid results as JSON under DIR")
+                        help="per-job content-addressed result cache "
+                             "under DIR (overlapping grids share work)")
         sp.add_argument("--force", action="store_true",
                         help="recompute even on a cache hit")
 
@@ -140,6 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--eps", default="0.2,0.1,0.05",
                     help="comma list of adversary slopes")
     sp.add_argument("--max-steps", type=int, default=30000)
+    sp.add_argument("--n-jobs", type=int, default=1,
+                    help="play the eps grid on a process pool")
 
     sp = sub.add_parser("report",
                         help="assemble the experiment report from "
@@ -272,6 +283,12 @@ def _print_grid_results(rows, per_row: bool, title: str) -> None:
                        title=f"{title} — aggregate ratios"))
 
 
+def _print_cache_stats(stats: dict) -> None:
+    print(f"cache: {stats['job_hits']} hits, {stats['job_misses']} misses, "
+          f"{stats['opt_solved']} optima solved, "
+          f"{stats['opt_hits']} optima cached")
+
+
 def _cmd_sweep(args) -> int:
     if args.list:
         from .runner import algorithm_table, get_scenario, scenario_names
@@ -285,57 +302,69 @@ def _cmd_sweep(args) -> int:
     spec = _build_spec(_split(args.scenarios), _split(args.algorithms),
                        _split(args.seeds, int), _split(args.T, int),
                        lookahead=args.lookahead)
+    stats: dict = {}
     rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=args.cache_dir,
-                    force=args.force)
+                    force=args.force, stats=stats)
     _print_grid_results(rows, args.per_row,
                         f"sweep {len(spec)} jobs (key {spec.cache_key()})")
+    if args.cache_dir:
+        _print_cache_stats(stats)
     return 0
 
 
 def _cmd_bench(args) -> int:
     from .runner import GridSpec, run_grid
     spec = GridSpec(**_BENCH_GRIDS[args.grid])
+    stats: dict = {}
     start = time.perf_counter()
     rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=args.cache_dir,
-                    force=args.force)
+                    force=args.force, stats=stats)
     elapsed = time.perf_counter() - start
     _print_grid_results(rows, per_row=False,
                         title=f"bench grid {args.grid!r}")
     print(f"\n{len(rows)} jobs in {elapsed:.2f}s "
           f"({len(rows) / elapsed:.1f} jobs/s, n_jobs={args.n_jobs})")
+    if args.cache_dir:
+        _print_cache_stats(stats)
     return 0
 
 
-def _cmd_lowerbound(args) -> int:
-    from .analysis import format_table
+def _lowerbound_point(task: tuple) -> dict:
+    """Play one (kind, eps) adversarial game; module-level so the eps
+    grid can fan out over the engine's process pool."""
     from .lower_bounds import (ContinuousAdversary,
                                DeterministicDiscreteAdversary,
                                RestrictedDiscreteAdversary, play_game,
                                play_randomized_game)
     from .online import LCP, AlgorithmB, ThresholdFractional
-    eps_values = [float(e) for e in args.eps.split(",")]
-    rows = []
-    for eps in eps_values:
-        if args.kind == "deterministic":
-            adv = DeterministicDiscreteAdversary(eps)
-            res = play_game(adv, LCP(), min(adv.horizon(), args.max_steps))
-            target = 3.0
-        elif args.kind == "restricted":
-            adv = RestrictedDiscreteAdversary(eps)
-            res = play_game(adv, LCP(), min(adv.horizon(), args.max_steps))
-            target = 3.0
-        elif args.kind == "continuous":
-            adv = ContinuousAdversary(eps)
-            res = play_game(adv, AlgorithmB(),
-                            min(adv.horizon(), args.max_steps))
-            target = 2.0
-        else:
-            adv = ContinuousAdversary(eps)
-            res = play_randomized_game(adv, ThresholdFractional(),
-                                       min(adv.horizon(), args.max_steps))
-            target = 2.0
-        rows.append({"eps": eps, "T": res.instance.T, "ratio": res.ratio,
-                     "limit": target})
+    kind, eps, max_steps = task
+    if kind == "deterministic":
+        adv = DeterministicDiscreteAdversary(eps)
+        res = play_game(adv, LCP(), min(adv.horizon(), max_steps))
+        target = 3.0
+    elif kind == "restricted":
+        adv = RestrictedDiscreteAdversary(eps)
+        res = play_game(adv, LCP(), min(adv.horizon(), max_steps))
+        target = 3.0
+    elif kind == "continuous":
+        adv = ContinuousAdversary(eps)
+        res = play_game(adv, AlgorithmB(), min(adv.horizon(), max_steps))
+        target = 2.0
+    else:
+        adv = ContinuousAdversary(eps)
+        res = play_randomized_game(adv, ThresholdFractional(),
+                                   min(adv.horizon(), max_steps))
+        target = 2.0
+    return {"eps": eps, "T": res.instance.T, "ratio": res.ratio,
+            "limit": target}
+
+
+def _cmd_lowerbound(args) -> int:
+    from .analysis import format_table
+    from .runner import parallel_map
+    tasks = [(args.kind, float(e), args.max_steps)
+             for e in args.eps.split(",")]
+    rows = parallel_map(_lowerbound_point, tasks, n_jobs=args.n_jobs)
     print(format_table(rows, title=f"{args.kind} lower-bound game"))
     return 0
 

@@ -5,7 +5,7 @@ and baselines."""
 from .bansal_b import AlgorithmB
 from .base import OnlineAlgorithm, OnlineResult, run_online
 from .greedy import FollowTheMinimizer, NeverSwitchOn, solve_static
-from .lcp import LCP, lookahead_bounds
+from .lcp import LCP, EagerLCP, lookahead_bounds
 from .memoryless import MemorylessBalance
 from .randomized import (RandomizedRounding, RoundingDistribution, ceil_star,
                          exact_rounding_distribution, expected_cost_exact,
@@ -18,7 +18,7 @@ from .workfunction import WorkFunctions, update_CL, update_CU
 __all__ = [
     "OnlineAlgorithm", "OnlineResult", "run_online",
     "WorkFunctions", "update_CL", "update_CU",
-    "LCP", "lookahead_bounds",
+    "LCP", "EagerLCP", "lookahead_bounds",
     "ThresholdFractional", "AlgorithmB",
     "RandomizedRounding", "RoundingDistribution", "ceil_star",
     "exact_rounding_distribution", "expected_cost_exact", "sample_rounding",

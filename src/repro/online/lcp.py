@@ -26,7 +26,7 @@ from .._util import argmin_first, argmin_last, prefix_min, suffix_min
 from .base import OnlineAlgorithm
 from .workfunction import WorkFunctions
 
-__all__ = ["LCP", "lookahead_bounds"]
+__all__ = ["LCP", "EagerLCP", "lookahead_bounds"]
 
 
 def _future_value_L(future: np.ndarray, beta: float,
@@ -110,5 +110,30 @@ class LCP(OnlineAlgorithm):
         if self._record:
             self.bounds_log.append((lo, hi))
         x = max(lo, min(hi, self.state))
+        self._set_state(x)
+        return x
+
+
+class EagerLCP(OnlineAlgorithm):
+    """Anti-laziness ablation of LCP: always jump to the nearer bound.
+
+    Where LCP projects its previous state into ``[x^L, x^U]`` (and so
+    moves only when forced), this variant moves to the closest bound on
+    every step.  It exists for the E12 ablation — laziness is the load-
+    bearing idea of LCP, and this strawman loses to it on oscillating
+    traces.
+    """
+
+    fractional = False
+    name = "eager-lcp"
+
+    def reset(self, m: int, beta: float) -> None:
+        self._wf = WorkFunctions(m, beta)
+        self._set_state(0)
+
+    def step(self, f_row: np.ndarray, future: np.ndarray | None = None) -> int:
+        self._wf.update(f_row)
+        lo, hi = self._wf.bounds()
+        x = lo if abs(lo - self.state) <= abs(hi - self.state) else hi
         self._set_state(x)
         return x

@@ -9,22 +9,29 @@ The runner is the substrate every large-scale experiment stands on:
   scenarios: the trace families of the experimental evaluation plus
   adversarial, random-convex and heterogeneous-cost instances.
 * :mod:`repro.runner.engine` — expands a :class:`GridSpec` of
-  (scenario x algorithm x seed x size) into jobs, executes them on a
-  ``multiprocessing`` pool with deterministic per-job seeding, caches
-  results as JSON and aggregates competitive ratios.
+  (scenario x algorithm x seed x size) into jobs, solves each distinct
+  instance's offline optimum once (phase 1), fans the algorithm jobs
+  out on a ``multiprocessing`` pool with deterministic per-job seeding
+  (phase 2) and aggregates competitive ratios.
+* :mod:`repro.runner.jobcache` — the per-job content-addressed result
+  store behind incremental grids: one JSON record per job / instance
+  optimum, shared by every overlapping grid.
 """
 
-from .engine import (GridSpec, aggregate_rows, cache_path, parallel_map,
-                     run_grid)
-from .registry import (AlgorithmSpec, algorithm_names, algorithm_table,
-                       get_spec, make_algorithm, make_solver, solver_names)
+from .engine import (GridSpec, aggregate_rows, instance_key, job_key,
+                     parallel_map, run_grid)
+from .jobcache import JobCache
+from .registry import (PIPELINES, AlgorithmSpec, algorithm_names,
+                       algorithm_table, get_spec, make_algorithm,
+                       make_solver, solver_names)
 from .scenarios import (Scenario, build_instance, get_scenario,
                         scenario_names, trace_suite)
 
 __all__ = [
-    "AlgorithmSpec", "algorithm_names", "algorithm_table", "get_spec",
-    "make_algorithm", "make_solver", "solver_names",
+    "AlgorithmSpec", "PIPELINES", "algorithm_names", "algorithm_table",
+    "get_spec", "make_algorithm", "make_solver", "solver_names",
     "Scenario", "build_instance", "get_scenario", "scenario_names",
     "trace_suite",
-    "GridSpec", "aggregate_rows", "cache_path", "parallel_map", "run_grid",
+    "GridSpec", "JobCache", "aggregate_rows", "instance_key", "job_key",
+    "parallel_map", "run_grid",
 ]

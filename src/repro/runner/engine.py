@@ -1,20 +1,38 @@
-"""Parallel batch engine for experiment grids.
+"""Two-phase parallel batch engine for experiment grids.
 
 A :class:`GridSpec` names the cartesian product of
 (scenario x algorithm x seed x horizon); the engine expands it into
-jobs, executes them — in-process or on a ``multiprocessing`` pool with
-chunking — and aggregates empirical competitive ratios.  Three
-properties make it the substrate for every large experiment:
+jobs and executes them in two phases — in-process or on a
+``multiprocessing`` pool with chunking:
+
+* **Phase 1 — instances.**  Each distinct ``(scenario, pipeline, T,
+  inst_seed)`` instance is built and its offline optimum solved exactly
+  once, however many algorithms the grid runs on it.  Optima are
+  memoized in a per-instance store (and persisted when a cache
+  directory is given), so a grid with ``A`` algorithms pays roughly
+  ``1/A`` of the naive per-job optimum cost.
+* **Phase 2 — algorithms.**  Algorithm jobs fan out over
+  :func:`parallel_map`, each reusing its instance's hoisted optimum.
+
+Three properties make this the substrate for every large experiment:
 
 * **Determinism** — a job is reproducible from its coordinates alone:
   the scenario instance is seeded from ``(scenario, seed)`` and any
   algorithm randomness from a stable hash of the full coordinates, so
   ``n_jobs=1`` and ``n_jobs=8`` produce bit-identical rows.
-* **Caching** — results persist as JSON under a cache directory, keyed
-  by a hash of the spec (plus engine version); re-running the same grid
-  is a file read, changing any coordinate invalidates the key.
+* **Caching** — results persist per *job* in a content-addressed store
+  (:class:`~repro.runner.jobcache.JobCache`): one JSON record per job
+  key, plus one per instance optimum.  Overlapping grids share work,
+  and extending a grid by one seed executes only the new seed's jobs.
 * **Chunking** — jobs are handed to workers in contiguous chunks to
   amortize IPC, while row order always matches job order.
+
+Algorithms are resolved through :mod:`repro.runner.registry`; the
+registry entry's ``pipeline`` selects the instance representation, so
+restricted-model (``restricted``) and heterogeneous (``dp_hetero``,
+``static_hetero``, ``greedy_hetero``) solvers run under the same engine
+— and land in the same aggregate tables — as the general-model
+algorithms.
 """
 
 from __future__ import annotations
@@ -23,19 +41,25 @@ import dataclasses
 import hashlib
 import json
 import multiprocessing
-import pathlib
 import zlib
+
+from .jobcache import JobCache, content_key
 
 __all__ = [
     "GridSpec",
     "run_grid",
     "aggregate_rows",
-    "cache_path",
+    "job_key",
+    "instance_key",
+    "JobCache",
     "parallel_map",
 ]
 
 #: bump when row contents / seeding change, to invalidate stale caches
-ENGINE_VERSION = 1
+ENGINE_VERSION = 2
+
+_JOB_FIELDS = ("scenario", "algorithm", "T", "inst_seed", "seed",
+               "lookahead")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,15 +96,15 @@ class GridSpec:
             raise ValueError("sizes must be positive horizons")
 
     def to_dict(self) -> dict:
-        """JSON-canonical form (lists, not tuples) so a dict loaded back
-        from a cache file compares equal to a live spec's."""
+        """JSON-canonical form (lists, not tuples)."""
         d = {k: list(v) if isinstance(v, tuple) else v
              for k, v in dataclasses.asdict(self).items()}
         d["engine_version"] = ENGINE_VERSION
         return d
 
     def cache_key(self) -> str:
-        """Stable content hash of the spec (and engine version)."""
+        """Stable content hash of the spec (used as a display id; the
+        result cache is keyed per job, not per grid)."""
         blob = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
@@ -109,26 +133,93 @@ def _job_seed(job: tuple) -> int:
     return zlib.crc32(blob.encode())
 
 
-def _run_job(job: tuple) -> dict:
-    """Execute one grid job; must stay module-level (pool pickling)."""
-    from ..analysis import optimal_cost
-    from ..online.base import run_online
+def job_key(job: tuple) -> str:
+    """Content-addressed cache key of one grid job."""
+    return content_key({"kind": "job",
+                        "engine_version": ENGINE_VERSION,
+                        **dict(zip(_JOB_FIELDS, job))})
+
+
+def _instance_coords(job: tuple) -> tuple:
+    """The phase-1 coordinates a job's instance is built from."""
+    from .registry import get_spec
+    scenario, algorithm, T, inst_seed, _seed, _lookahead = job
+    return (scenario, get_spec(algorithm).pipeline, T, inst_seed)
+
+
+def instance_key(coords: tuple) -> str:
+    """Content-addressed cache key of one instance's offline optimum."""
+    scenario, pipeline, T, inst_seed = coords
+    return content_key({"kind": "instance",
+                        "engine_version": ENGINE_VERSION,
+                        "scenario": scenario, "pipeline": pipeline,
+                        "T": T, "inst_seed": inst_seed})
+
+
+def _solve_instance(coords: tuple) -> dict:
+    """Phase-1 job: build one instance, solve its offline optimum once.
+
+    Must stay module-level (pool pickling).  Returns the per-instance
+    record reused by every phase-2 job on the same instance.
+    """
+    from .scenarios import build_instance
+    scenario, pipeline, T, inst_seed = coords
+    inst = build_instance(scenario, T, inst_seed, pipeline=pipeline)
+    if pipeline == "general":
+        from ..analysis import optimal_cost
+        opt, m, beta = optimal_cost(inst), inst.m, inst.beta
+    elif pipeline == "restricted":
+        from ..offline import solve_restricted
+        opt, m, beta = solve_restricted(inst).cost, inst.m, inst.beta
+    else:  # hetero: report the pooled fleet size and the type-1 beta
+        from ..extensions import solve_dp_hetero
+        opt = solve_dp_hetero(inst)[2]
+        m, beta = inst.m1 + inst.m2, inst.beta1
+    return {"opt": float(opt), "m": int(m), "beta": float(beta)}
+
+
+#: per pipeline, the registry entry whose solver *is* the phase-1
+#: optimum computation — re-running it in phase 2 would repeat the
+#: identical call on the identical instance, so its cost is the optimum
+#: by construction (the general pipeline is deliberately absent: its
+#: exact solvers — binary_search, graph, ... — are *different*
+#: algorithms from the phase-1 DP and cross-validate it)
+_OPT_SOLVERS = {"restricted": "restricted", "hetero": "dp_hetero"}
+
+
+def _run_job(task: tuple) -> dict:
+    """Phase-2 job: run one algorithm against its hoisted optimum.
+
+    ``task`` is ``(job, inst_record)`` with the record produced by
+    :func:`_solve_instance`; must stay module-level (pool pickling).
+    """
     from .registry import get_spec
     from .scenarios import build_instance
-
+    job, inst_record = task
     scenario, algorithm, T, inst_seed, seed, lookahead = job
-    inst = build_instance(scenario, T, inst_seed)
     spec = get_spec(algorithm)
-    if spec.kind == "online":
-        res = run_online(inst, spec.make(lookahead=lookahead,
-                                         seed=_job_seed(job)))
-        cost = res.cost
+    if algorithm == _OPT_SOLVERS.get(spec.pipeline):
+        return {
+            "scenario": scenario, "algorithm": algorithm,
+            "pipeline": spec.pipeline, "T": T,
+            "m": inst_record["m"], "beta": inst_record["beta"],
+            "seed": seed, "cost": inst_record["opt"],
+            "opt": inst_record["opt"], "ratio": 1.0,
+        }
+    inst = build_instance(scenario, T, inst_seed, pipeline=spec.pipeline)
+    if spec.pipeline == "hetero":
+        cost = spec.make()(inst)[2]
+    elif spec.kind == "online":
+        from ..online.base import run_online
+        cost = run_online(inst, spec.make(lookahead=lookahead,
+                                          seed=_job_seed(job))).cost
     else:
         cost = spec.make()(inst).cost
-    opt = optimal_cost(inst)
+    opt = inst_record["opt"]
     return {
-        "scenario": scenario, "algorithm": algorithm, "T": T,
-        "m": inst.m, "beta": inst.beta, "seed": seed,
+        "scenario": scenario, "algorithm": algorithm,
+        "pipeline": spec.pipeline, "T": T,
+        "m": inst_record["m"], "beta": inst_record["beta"], "seed": seed,
         "cost": float(cost), "opt": float(opt),
         "ratio": float(cost / opt) if opt > 0 else float("inf"),
     }
@@ -154,33 +245,79 @@ def parallel_map(fn, items, n_jobs: int = 1, chunksize: int | None = None):
         return pool.map(fn, items, chunksize=chunksize)
 
 
-def cache_path(spec: GridSpec, cache_dir) -> pathlib.Path:
-    """Where a grid's rows live on disk."""
-    return pathlib.Path(cache_dir) / f"grid_{spec.cache_key()}.json"
+def _validate_pipelines(jobs) -> None:
+    """Fail fast (in the parent) when a job pairs an algorithm with a
+    scenario that cannot build its pipeline's instance representation."""
+    from .registry import get_spec
+    from .scenarios import get_scenario
+    for scenario, algorithm, *_ in {(j[0], j[1]) for j in jobs}:
+        pipeline = get_spec(algorithm).pipeline
+        supported = get_scenario(scenario).pipelines
+        if pipeline not in supported:
+            raise ValueError(
+                f"algorithm {algorithm!r} needs the {pipeline!r} pipeline "
+                f"but scenario {scenario!r} only builds {supported}")
 
 
 def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
-             force: bool = False) -> list[dict]:
+             force: bool = False, stats: dict | None = None) -> list[dict]:
     """Run every job of a grid and return one row dict per job.
 
-    With ``cache_dir``, rows are loaded from the spec-keyed JSON file
-    when present (unless ``force``) and written back after a live run.
+    With ``cache_dir``, each job's row (and each instance's optimum) is
+    read from the per-job content-addressed cache when present (unless
+    ``force``) and written back after a live run — so re-running any
+    overlapping grid only executes the jobs it has not seen before.
+    Pass a dict as ``stats`` to receive cache counters: ``job_hits``,
+    ``job_misses``, ``opt_hits`` and ``opt_solved``.
     """
-    path = cache_path(spec, cache_dir) if cache_dir is not None else None
-    if path is not None and not force and path.exists():
-        try:
-            payload = json.loads(path.read_text())
-            if payload["spec"] == spec.to_dict():
-                return payload["rows"]
-        except (ValueError, KeyError):
-            pass  # corrupt/truncated cache file: fall through and recompute
-    rows = parallel_map(_run_job, spec.jobs(), n_jobs=n_jobs)
-    if path is not None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(
-            {"spec": spec.to_dict(), "rows": rows}, indent=1))
-        tmp.replace(path)  # atomic: never leave a half-written cache
+    cache = JobCache(cache_dir) if cache_dir is not None else None
+    jobs = spec.jobs()
+    _validate_pipelines(jobs)
+    counters = {"job_hits": 0, "job_misses": 0, "opt_hits": 0,
+                "opt_solved": 0}
+    rows: list = [None] * len(jobs)
+    pending: list[tuple[int, tuple, str]] = []
+    for i, job in enumerate(jobs):
+        key = job_key(job)
+        row = (cache.get("jobs", key)
+               if cache is not None and not force else None)
+        if row is not None:
+            rows[i] = row
+            counters["job_hits"] += 1
+        else:
+            pending.append((i, job, key))
+    counters["job_misses"] = len(pending)
+    if pending:
+        # Phase 1: solve each distinct pending instance exactly once.
+        need = dict.fromkeys(_instance_coords(job) for _, job, _ in pending)
+        records: dict[tuple, dict] = {}
+        unsolved = []
+        for coords in need:
+            rec = (cache.get("instances", instance_key(coords))
+                   if cache is not None and not force else None)
+            if rec is not None:
+                records[coords] = rec
+                counters["opt_hits"] += 1
+            else:
+                unsolved.append(coords)
+        for coords, rec in zip(unsolved,
+                               parallel_map(_solve_instance, unsolved,
+                                            n_jobs=n_jobs)):
+            records[coords] = rec
+            counters["opt_solved"] += 1
+            if cache is not None:
+                cache.put("instances", instance_key(coords), rec)
+        # Phase 2: fan the algorithm jobs out, reusing the optima.
+        tasks = [(job, records[_instance_coords(job)])
+                 for _, job, _ in pending]
+        for (i, _job, key), row in zip(pending,
+                                       parallel_map(_run_job, tasks,
+                                                    n_jobs=n_jobs)):
+            rows[i] = row
+            if cache is not None:
+                cache.put("jobs", key, row)
+    if stats is not None:
+        stats.update(counters)
     return rows
 
 

@@ -1,0 +1,82 @@
+"""Per-job content-addressed result cache.
+
+The engine's unit of caching is one *record* — the result row of one
+grid job, the offline optimum of one instance, or one sweep-point
+measurement — stored as one small JSON file whose name is the SHA-256 of
+the record's coordinates.  Because keys depend only on content (plus the
+engine version baked into the payload by the caller), overlapping grids
+share work automatically: re-running a grid extended by one seed pays
+exactly the new seed's jobs, and two different grids that touch the same
+(scenario, T, seed) instance solve its optimum once between them.
+
+Records live under ``root/<kind>/<key[:2]>/<key>.json`` (sharded by the
+first key byte so no directory grows unboundedly).  Writes go through a
+per-process temp file and an atomic rename, so concurrent writers of the
+same key are safe — last writer wins with identical content.  A file
+that fails to parse, or whose embedded key does not match its name, is
+treated as a miss and silently overwritten on the next put.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+import numpy as np
+
+__all__ = ["JobCache", "content_key", "jsonify"]
+
+
+def jsonify(value):
+    """Recursively convert numpy scalars/arrays to plain Python values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {k: jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return value
+
+
+def content_key(payload: dict) -> str:
+    """Stable hash of a JSON-serializable coordinate payload.
+
+    Callers must include their own version token (e.g. the engine
+    version) in the payload so format changes invalidate old records.
+    """
+    blob = json.dumps(jsonify(payload), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+class JobCache:
+    """Content-addressed store of JSON records, one file per key."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+
+    def path(self, kind: str, key: str) -> pathlib.Path:
+        """Where the record of ``key`` lives (whether or not it exists)."""
+        return self.root / kind / key[:2] / f"{key}.json"
+
+    def get(self, kind: str, key: str):
+        """The stored record, or ``None`` on miss/corruption."""
+        try:
+            payload = json.loads(self.path(kind, key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None  # foreign or corrupted content: recompute
+        return payload.get("record")
+
+    def put(self, kind: str, key: str, record) -> None:
+        """Persist a record atomically (temp file + rename)."""
+        path = self.path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps({"key": key, "record": jsonify(record)},
+                                  sort_keys=True))
+        tmp.replace(path)

@@ -20,6 +20,7 @@ from typing import Callable
 
 __all__ = [
     "AlgorithmSpec",
+    "PIPELINES",
     "algorithm_names",
     "algorithm_table",
     "get_spec",
@@ -31,8 +32,16 @@ __all__ = [
 #: problem variants, following the taxonomy of the related SOCO repos:
 #: 1 — general model, convex ``f_t`` arrive over time (eq. (1));
 #: 2 — restricted model, fixed per-server cost ``f`` (eq. (2));
-#: 3 — variant 1 with a prediction window of length ``w`` (Section 5.4).
-VARIANTS = {1: "general", 2: "restricted", 3: "prediction window"}
+#: 3 — variant 1 with a prediction window of length ``w`` (Section 5.4);
+#: 4 — heterogeneous fleet, two server types (the paper's outlook).
+VARIANTS = {1: "general", 2: "restricted", 3: "prediction window",
+            4: "heterogeneous"}
+
+#: engine pipelines: which instance representation an entry consumes —
+#: ``general`` (:class:`~repro.core.instance.Instance`), ``restricted``
+#: (:class:`~repro.core.instance.RestrictedInstance`, solved structurally)
+#: or ``hetero`` (:class:`~repro.extensions.HeterogeneousInstance`).
+PIPELINES = ("general", "restricted", "hetero")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,6 +66,7 @@ class AlgorithmSpec:
     #                                 matches the model's lower bound
     supports_lookahead: bool = False
     supports_seed: bool = False
+    pipeline: str = "general"       # key into PIPELINES
     summary: str = ""
 
     def make(self, *, lookahead: int = 0, seed=None):
@@ -79,6 +89,13 @@ def _register(spec: AlgorithmSpec) -> AlgorithmSpec:
         raise ValueError(f"bad kind {spec.kind!r} for {spec.name!r}")
     if spec.variant not in VARIANTS:
         raise ValueError(f"bad variant {spec.variant!r} for {spec.name!r}")
+    if spec.pipeline not in PIPELINES:
+        raise ValueError(f"bad pipeline {spec.pipeline!r} for "
+                         f"{spec.name!r}")
+    if spec.kind == "online" and spec.pipeline != "general":
+        raise ValueError(f"online entry {spec.name!r} must use the "
+                         "general pipeline (online algorithms consume "
+                         "general instances)")
     _REGISTRY[spec.name] = spec
     return spec
 
@@ -133,6 +150,11 @@ def _make_afhc(lookahead: int = 0):
     return AveragingFixedHorizonControl(lookahead=lookahead)
 
 
+def _make_eager_lcp():
+    from ..online import EagerLCP
+    return EagerLCP()
+
+
 # ----------------------------------------------------------------------
 # Offline solver factories.
 # ----------------------------------------------------------------------
@@ -182,6 +204,30 @@ def _make_static():
     return solve_static
 
 
+# ----------------------------------------------------------------------
+# Restricted-model and heterogeneous-pipeline solver factories.
+# ----------------------------------------------------------------------
+
+def _make_restricted():
+    from ..offline import solve_restricted
+    return solve_restricted
+
+
+def _make_dp_hetero():
+    from ..extensions import solve_dp_hetero
+    return solve_dp_hetero
+
+
+def _make_static_hetero():
+    from ..extensions import solve_static_hetero
+    return solve_static_hetero
+
+
+def _make_greedy_hetero():
+    from ..extensions import solve_greedy_hetero
+    return solve_greedy_hetero
+
+
 for _spec in (
     # -- online ---------------------------------------------------------
     AlgorithmSpec("lcp", "online", _make_lcp, "3", 1, True, 3.0, True,
@@ -212,6 +258,10 @@ for _spec in (
     AlgorithmSpec("afhc", "online", _make_afhc, "related", 3, True, None,
                   False, supports_lookahead=True,
                   summary="averaging fixed horizon control"),
+    AlgorithmSpec("eager-lcp", "online", _make_eager_lcp, "ablation", 1,
+                  True, None, False,
+                  summary="anti-laziness LCP ablation (always jump to a "
+                          "bound)"),
     # -- offline --------------------------------------------------------
     AlgorithmSpec("binary_search", "offline", _make_binary_search, "2.2",
                   1, True, None, True,
@@ -238,6 +288,22 @@ for _spec in (
     AlgorithmSpec("static", "offline", _make_static, "baseline", 1, True,
                   None, False,
                   summary="best constant provisioning in hindsight"),
+    # -- restricted-model pipeline --------------------------------------
+    AlgorithmSpec("restricted", "offline", _make_restricted, "eq. (2)", 2,
+                  True, None, True, pipeline="restricted",
+                  summary="exact restricted-model DP (states below the "
+                          "load masked per column)"),
+    # -- heterogeneous pipeline -----------------------------------------
+    AlgorithmSpec("dp_hetero", "offline", _make_dp_hetero, "outlook", 4,
+                  True, None, True, pipeline="hetero",
+                  summary="exact two-type product DP (factorized "
+                          "switching relaxations)"),
+    AlgorithmSpec("static_hetero", "offline", _make_static_hetero,
+                  "outlook", 4, True, None, False, pipeline="hetero",
+                  summary="best static pair in hindsight"),
+    AlgorithmSpec("greedy_hetero", "offline", _make_greedy_hetero,
+                  "outlook", 4, True, None, False, pipeline="hetero",
+                  summary="per-step minimizer of f_t (ignores switching)"),
 ):
     _register(_spec)
 
@@ -251,14 +317,18 @@ def get_spec(name: str) -> AlgorithmSpec:
                        f"{sorted(_REGISTRY)}") from None
 
 
-def algorithm_names() -> tuple[str, ...]:
-    """Names of the registered online algorithms."""
-    return tuple(n for n, s in _REGISTRY.items() if s.kind == "online")
+def algorithm_names(pipeline: str | None = None) -> tuple[str, ...]:
+    """Names of the registered online algorithms (optionally filtered by
+    engine pipeline)."""
+    return tuple(n for n, s in _REGISTRY.items() if s.kind == "online"
+                 and (pipeline is None or s.pipeline == pipeline))
 
 
-def solver_names() -> tuple[str, ...]:
-    """Names of the registered offline solvers."""
-    return tuple(n for n, s in _REGISTRY.items() if s.kind == "offline")
+def solver_names(pipeline: str | None = None) -> tuple[str, ...]:
+    """Names of the registered offline solvers (optionally filtered by
+    engine pipeline)."""
+    return tuple(n for n, s in _REGISTRY.items() if s.kind == "offline"
+                 and (pipeline is None or s.pipeline == pipeline))
 
 
 def make_algorithm(name: str, *, lookahead: int = 0, seed=None):

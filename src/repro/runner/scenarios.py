@@ -46,16 +46,47 @@ def _scenario_rng(name: str, seed: int) -> np.random.Generator:
 
 @dataclasses.dataclass(frozen=True)
 class Scenario:
-    """A named instance builder: ``build(T, rng) -> Instance``."""
+    """A named instance builder: ``build(T, rng) -> Instance``.
+
+    ``build`` is the general-model builder; scenarios may additionally
+    (or instead) carry builders for the engine's other pipelines —
+    ``build_restricted`` returning a
+    :class:`~repro.core.instance.RestrictedInstance` and ``build_hetero``
+    returning a :class:`~repro.extensions.HeterogeneousInstance`.  All
+    builders of one scenario share the ``(scenario, seed)`` generator, so
+    e.g. the restricted view and its general-model encoding are built
+    from identical loads and their optima agree.
+    """
 
     name: str
-    build: Callable
+    build: Callable | None
     tags: tuple[str, ...]
     summary: str = ""
+    build_restricted: Callable | None = None
+    build_hetero: Callable | None = None
 
-    def instance(self, T: int, seed: int = 0):
+    @property
+    def pipelines(self) -> tuple[str, ...]:
+        """Engine pipelines this scenario can build instances for."""
+        out = []
+        if self.build is not None:
+            out.append("general")
+        if self.build_restricted is not None:
+            out.append("restricted")
+        if self.build_hetero is not None:
+            out.append("hetero")
+        return tuple(out)
+
+    def instance(self, T: int, seed: int = 0, pipeline: str = "general"):
         """Build the scenario's instance for a horizon and seed."""
-        return self.build(T, _scenario_rng(self.name, seed))
+        builder = {"general": self.build,
+                   "restricted": self.build_restricted,
+                   "hetero": self.build_hetero}.get(pipeline)
+        if builder is None:
+            raise ValueError(
+                f"scenario {self.name!r} has no {pipeline!r} builder; it "
+                f"supports {self.pipelines}")
+        return builder(T, _scenario_rng(self.name, seed))
 
 
 def _from_loads(loads, *, beta: float = _BETA,
@@ -124,14 +155,19 @@ def _build_adversarial_hinge(T, rng):
     return adversarial_hinge_instance(T)
 
 
-def _build_restricted_diurnal(T, rng):
-    """Restricted model (eq. (2)) on a diurnal trace, encoded as a
-    general instance via the perspective cost."""
+def _build_restricted_diurnal_ri(T, rng):
+    """Restricted model (eq. (2)) on a diurnal trace, as the structural
+    :class:`RestrictedInstance` the masked DP consumes."""
     from ..workloads import (capacity_for, diurnal_loads,
                              restricted_from_loads)
     loads = diurnal_loads(T, peak=_PEAK, rng=rng)
-    return restricted_from_loads(loads, m=capacity_for(loads),
-                                 beta=_BETA).to_general()
+    return restricted_from_loads(loads, m=capacity_for(loads), beta=_BETA)
+
+
+def _build_restricted_diurnal(T, rng):
+    """Restricted model (eq. (2)) on a diurnal trace, encoded as a
+    general instance via the perspective cost."""
+    return _build_restricted_diurnal_ri(T, rng).to_general()
 
 
 def _build_hetero_mix(T, rng):
@@ -159,6 +195,16 @@ def _build_hetero_mix(T, rng):
     return Instance.from_functions(fs, m, _BETA)
 
 
+def _build_hetero_fleet(T, rng):
+    """Two-type fleet (fast/hungry vs slow/frugal) on a diurnal trace —
+    the instance family of the E14 extension benchmark."""
+    from ..extensions import hetero_instance_from_loads
+    from ..workloads import diurnal_loads
+    loads = diurnal_loads(T, peak=8.0, base_frac=0.2, noise=0.05, rng=rng)
+    return hetero_instance_from_loads(loads, m1=10, m2=12, beta1=4.0,
+                                      beta2=1.0)
+
+
 _CATALOG: dict[str, Scenario] = {}
 
 for _sc in (
@@ -183,9 +229,13 @@ for _sc in (
              "Theorem-4 hinge blocks pushing LCP toward ratio 3"),
     Scenario("restricted-diurnal", _build_restricted_diurnal,
              ("restricted", "trace"),
-             "eq. (2) restricted model via the perspective encoding"),
+             "eq. (2) restricted model via the perspective encoding",
+             build_restricted=_build_restricted_diurnal_ri),
     Scenario("hetero-mix", _build_hetero_mix, ("heterogeneous", "trace"),
              "per-step costs alternate between three convex families"),
+    Scenario("hetero-fleet", None, ("heterogeneous",),
+             "two-type fleet: fast/hungry vs slow/frugal servers",
+             build_hetero=_build_hetero_fleet),
 ):
     _CATALOG[_sc.name] = _sc
 
@@ -205,9 +255,11 @@ def get_scenario(name: str) -> Scenario:
                        f"{sorted(_CATALOG)}") from None
 
 
-def build_instance(name: str, T: int, seed: int = 0):
-    """Build the instance of scenario ``name`` for ``(T, seed)``."""
-    return get_scenario(name).instance(T, seed)
+def build_instance(name: str, T: int, seed: int = 0,
+                   pipeline: str = "general"):
+    """Build the instance of scenario ``name`` for ``(T, seed)`` under
+    one of the engine pipelines (``general``/``restricted``/``hetero``)."""
+    return get_scenario(name).instance(T, seed, pipeline)
 
 
 def trace_suite(T: int = 168, seed: int = 0) -> list:

@@ -132,3 +132,11 @@ class TestLowerBound:
         assert rc == 0
         out = capsys.readouterr().out
         assert len(out.splitlines()) == 5
+
+    def test_parallel_eps_grid_matches_serial(self, capsys):
+        args = ["lowerbound", "--eps", "0.3,0.2,0.15", "--max-steps",
+                "500"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--n-jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
