@@ -1,0 +1,155 @@
+"""Engine throughput benchmark: rebuild path vs mmap store vs warm cache.
+
+Measures grid throughput (jobs/sec) of ``run_grid`` on a multi-algorithm
+grid at several horizons, under three execution variants:
+
+* ``rebuild``    — the pre-store behavior: the per-process memo is
+  disabled, so every phase-1/phase-2 job re-tabulates its instance's
+  cost matrix (what PR 2 shipped);
+* ``mmap_store`` — phase 0 has materialized the instance store; jobs
+  reopen the payload read-only via mmap (memo cleared between runs, so
+  the measurement is load-from-store, not load-from-memory);
+* ``warm_cache`` — every row is served from the per-job result cache
+  (the incremental-grid steady state).
+
+Results are written as machine-readable JSON (default
+``BENCH_engine.json`` at the repo root) so the nightly regression
+comparator (``benchmarks/compare_results.py``) can diff runs; per-
+algorithm mean ratios ride along as a correctness fingerprint.
+
+Run directly (not collected by pytest — no ``test_`` functions)::
+
+    python benchmarks/bench_engine.py --sizes 1000,10000 --out BENCH.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+DEFAULT_SIZES = (1_000, 10_000, 100_000)
+DEFAULT_ALGORITHMS = ("lcp", "threshold", "memoryless", "followmin",
+                      "never-off", "eager-lcp")
+VARIANTS = ("rebuild", "mmap_store", "warm_cache")
+
+
+def _run_variant(spec, variant: str, workdir: pathlib.Path,
+                 n_jobs: int) -> dict:
+    """Time one run_grid execution under one variant; returns a row."""
+    from repro.runner import run_grid, shutdown_pool
+    from repro.runner import instancestore
+    store_dir = workdir / "store"
+    cache_dir = workdir / "cache"
+    kwargs = {}
+    previous = None
+    if variant == "rebuild":
+        previous = instancestore.set_memo_size(0)
+    elif variant == "mmap_store":
+        kwargs["store_dir"] = store_dir
+    else:
+        kwargs["cache_dir"] = cache_dir
+    instancestore.clear_memo()
+    # drop the persistent pool so forked workers inherit the variant's
+    # memo state instead of the warm-up run's (matters for n_jobs > 1)
+    shutdown_pool()
+    stats: dict = {}
+    start = time.perf_counter()
+    try:
+        rows = run_grid(spec, n_jobs=n_jobs, stats=stats, **kwargs)
+    finally:
+        if previous is not None:
+            instancestore.set_memo_size(previous)
+    elapsed = time.perf_counter() - start
+    return {"variant": variant, "jobs": len(rows),
+            "seconds": round(elapsed, 6),
+            "jobs_per_sec": round(len(rows) / elapsed, 3),
+            "inst_builds": stats.get("inst_builds"),
+            "inst_loads": stats.get("inst_loads"),
+            "rows": rows}
+
+
+def bench_engine(sizes=DEFAULT_SIZES, algorithms=DEFAULT_ALGORITHMS,
+                 scenario: str = "diurnal", n_jobs: int = 1,
+                 workdir=None) -> dict:
+    """Run the three variants at every horizon; returns the report."""
+    from repro.runner import GridSpec, aggregate_rows, run_grid
+
+    def measure(T: int, workdir: pathlib.Path) -> list[dict]:
+        spec = GridSpec(scenarios=(scenario,), algorithms=tuple(algorithms),
+                        seeds=(0,), sizes=(int(T),))
+        # warm the store and the result cache first (phase 0 / first run
+        # are what 'cold' pays; the variants measure the steady state)
+        run_grid(spec, n_jobs=n_jobs, store_dir=workdir / "store",
+                 cache_dir=workdir / "cache")
+        out = []
+        reference = None
+        for variant in VARIANTS:
+            row = _run_variant(spec, variant, workdir, n_jobs)
+            rows = row.pop("rows")
+            if reference is None:
+                reference = rows
+            elif rows != reference:
+                raise AssertionError(
+                    f"variant {variant!r} rows differ at T={T}")
+            row["T"] = int(T)
+            row["mean_ratio"] = {
+                a["algorithm"]: round(a["mean_ratio"], 12)
+                for a in aggregate_rows(rows)}
+            out.append(row)
+        return out
+
+    results = []
+    for T in sizes:
+        if workdir is None:
+            with tempfile.TemporaryDirectory() as tmp:
+                results.extend(measure(T, pathlib.Path(tmp)))
+        else:
+            results.extend(measure(T, pathlib.Path(workdir)))
+    by = {(r["T"], r["variant"]): r for r in results}
+    speedup = {str(T): round(by[(T, "mmap_store")]["jobs_per_sec"]
+                             / by[(T, "rebuild")]["jobs_per_sec"], 3)
+               for T in sizes}
+    return {"bench": "engine_throughput", "version": 1,
+            "scenario": scenario, "algorithms": list(algorithms),
+            "n_jobs": n_jobs, "results": results,
+            "speedup_store_vs_rebuild": speedup}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sizes", default=",".join(map(str, DEFAULT_SIZES)),
+                    help="comma list of horizons")
+    ap.add_argument("--algorithms",
+                    default=",".join(DEFAULT_ALGORITHMS),
+                    help="comma list of registry names")
+    ap.add_argument("--scenario", default="diurnal")
+    ap.add_argument("--n-jobs", type=int, default=1)
+    ap.add_argument("--out", default="BENCH_engine.json",
+                    help="where to write the JSON report")
+    args = ap.parse_args(argv)
+    sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    algorithms = tuple(a.strip() for a in args.algorithms.split(",")
+                       if a.strip())
+    report = bench_engine(sizes=sizes, algorithms=algorithms,
+                          scenario=args.scenario, n_jobs=args.n_jobs)
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2,
+                                                 sort_keys=True) + "\n")
+    for row in report["results"]:
+        print(f"T={row['T']:>7} {row['variant']:<11} "
+              f"{row['jobs_per_sec']:>8.2f} jobs/s "
+              f"({row['seconds']:.2f}s, builds={row['inst_builds']})")
+    print("speedup store vs rebuild:",
+          report["speedup_store_vs_rebuild"])
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

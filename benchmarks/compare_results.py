@@ -1,0 +1,138 @@
+"""Nightly benchmark regression comparator.
+
+Diffs the machine-readable benchmark JSON of the current run against the
+previous run's downloaded artifact and fails (exit 1) when a tracked
+metric drifts beyond its tolerance:
+
+* **ratio metrics** (any numeric leaf whose key path contains ``ratio``,
+  e.g. the per-algorithm ``mean_ratio`` fingerprints in
+  ``BENCH_engine.json``) — tight tolerance; these are *correctness*
+  fingerprints, a drift means reproduced results changed;
+* **runtime metrics** (key path contains ``seconds``, ``jobs_per_sec``
+  or ``speedup``) — loose tolerance; CI machines are noisy, only large
+  regressions should fail.
+
+Files are matched by basename between the two directories (searched
+recursively for ``*.json`` starting with ``BENCH``); a missing previous
+directory or no matching files exits 0 — the first run has nothing to
+compare against.  Counters and other numeric leaves are not tracked,
+so layout additions don't break the gate.
+
+Usage::
+
+    python benchmarks/compare_results.py previous-results benchmarks/results \
+        --ratio-tol 0.05 --time-tol 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RATIO_MARKERS = ("ratio",)
+TIME_MARKERS = ("seconds", "jobs_per_sec", "speedup", "time")
+
+
+def _numeric_leaves(node, path=()):
+    """Yield ``(path, value)`` for every numeric leaf of a JSON tree."""
+    if isinstance(node, dict):
+        for k, v in sorted(node.items()):
+            yield from _numeric_leaves(v, path + (str(k),))
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            yield from _numeric_leaves(v, path + (str(i),))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield path, float(node)
+
+
+def _metric_kind(path: tuple) -> str | None:
+    """'ratio', 'time' or None (untracked) for a leaf's key path."""
+    joined = "/".join(path).lower()
+    if any(m in joined for m in RATIO_MARKERS):
+        return "ratio"
+    if any(m in joined for m in TIME_MARKERS):
+        return "time"
+    return None
+
+
+def _index_rows(doc):
+    """Re-key ``results`` rows by (T, variant) so row order and added
+    rows between runs don't misalign the comparison."""
+    if isinstance(doc, dict) and isinstance(doc.get("results"), list):
+        doc = dict(doc)
+        doc["results"] = {
+            f"{row.get('T')}-{row.get('variant')}": row
+            for row in doc["results"] if isinstance(row, dict)}
+    return doc
+
+
+def compare_docs(previous, current, *, ratio_tol: float,
+                 time_tol: float) -> list[str]:
+    """Drift messages for tracked metrics present in both documents."""
+    prev = dict(_numeric_leaves(_index_rows(previous)))
+    cur = dict(_numeric_leaves(_index_rows(current)))
+    problems = []
+    for path in sorted(set(prev) & set(cur)):
+        kind = _metric_kind(path)
+        if kind is None:
+            continue
+        tol = ratio_tol if kind == "ratio" else time_tol
+        a, b = prev[path], cur[path]
+        scale = max(abs(a), abs(b), 1e-12)
+        drift = abs(b - a) / scale
+        if drift > tol:
+            problems.append(
+                f"{'/'.join(path)}: {a:g} -> {b:g} "
+                f"({kind} drift {drift:.1%} > {tol:.1%})")
+    return problems
+
+
+def _bench_files(root: pathlib.Path) -> dict[str, pathlib.Path]:
+    return {p.name: p for p in sorted(root.rglob("BENCH*.json"))}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("previous", help="previous run's artifact directory")
+    ap.add_argument("current", help="current run's results directory")
+    ap.add_argument("--ratio-tol", type=float, default=0.05,
+                    help="relative tolerance for ratio metrics")
+    ap.add_argument("--time-tol", type=float, default=0.5,
+                    help="relative tolerance for runtime metrics")
+    args = ap.parse_args(argv)
+    previous = pathlib.Path(args.previous)
+    current = pathlib.Path(args.current)
+    if not previous.is_dir():
+        print(f"no previous results at {previous}; nothing to compare")
+        return 0
+    prev_files = _bench_files(previous)
+    cur_files = _bench_files(current)
+    shared = sorted(set(prev_files) & set(cur_files))
+    if not shared:
+        print("no matching benchmark JSON files; nothing to compare")
+        return 0
+    failed = False
+    for name in shared:
+        try:
+            prev_doc = json.loads(prev_files[name].read_text())
+            cur_doc = json.loads(cur_files[name].read_text())
+        except ValueError as exc:
+            print(f"{name}: unreadable ({exc}); skipping")
+            continue
+        problems = compare_docs(prev_doc, cur_doc,
+                                ratio_tol=args.ratio_tol,
+                                time_tol=args.time_tol)
+        if problems:
+            failed = True
+            print(f"REGRESSION in {name}:")
+            for p in problems:
+                print(f"  {p}")
+        else:
+            print(f"{name}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

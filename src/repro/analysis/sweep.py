@@ -7,15 +7,19 @@ results are collected as a list of flat row dicts ready for
 
 Evaluation runs through the batch engine's
 :func:`repro.runner.engine.parallel_map`, so passing ``n_jobs > 1``
-fans grid points out over a process pool (the function must then be
-picklable, i.e. module-level).  Passing ``cache_dir`` stores each
-point's measurements in the engine's per-job content-addressed cache
-(:class:`~repro.runner.jobcache.JobCache`), keyed by the function's
-qualified name and the point — extending a sweep's axes re-evaluates
-only the new points.  Cached measurements must be JSON-serializable
-(numpy scalars are converted); don't cache wall-clock timings you mean
-to re-measure.  For named (scenario x algorithm) grids with ratio
-aggregation, prefer :func:`repro.runner.run_grid`.
+fans grid points out over the engine's *persistent* process pool (the
+function must then be picklable, i.e. module-level); the pool is shared
+with ``run_grid`` and ``repro lowerbound`` and survives across sweeps,
+so many small sweeps don't pay a pool fork each.  Passing ``cache_dir``
+(a directory, or a ready-made
+:class:`~repro.runner.jobcache.JobCache` — e.g. one opened on the
+SQLite backend) stores each point's measurements in the engine's
+per-job content-addressed cache, keyed by the function's qualified name
+and the point — extending a sweep's axes re-evaluates only the new
+points.  Cached measurements must be JSON-serializable (numpy scalars
+are converted); don't cache wall-clock timings you mean to re-measure.
+For named (scenario x algorithm) grids with ratio aggregation, prefer
+:func:`repro.runner.run_grid`.
 """
 
 from __future__ import annotations
@@ -72,7 +76,8 @@ def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence], *,
     names = list(grid.keys())
     points = [dict(zip(names, values))
               for values in itertools.product(*(grid[n] for n in names))]
-    cache = JobCache(cache_dir) if cache_dir is not None else None
+    cache = (cache_dir if isinstance(cache_dir, JobCache)
+             else JobCache(cache_dir) if cache_dir is not None else None)
     results: list = [None] * len(points)
     pending: list[tuple[int, dict, str]] = []
     for i, point in enumerate(points):

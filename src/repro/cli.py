@@ -11,6 +11,8 @@ Subcommands, mirroring the library's pillars:
 * ``repro bench``     — predefined engine grids with wall-clock timing.
 * ``repro lowerbound`` — run the Section 5 adversarial games and print
   the ratio-vs-eps curves.
+* ``repro cache``     — administer the per-job result cache: stats,
+  prune-by-age, clear, and JSON-dir → SQLite migration.
 
 Examples::
 
@@ -18,9 +20,12 @@ Examples::
     repro simulate --workload hotmail -T 168 --algorithms lcp,threshold
     repro sweep --scenarios diurnal,bursty --algorithms lcp,threshold \
         --seeds 0,1,2 -T 168 --n-jobs 4
-    repro bench --grid traces --n-jobs 4
+    repro bench --grid traces --n-jobs 4 --store-dir /tmp/store
     repro lowerbound --kind deterministic --eps 0.2,0.1,0.05
     repro solve --loads-csv trace.csv --beta 4 --solver dp
+    repro cache stats --cache-dir /tmp/cache
+    repro cache migrate --cache-dir /tmp/cache
+    repro cache prune --cache-dir /tmp/cache --older-than 30d
 """
 
 from __future__ import annotations
@@ -107,10 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_engine_args(sp):
         sp.add_argument("--n-jobs", type=int, default=1,
-                        help="worker processes (1 = in-process)")
+                        help="worker processes (1 = in-process); the "
+                             "pool persists across phases and grids")
         sp.add_argument("--cache-dir", metavar="DIR",
                         help="per-job content-addressed result cache "
                              "under DIR (overlapping grids share work)")
+        sp.add_argument("--cache-backend",
+                        choices=("auto", "json", "sqlite"), default="auto",
+                        help="cache storage backend (auto detects an "
+                             "existing cache.db, else JSON dir)")
+        sp.add_argument("--store-dir", metavar="DIR",
+                        help="materialize each distinct instance once "
+                             "into a shared mmap store under DIR "
+                             "(phase 0); workers map it read-only "
+                             "instead of rebuilding")
         sp.add_argument("--force", action="store_true",
                         help="recompute even on a cache hit")
 
@@ -158,6 +173,28 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--results-dir", default="benchmarks/results")
     sp.add_argument("--check", action="store_true",
                     help="exit non-zero if any experiment is missing")
+
+    sp = sub.add_parser("cache",
+                        help="administer the per-job result cache")
+    cache_sub = sp.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+            ("stats", "entry counts, bytes and backend of a cache"),
+            ("prune", "remove records older than a cutoff"),
+            ("clear", "remove every record"),
+            ("migrate", "convert a JSON cache dir to the SQLite "
+                        "backend (cache.db)")):
+        csp = cache_sub.add_parser(name, help=help_text)
+        csp.add_argument("--cache-dir", metavar="DIR", required=True)
+        if name != "migrate":
+            csp.add_argument("--cache-backend",
+                             choices=("auto", "json", "sqlite"),
+                             default="auto")
+        if name == "prune":
+            csp.add_argument("--older-than", required=True,
+                             metavar="AGE",
+                             help="age cutoff: number plus unit suffix "
+                                  "s/m/h/d (plain numbers mean days), "
+                                  "e.g. 30d, 12h, 90")
     return p
 
 
@@ -289,6 +326,23 @@ def _print_cache_stats(stats: dict) -> None:
           f"{stats['opt_hits']} optima cached")
 
 
+def _print_store_stats(stats: dict) -> None:
+    print(f"store: {stats['inst_materialized']} instances materialized, "
+          f"{stats['inst_builds']} built in-process, "
+          f"{stats['inst_loads']} mmap loads, "
+          f"{stats['inst_memo_hits']} memo hits")
+
+
+def _open_cache(args):
+    """The JobCache selected by --cache-dir/--cache-backend (or None)."""
+    if not getattr(args, "cache_dir", None):
+        return None
+    from .runner import JobCache
+    backend = getattr(args, "cache_backend", "auto")
+    return JobCache(args.cache_dir,
+                    backend=None if backend == "auto" else backend)
+
+
 def _cmd_sweep(args) -> int:
     if args.list:
         from .runner import algorithm_table, get_scenario, scenario_names
@@ -303,12 +357,14 @@ def _cmd_sweep(args) -> int:
                        _split(args.seeds, int), _split(args.T, int),
                        lookahead=args.lookahead)
     stats: dict = {}
-    rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=args.cache_dir,
-                    force=args.force, stats=stats)
+    rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
+                    store_dir=args.store_dir, force=args.force, stats=stats)
     _print_grid_results(rows, args.per_row,
                         f"sweep {len(spec)} jobs (key {spec.cache_key()})")
     if args.cache_dir:
         _print_cache_stats(stats)
+    if args.store_dir:
+        _print_store_stats(stats)
     return 0
 
 
@@ -317,8 +373,8 @@ def _cmd_bench(args) -> int:
     spec = GridSpec(**_BENCH_GRIDS[args.grid])
     stats: dict = {}
     start = time.perf_counter()
-    rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=args.cache_dir,
-                    force=args.force, stats=stats)
+    rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
+                    store_dir=args.store_dir, force=args.force, stats=stats)
     elapsed = time.perf_counter() - start
     _print_grid_results(rows, per_row=False,
                         title=f"bench grid {args.grid!r}")
@@ -326,6 +382,56 @@ def _cmd_bench(args) -> int:
           f"({len(rows) / elapsed:.1f} jobs/s, n_jobs={args.n_jobs})")
     if args.cache_dir:
         _print_cache_stats(stats)
+    if args.store_dir:
+        _print_store_stats(stats)
+    return 0
+
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_age(text: str) -> float:
+    """Age cutoff in seconds from '30d'/'12h'/'90' (plain = days)."""
+    text = text.strip().lower()
+    unit = _AGE_UNITS.get(text[-1:], None)
+    digits = text[:-1] if unit is not None else text
+    try:
+        value = float(digits)
+    except ValueError:
+        raise SystemExit(f"could not parse age {text!r}; use e.g. "
+                         "'30d', '12h', '45m', '30s' or plain days"
+                         ) from None
+    return value * (unit if unit is not None else 86400.0)
+
+
+def _cmd_cache(args) -> int:
+    from .runner import JobCache, migrate_cache
+    cache = _open_cache(args)
+    if args.cache_command == "stats":
+        info = cache.stats()
+        print(f"backend: {info['backend']}")
+        print(f"root:    {cache.root}")
+        for kind in sorted(info["entries"]):
+            print(f"  {kind:12s} {info['entries'][kind]} records")
+        print(f"total:   {info['total']} records, {info['bytes']} bytes")
+        return 0
+    if args.cache_command == "prune":
+        removed = cache.prune(_parse_age(args.older_than))
+        print(f"pruned {removed} records older than {args.older_than}")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} records")
+        return 0
+    # migrate: JSON dir -> SQLite cache.db in the same directory
+    src = JobCache(args.cache_dir, backend="json")
+    if cache.backend == "sqlite":
+        raise SystemExit(f"{args.cache_dir} already holds a cache.db")
+    dst = JobCache(args.cache_dir, backend="sqlite")
+    copied = migrate_cache(src, dst)
+    removed = src.clear()
+    print(f"migrated {copied} records to {dst.root / 'cache.db'} "
+          f"({removed} JSON records removed)")
     return 0
 
 
@@ -385,7 +491,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     return {"solve": _cmd_solve, "simulate": _cmd_simulate,
             "sweep": _cmd_sweep, "bench": _cmd_bench,
-            "lowerbound": _cmd_lowerbound, "report": _cmd_report
+            "lowerbound": _cmd_lowerbound, "report": _cmd_report,
+            "cache": _cmd_cache,
             }[args.command](args)
 
 

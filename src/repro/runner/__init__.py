@@ -9,29 +9,37 @@ The runner is the substrate every large-scale experiment stands on:
   scenarios: the trace families of the experimental evaluation plus
   adversarial, random-convex and heterogeneous-cost instances.
 * :mod:`repro.runner.engine` — expands a :class:`GridSpec` of
-  (scenario x algorithm x seed x size) into jobs, solves each distinct
-  instance's offline optimum once (phase 1), fans the algorithm jobs
-  out on a ``multiprocessing`` pool with deterministic per-job seeding
-  (phase 2) and aggregates competitive ratios.
+  (scenario x algorithm x seed x size) into jobs, materializes each
+  distinct instance once (phase 0), solves each instance's offline
+  optimum once (phase 1), fans the algorithm jobs out on a persistent
+  process pool with deterministic per-job seeding (phase 2) and
+  aggregates competitive ratios.
+* :mod:`repro.runner.instancestore` — the shared mmap-backed store of
+  materialized instance payloads plus the per-process build memo, so no
+  process ever tabulates the same cost matrix twice.
 * :mod:`repro.runner.jobcache` — the per-job content-addressed result
-  store behind incremental grids: one JSON record per job / instance
-  optimum, shared by every overlapping grid.
+  store behind incremental grids (JSON-dir or single-file SQLite
+  backend): one record per job / instance optimum, shared by every
+  overlapping grid.
 """
 
 from .engine import (GridSpec, aggregate_rows, instance_key, job_key,
-                     parallel_map, run_grid)
-from .jobcache import JobCache
+                     parallel_map, run_grid, shutdown_pool)
+from .instancestore import InstanceStore, get_instance
+from .jobcache import JobCache, migrate_cache
 from .registry import (PIPELINES, AlgorithmSpec, algorithm_names,
                        algorithm_table, get_spec, make_algorithm,
-                       make_solver, solver_names)
+                       make_solver, pipeline_optimum, solver_names)
 from .scenarios import (Scenario, build_instance, get_scenario,
                         scenario_names, trace_suite)
 
 __all__ = [
     "AlgorithmSpec", "PIPELINES", "algorithm_names", "algorithm_table",
-    "get_spec", "make_algorithm", "make_solver", "solver_names",
+    "get_spec", "make_algorithm", "make_solver", "pipeline_optimum",
+    "solver_names",
     "Scenario", "build_instance", "get_scenario", "scenario_names",
     "trace_suite",
-    "GridSpec", "JobCache", "aggregate_rows", "instance_key", "job_key",
-    "parallel_map", "run_grid",
+    "GridSpec", "InstanceStore", "JobCache", "aggregate_rows",
+    "get_instance", "instance_key", "job_key", "migrate_cache",
+    "parallel_map", "run_grid", "shutdown_pool",
 ]

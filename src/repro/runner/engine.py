@@ -1,16 +1,21 @@
-"""Two-phase parallel batch engine for experiment grids.
+"""Zero-rebuild parallel batch engine for experiment grids.
 
 A :class:`GridSpec` names the cartesian product of
 (scenario x algorithm x seed x horizon); the engine expands it into
-jobs and executes them in two phases — in-process or on a
-``multiprocessing`` pool with chunking:
+jobs and executes them in three phases — in-process or on a persistent
+process pool with chunking:
 
-* **Phase 1 — instances.**  Each distinct ``(scenario, pipeline, T,
-  inst_seed)`` instance is built and its offline optimum solved exactly
-  once, however many algorithms the grid runs on it.  Optima are
-  memoized in a per-instance store (and persisted when a cache
-  directory is given), so a grid with ``A`` algorithms pays roughly
-  ``1/A`` of the naive per-job optimum cost.
+* **Phase 0 — materialization.**  With a ``store_dir``, each distinct
+  ``(scenario, pipeline, T, inst_seed)`` instance is built exactly once
+  and its dense payload written to the content-addressed
+  :class:`~repro.runner.instancestore.InstanceStore`; later phases (and
+  every other grid sharing the store) reopen it read-only via ``mmap``
+  instead of re-tabulating cost matrices.  Even without a store, a
+  per-process memo guarantees no process builds the same instance twice.
+* **Phase 1 — instances.**  Each distinct instance's offline optimum is
+  solved exactly once, however many algorithms the grid runs on it.
+  Optima are persisted when a cache directory is given, so a grid with
+  ``A`` algorithms pays roughly ``1/A`` of the naive per-job cost.
 * **Phase 2 — algorithms.**  Algorithm jobs fan out over
   :func:`parallel_map`, each reusing its instance's hoisted optimum.
 
@@ -19,13 +24,20 @@ Three properties make this the substrate for every large experiment:
 * **Determinism** — a job is reproducible from its coordinates alone:
   the scenario instance is seeded from ``(scenario, seed)`` and any
   algorithm randomness from a stable hash of the full coordinates, so
-  ``n_jobs=1`` and ``n_jobs=8`` produce bit-identical rows.
+  ``n_jobs=1`` and ``n_jobs=8`` produce bit-identical rows — with or
+  without the instance store (``np.save`` round-trips float64 exactly).
 * **Caching** — results persist per *job* in a content-addressed store
-  (:class:`~repro.runner.jobcache.JobCache`): one JSON record per job
-  key, plus one per instance optimum.  Overlapping grids share work,
-  and extending a grid by one seed executes only the new seed's jobs.
-* **Chunking** — jobs are handed to workers in contiguous chunks to
-  amortize IPC, while row order always matches job order.
+  (:class:`~repro.runner.jobcache.JobCache`, JSON-dir or SQLite
+  backend): one record per job key, plus one per instance optimum.
+  Overlapping grids share work, and extending a grid by one seed
+  executes only the new seed's jobs.
+* **Pool reuse** — :func:`parallel_map` keeps one module-level
+  ``ProcessPoolExecutor`` alive across phases, grids and callers
+  (``analysis/sweep``, ``repro lowerbound``), so the many small grids
+  the benches run don't pay a pool fork each; :func:`shutdown_pool`
+  tears it down explicitly (and at interpreter exit).  Jobs are handed
+  to workers in contiguous chunks to amortize IPC, while row order
+  always matches job order.
 
 Algorithms are resolved through :mod:`repro.runner.registry`; the
 registry entry's ``pipeline`` selects the instance representation, so
@@ -37,12 +49,16 @@ algorithms.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
 import json
 import multiprocessing
 import zlib
+from concurrent.futures import ProcessPoolExecutor
 
+from . import instancestore
+from .instancestore import InstanceStore, get_instance
 from .jobcache import JobCache, content_key
 
 __all__ = [
@@ -53,6 +69,7 @@ __all__ = [
     "instance_key",
     "JobCache",
     "parallel_map",
+    "shutdown_pool",
 ]
 
 #: bump when row contents / seeding change, to invalidate stale caches
@@ -141,7 +158,7 @@ def job_key(job: tuple) -> str:
 
 
 def _instance_coords(job: tuple) -> tuple:
-    """The phase-1 coordinates a job's instance is built from."""
+    """The phase-0/1 coordinates a job's instance is built from."""
     from .registry import get_spec
     scenario, algorithm, T, inst_seed, _seed, _lookahead = job
     return (scenario, get_spec(algorithm).pipeline, T, inst_seed)
@@ -156,15 +173,16 @@ def instance_key(coords: tuple) -> str:
                         "T": T, "inst_seed": inst_seed})
 
 
-def _solve_instance(coords: tuple) -> dict:
-    """Phase-1 job: build one instance, solve its offline optimum once.
+def _solve_instance(task: tuple) -> dict:
+    """Phase-1 job: resolve one instance, solve its offline optimum once.
 
-    Must stay module-level (pool pickling).  Returns the per-instance
-    record reused by every phase-2 job on the same instance.
+    ``task`` is ``(coords, store_root)``; must stay module-level (pool
+    pickling).  Returns the per-instance record reused by every phase-2
+    job on the same instance.
     """
-    from .scenarios import build_instance
-    scenario, pipeline, T, inst_seed = coords
-    inst = build_instance(scenario, T, inst_seed, pipeline=pipeline)
+    coords, store_root = task
+    pipeline = coords[1]
+    inst = get_instance(coords, store_root)
     if pipeline == "general":
         from ..analysis import optimal_cost
         opt, m, beta = optimal_cost(inst), inst.m, inst.beta
@@ -178,27 +196,18 @@ def _solve_instance(coords: tuple) -> dict:
     return {"opt": float(opt), "m": int(m), "beta": float(beta)}
 
 
-#: per pipeline, the registry entry whose solver *is* the phase-1
-#: optimum computation — re-running it in phase 2 would repeat the
-#: identical call on the identical instance, so its cost is the optimum
-#: by construction (the general pipeline is deliberately absent: its
-#: exact solvers — binary_search, graph, ... — are *different*
-#: algorithms from the phase-1 DP and cross-validate it)
-_OPT_SOLVERS = {"restricted": "restricted", "hetero": "dp_hetero"}
-
-
 def _run_job(task: tuple) -> dict:
     """Phase-2 job: run one algorithm against its hoisted optimum.
 
-    ``task`` is ``(job, inst_record)`` with the record produced by
-    :func:`_solve_instance`; must stay module-level (pool pickling).
+    ``task`` is ``(job, inst_record, store_root)`` with the record
+    produced by :func:`_solve_instance`; must stay module-level (pool
+    pickling).
     """
-    from .registry import get_spec
-    from .scenarios import build_instance
-    job, inst_record = task
+    from .registry import get_spec, pipeline_optimum
+    job, inst_record, store_root = task
     scenario, algorithm, T, inst_seed, seed, lookahead = job
     spec = get_spec(algorithm)
-    if algorithm == _OPT_SOLVERS.get(spec.pipeline):
+    if algorithm == pipeline_optimum(spec.pipeline):
         return {
             "scenario": scenario, "algorithm": algorithm,
             "pipeline": spec.pipeline, "T": T,
@@ -206,7 +215,7 @@ def _run_job(task: tuple) -> dict:
             "seed": seed, "cost": inst_record["opt"],
             "opt": inst_record["opt"], "ratio": 1.0,
         }
-    inst = build_instance(scenario, T, inst_seed, pipeline=spec.pipeline)
+    inst = get_instance((scenario, spec.pipeline, T, inst_seed), store_root)
     if spec.pipeline == "hetero":
         cost = spec.make()(inst)[2]
     elif spec.kind == "online":
@@ -225,12 +234,52 @@ def _run_job(task: tuple) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Persistent worker pool.
+# ----------------------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _get_pool(n_jobs: int) -> ProcessPoolExecutor:
+    """The module-level executor, grown (never shrunk) to ``n_jobs``."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS < n_jobs:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        _POOL = ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx)
+        _POOL_WORKERS = n_jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (idempotent; also runs at
+    interpreter exit).  The next parallel call starts a fresh pool."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def parallel_map(fn, items, n_jobs: int = 1, chunksize: int | None = None):
-    """Order-preserving map, in-process or on a process pool.
+    """Order-preserving map, in-process or on the persistent pool.
 
     ``fn`` and the items must be picklable for ``n_jobs > 1`` (module
-    -level functions and plain data).  The in-process path is a plain
-    ``map`` so tests can monkeypatch ``fn``'s module-level dependencies.
+    -level functions and plain data).  The pool outlives the call — it
+    is reused by both engine phases, by every subsequent grid, and by
+    ``analysis/sweep`` and ``repro lowerbound`` — so pool startup is
+    amortized across the many small grids the benches run.  The
+    in-process path is a plain ``map`` so tests can monkeypatch ``fn``'s
+    module-level dependencies.
     """
     items = list(items)
     if n_jobs <= 1 or len(items) <= 1:
@@ -238,11 +287,13 @@ def parallel_map(fn, items, n_jobs: int = 1, chunksize: int | None = None):
     n_jobs = min(n_jobs, len(items))
     if chunksize is None:
         chunksize = max(1, len(items) // (4 * n_jobs))
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn")
-    with ctx.Pool(processes=n_jobs) as pool:
-        return pool.map(fn, items, chunksize=chunksize)
+    try:
+        return list(_get_pool(n_jobs).map(fn, items, chunksize=chunksize))
+    except Exception:
+        # a dead/broken pool must not poison later calls — drop it so
+        # the next parallel_map starts fresh, then surface the error
+        shutdown_pool()
+        raise
 
 
 def _validate_pipelines(jobs) -> None:
@@ -260,21 +311,36 @@ def _validate_pipelines(jobs) -> None:
 
 
 def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
-             force: bool = False, stats: dict | None = None) -> list[dict]:
+             store_dir=None, force: bool = False,
+             stats: dict | None = None) -> list[dict]:
     """Run every job of a grid and return one row dict per job.
 
     With ``cache_dir``, each job's row (and each instance's optimum) is
     read from the per-job content-addressed cache when present (unless
     ``force``) and written back after a live run — so re-running any
     overlapping grid only executes the jobs it has not seen before.
-    Pass a dict as ``stats`` to receive cache counters: ``job_hits``,
-    ``job_misses``, ``opt_hits`` and ``opt_solved``.
+    ``cache_dir`` may also be a ready-made :class:`JobCache` (e.g. one
+    opened on the SQLite backend).  With ``store_dir``, phase 0
+    materializes each distinct pending instance into the shared
+    :class:`~repro.runner.instancestore.InstanceStore` exactly once;
+    phases 1 and 2 then mmap the payloads instead of rebuilding.
+
+    Pass a dict as ``stats`` to receive counters: ``job_hits``,
+    ``job_misses``, ``opt_hits``, ``opt_solved``,
+    ``inst_materialized`` (instances newly written to the store this
+    call, wherever the build ran), plus this process's
+    instance-resolution deltas ``inst_builds`` (scenario builds — with a
+    store, at most one per distinct instance end-to-end), ``inst_loads``
+    (store mmap loads) and ``inst_memo_hits``.
     """
-    cache = JobCache(cache_dir) if cache_dir is not None else None
+    cache = (cache_dir if isinstance(cache_dir, JobCache)
+             else JobCache(cache_dir) if cache_dir is not None else None)
+    store_root = None if store_dir is None else str(store_dir)
     jobs = spec.jobs()
     _validate_pipelines(jobs)
     counters = {"job_hits": 0, "job_misses": 0, "opt_hits": 0,
-                "opt_solved": 0}
+                "opt_solved": 0, "inst_materialized": 0}
+    inst_stats_before = instancestore.build_stats()
     rows: list = [None] * len(jobs)
     pending: list[tuple[int, tuple, str]] = []
     for i, job in enumerate(jobs):
@@ -288,8 +354,17 @@ def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
             pending.append((i, job, key))
     counters["job_misses"] = len(pending)
     if pending:
-        # Phase 1: solve each distinct pending instance exactly once.
         need = dict.fromkeys(_instance_coords(job) for _, job, _ in pending)
+        # Phase 0: materialize each distinct pending instance once.
+        if store_root is not None:
+            store = InstanceStore(store_root)
+            missing = [c for c in need if not store.has(c)]
+            built = parallel_map(instancestore._materialize_job,
+                                 [(c, store_root) for c in missing],
+                                 n_jobs=n_jobs)
+            # a concurrent grid may have materialized some of them first
+            counters["inst_materialized"] = sum(map(bool, built))
+        # Phase 1: solve each distinct pending instance's optimum once.
         records: dict[tuple, dict] = {}
         unsolved = []
         for coords in need:
@@ -301,14 +376,16 @@ def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
             else:
                 unsolved.append(coords)
         for coords, rec in zip(unsolved,
-                               parallel_map(_solve_instance, unsolved,
+                               parallel_map(_solve_instance,
+                                            [(c, store_root)
+                                             for c in unsolved],
                                             n_jobs=n_jobs)):
             records[coords] = rec
             counters["opt_solved"] += 1
             if cache is not None:
                 cache.put("instances", instance_key(coords), rec)
         # Phase 2: fan the algorithm jobs out, reusing the optima.
-        tasks = [(job, records[_instance_coords(job)])
+        tasks = [(job, records[_instance_coords(job)], store_root)
                  for _, job, _ in pending]
         for (i, _job, key), row in zip(pending,
                                        parallel_map(_run_job, tasks,
@@ -317,6 +394,9 @@ def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
             if cache is not None:
                 cache.put("jobs", key, row)
     if stats is not None:
+        inst_stats = instancestore.build_stats()
+        counters.update({k: inst_stats[k] - inst_stats_before[k]
+                         for k in inst_stats})
         stats.update(counters)
     return rows
 

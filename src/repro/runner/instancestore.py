@@ -1,0 +1,299 @@
+"""Shared materialized-instance store — phase 0 of the engine.
+
+Building a scenario instance means evaluating ``O(T m)`` Python-level
+cost functions; before this layer every engine worker re-paid that for
+every job (phase 1 *and* phase 2), so a grid with ``A`` algorithms
+tabulated the same ``(T, m+1)`` cost matrix ``A + 1`` times.  The store
+materializes each distinct ``(scenario, pipeline, T, inst_seed)``
+instance exactly once and persists its dense payload as content-addressed
+``.npy`` files:
+
+* ``general`` — the ``F`` cost matrix (+ ``beta``);
+* ``restricted`` — the load trace and the masked feasible-cost table of
+  :func:`repro.offline.restricted.restricted_cost_matrix` (+ ``m``,
+  ``beta``);
+* ``hetero`` — the ``(T, m1+1, m2+1)`` cost tensor (+ both betas).
+
+Workers reopen payloads with ``np.load(..., mmap_mode="r")``, so phase-1
+and phase-2 jobs (and every process of the persistent pool) share
+read-only pages instead of re-tabulating — rebuild cost is paid once per
+store, not once per job.
+
+Independently of any store, :func:`get_instance` keeps a small
+per-process memo so one process never builds (or mmap-loads) the same
+instance twice, and counts actual scenario builds in a per-process stats
+dict — the ``inst_builds`` counter :func:`repro.runner.run_grid` reports,
+which is how tests *prove* the exactly-once property.
+
+Payloads reconstruct bit-identically (``np.save`` round-trips float64
+exactly), so rows computed through the store match the rebuild path and
+``n_jobs=1`` vs ``n_jobs=N`` stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+import os
+import pathlib
+import shutil
+
+import numpy as np
+
+from .jobcache import content_key
+
+__all__ = [
+    "InstanceStore",
+    "StoredRestrictedInstance",
+    "get_instance",
+    "build_stats",
+    "clear_memo",
+    "set_memo_size",
+    "store_key",
+]
+
+#: bump when the payload layout changes, to invalidate stale stores
+STORE_VERSION = 1
+
+#: default number of instances the per-process memo keeps alive
+_DEFAULT_MEMO_SIZE = 8
+
+#: default bound on the memo's *resident* bytes (mmap-backed payloads
+#: count as zero — their pages are file-backed and OS-evictable); keeps
+#: persistent pool workers from pinning hundreds of MB of built
+#: instances after a large-T grid finishes
+_DEFAULT_MEMO_BYTES = 128 * 1024 * 1024
+
+
+def store_key(coords: tuple) -> str:
+    """Content-addressed key of one instance payload."""
+    scenario, pipeline, T, inst_seed = coords
+    return content_key({"kind": "instance-payload",
+                        "store_version": STORE_VERSION,
+                        "scenario": scenario, "pipeline": pipeline,
+                        "T": T, "inst_seed": inst_seed})
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredRestrictedInstance:
+    """Restricted-model view reconstructed from the store.
+
+    The precomputed masked cost table stands in for the per-server cost
+    callable (which cannot be serialized);
+    :func:`~repro.offline.restricted.solve_restricted` consumes the
+    ``costs`` matrix directly.
+    """
+
+    beta: float
+    m: int
+    loads: np.ndarray
+    costs: np.ndarray
+
+    @property
+    def T(self) -> int:
+        return self.loads.shape[0]
+
+
+def _instance_payload(inst, pipeline: str) -> tuple[dict, dict]:
+    """Split a built instance into ``(arrays, meta)`` for persistence."""
+    if pipeline == "general":
+        return {"F": inst.F}, {"beta": float(inst.beta)}
+    if pipeline == "restricted":
+        from ..offline.restricted import restricted_cost_matrix
+        return ({"loads": inst.loads, "costs": restricted_cost_matrix(inst)},
+                {"beta": float(inst.beta), "m": int(inst.m)})
+    if pipeline == "hetero":
+        return {"F": inst.F}, {"beta1": float(inst.beta1),
+                               "beta2": float(inst.beta2)}
+    raise ValueError(f"unknown pipeline {pipeline!r}")
+
+
+def _instance_from_payload(pipeline: str, arrays: dict, meta: dict):
+    """Rebuild the solver-facing instance object from a stored payload."""
+    if pipeline == "general":
+        from ..core.instance import Instance
+        return Instance.from_matrix(arrays["F"], beta=meta["beta"])
+    if pipeline == "restricted":
+        return StoredRestrictedInstance(beta=meta["beta"], m=meta["m"],
+                                        loads=arrays["loads"],
+                                        costs=arrays["costs"])
+    from ..extensions import HeterogeneousInstance
+    return HeterogeneousInstance(beta1=meta["beta1"], beta2=meta["beta2"],
+                                 F=arrays["F"])
+
+
+class InstanceStore:
+    """Content-addressed directory of materialized instance payloads.
+
+    Layout: ``root/<key[:2]>/<key>/meta.json`` plus one ``<name>.npy``
+    per payload array.  Writes go through a per-process temp directory
+    and an atomic rename, so concurrent materializers of the same
+    instance are safe — last writer wins with identical content.  A
+    payload that fails to load is treated as missing (callers fall back
+    to building the instance).
+    """
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+
+    def dir(self, coords: tuple) -> pathlib.Path:
+        """Directory of one instance's payload (whether or not present)."""
+        key = store_key(coords)
+        return self.root / key[:2] / key
+
+    def has(self, coords: tuple) -> bool:
+        """Whether a payload for ``coords`` is materialized."""
+        return (self.dir(coords) / "meta.json").exists()
+
+    def put(self, coords: tuple, inst) -> None:
+        """Materialize a built instance's payload (atomic rename)."""
+        scenario, pipeline, T, inst_seed = coords
+        arrays, meta = _instance_payload(inst, pipeline)
+        target = self.dir(coords)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+        shutil.rmtree(tmp, ignore_errors=True)
+        tmp.mkdir()
+        for name, arr in arrays.items():
+            np.save(tmp / f"{name}.npy", np.asarray(arr))
+        (tmp / "meta.json").write_text(json.dumps({
+            "store_version": STORE_VERSION, "scenario": scenario,
+            "pipeline": pipeline, "T": int(T), "inst_seed": int(inst_seed),
+            "arrays": sorted(arrays), "meta": meta}, sort_keys=True))
+        try:
+            os.replace(tmp, target)
+        except OSError:
+            # concurrent materializer won the rename race; keep theirs
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def load(self, coords: tuple, *, mmap: bool = True):
+        """Reconstruct the instance of ``coords``; ``None`` on miss or
+        unreadable payload.  ``mmap=True`` opens arrays read-only via
+        ``np.load(..., mmap_mode="r")`` so processes share pages."""
+        target = self.dir(coords)
+        try:
+            info = json.loads((target / "meta.json").read_text())
+            if (info.get("store_version") != STORE_VERSION
+                    or info.get("pipeline") != coords[1]):
+                return None
+            arrays = {name: np.load(target / f"{name}.npy",
+                                    mmap_mode="r" if mmap else None)
+                      for name in info["arrays"]}
+            return _instance_from_payload(coords[1], arrays, info["meta"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def materialize(self, coords: tuple) -> bool:
+        """Phase-0 step: build and persist ``coords`` unless present.
+        Returns whether a build happened."""
+        if self.has(coords):
+            return False
+        from .scenarios import build_instance
+        scenario, pipeline, T, inst_seed = coords
+        _STATS["inst_builds"] += 1
+        self.put(coords,
+                 build_instance(scenario, T, inst_seed, pipeline=pipeline))
+        return True
+
+    def stats(self) -> dict:
+        """``{"entries", "bytes"}`` of the materialized payloads."""
+        entries, size = 0, 0
+        if self.root.is_dir():
+            for meta in self.root.glob("*/*/meta.json"):
+                entries += 1
+                size += sum(p.stat().st_size
+                            for p in meta.parent.iterdir())
+        return {"entries": entries, "bytes": size}
+
+
+def _materialize_job(task: tuple) -> bool:
+    """Module-level phase-0 job for the process pool."""
+    coords, root = task
+    return InstanceStore(root).materialize(coords)
+
+
+# ----------------------------------------------------------------------
+# Per-process memo: each process builds/loads any instance at most once.
+# ----------------------------------------------------------------------
+
+_MEMO: collections.OrderedDict = collections.OrderedDict()
+_MEMO_SIZE = _DEFAULT_MEMO_SIZE
+_MEMO_BYTES = _DEFAULT_MEMO_BYTES
+_STATS = {"inst_builds": 0, "inst_loads": 0, "inst_memo_hits": 0}
+
+
+def _resident_nbytes(inst) -> int:
+    """Heap bytes an instance pins while memoized.  Arrays backed by a
+    store mmap cost nothing: their pages are file-backed and the OS
+    evicts them under pressure."""
+    total = 0
+    for name in ("F", "loads", "costs"):
+        arr = getattr(inst, name, None)
+        if isinstance(arr, np.ndarray) and not (
+                isinstance(arr, np.memmap)
+                or isinstance(arr.base, np.memmap)):
+            total += arr.nbytes
+    return total
+
+
+def _evict_memo() -> None:
+    while len(_MEMO) > max(_MEMO_SIZE, 0) or (
+            sum(b for _, b in _MEMO.values()) > _MEMO_BYTES
+            and len(_MEMO) > 1):
+        _MEMO.popitem(last=False)
+
+
+def get_instance(coords: tuple, store_root=None):
+    """The instance of ``coords``, memoized per process.
+
+    Resolution order: process memo, then the instance store under
+    ``store_root`` (mmap load), then a scenario build (counted in
+    :func:`build_stats` as ``inst_builds``).  The memo is bounded both
+    by entry count and by resident bytes, so persistent pool workers
+    don't pin large built instances after a grid finishes.
+    """
+    memo_key = (coords, None if store_root is None else str(store_root))
+    hit = _MEMO.get(memo_key)
+    if hit is not None:
+        _MEMO.move_to_end(memo_key)
+        _STATS["inst_memo_hits"] += 1
+        return hit[0]
+    inst = None
+    if store_root is not None:
+        inst = InstanceStore(store_root).load(coords)
+        if inst is not None:
+            _STATS["inst_loads"] += 1
+    if inst is None:
+        from .scenarios import build_instance
+        scenario, pipeline, T, inst_seed = coords
+        inst = build_instance(scenario, T, inst_seed, pipeline=pipeline)
+        _STATS["inst_builds"] += 1
+    if _MEMO_SIZE > 0:
+        _MEMO[memo_key] = (inst, _resident_nbytes(inst))
+        _evict_memo()
+    return inst
+
+
+def build_stats() -> dict:
+    """This process's counters: ``inst_builds`` (scenario builds),
+    ``inst_loads`` (store mmap loads), ``inst_memo_hits``."""
+    return dict(_STATS)
+
+
+def clear_memo() -> None:
+    """Drop the per-process memo (tests and benchmarks)."""
+    _MEMO.clear()
+
+
+def set_memo_size(size: int) -> int:
+    """Resize the per-process memo; ``0`` disables it (the pre-store
+    rebuild-per-call behavior benchmarks compare against).  Returns the
+    previous size."""
+    global _MEMO_SIZE
+    previous, _MEMO_SIZE = _MEMO_SIZE, int(size)
+    if _MEMO_SIZE <= 0:
+        _MEMO.clear()
+    else:
+        _evict_memo()
+    return previous

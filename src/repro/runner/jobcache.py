@@ -1,20 +1,34 @@
-"""Per-job content-addressed result cache.
+"""Per-job content-addressed result cache with pluggable backends.
 
 The engine's unit of caching is one *record* — the result row of one
 grid job, the offline optimum of one instance, or one sweep-point
-measurement — stored as one small JSON file whose name is the SHA-256 of
-the record's coordinates.  Because keys depend only on content (plus the
-engine version baked into the payload by the caller), overlapping grids
-share work automatically: re-running a grid extended by one seed pays
-exactly the new seed's jobs, and two different grids that touch the same
-(scenario, T, seed) instance solve its optimum once between them.
+measurement — addressed by the SHA-256 of the record's coordinates.
+Because keys depend only on content (plus the engine version baked into
+the payload by the caller), overlapping grids share work automatically:
+re-running a grid extended by one seed pays exactly the new seed's jobs,
+and two different grids that touch the same (scenario, T, seed) instance
+solve its optimum once between them.
 
-Records live under ``root/<kind>/<key[:2]>/<key>.json`` (sharded by the
-first key byte so no directory grows unboundedly).  Writes go through a
-per-process temp file and an atomic rename, so concurrent writers of the
-same key are safe — last writer wins with identical content.  A file
-that fails to parse, or whose embedded key does not match its name, is
-treated as a miss and silently overwritten on the next put.
+Two storage backends implement the same ``get``/``put`` contract:
+
+* ``json`` — one small JSON file per record under
+  ``root/<kind>/<key[:2]>/<key>.json`` (sharded by the first key byte so
+  no directory grows unboundedly).  Writes go through a per-process temp
+  file and an atomic rename, so concurrent writers of the same key are
+  safe — last writer wins with identical content.  A file that fails to
+  parse, or whose embedded key does not match its name, is treated as a
+  miss and silently overwritten on the next put.
+* ``sqlite`` — a single ``root/cache.db`` in WAL mode holding every
+  record in one ``records`` table.  100k-job sweeps cost one inode
+  instead of 100k, reads need no directory walks, and WAL plus a busy
+  timeout make concurrent writers (the engine's worker processes, or two
+  overlapping sweeps) safe.  An unreadable database or record is a miss;
+  a corrupt database file is moved aside and recreated on the next put.
+
+``JobCache(root)`` auto-detects: an existing ``cache.db`` (or a ``.db``
+path) selects sqlite, anything else the JSON directory layout — so
+migrated caches keep working with no caller changes.  ``repro cache
+migrate`` converts a JSON directory in place.
 """
 
 from __future__ import annotations
@@ -23,10 +37,17 @@ import hashlib
 import json
 import os
 import pathlib
+import sqlite3
+import time
 
 import numpy as np
 
-__all__ = ["JobCache", "content_key", "jsonify"]
+__all__ = ["JobCache", "content_key", "jsonify", "migrate_cache"]
+
+#: filename of the sqlite backend inside a cache directory
+DB_NAME = "cache.db"
+
+BACKENDS = ("json", "sqlite")
 
 
 def jsonify(value):
@@ -52,18 +73,19 @@ def content_key(payload: dict) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
 
-class JobCache:
-    """Content-addressed store of JSON records, one file per key."""
+class _JsonBackend:
+    """One JSON file per record, sharded dirs, atomic writes."""
 
-    def __init__(self, root):
-        self.root = pathlib.Path(root)
+    name = "json"
+
+    def __init__(self, root: pathlib.Path):
+        self.root = root
 
     def path(self, kind: str, key: str) -> pathlib.Path:
         """Where the record of ``key`` lives (whether or not it exists)."""
         return self.root / kind / key[:2] / f"{key}.json"
 
     def get(self, kind: str, key: str):
-        """The stored record, or ``None`` on miss/corruption."""
         try:
             payload = json.loads(self.path(kind, key).read_text())
         except (OSError, ValueError):
@@ -72,11 +94,280 @@ class JobCache:
             return None  # foreign or corrupted content: recompute
         return payload.get("record")
 
-    def put(self, kind: str, key: str, record) -> None:
-        """Persist a record atomically (temp file + rename)."""
+    def put(self, kind: str, key: str, record, created=None) -> None:
         path = self.path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         tmp.write_text(json.dumps({"key": key, "record": jsonify(record)},
                                   sort_keys=True))
         tmp.replace(path)
+        if created is not None:
+            os.utime(path, (created, created))
+
+    def _files(self):
+        if not self.root.is_dir():
+            return
+        for kind_dir in sorted(self.root.iterdir()):
+            if kind_dir.is_dir():
+                yield from ((kind_dir.name, p)
+                            for p in sorted(kind_dir.glob("*/*.json")))
+
+    def iter_records(self):
+        for kind, path in self._files():
+            key = path.stem
+            record = self.get(kind, key)
+            if record is not None:
+                yield kind, key, record, path.stat().st_mtime
+
+    def stats(self) -> dict:
+        entries: dict[str, int] = {}
+        size = 0
+        for kind, path in self._files():
+            entries[kind] = entries.get(kind, 0) + 1
+            size += path.stat().st_size
+        return {"backend": self.name, "entries": entries,
+                "total": sum(entries.values()), "bytes": size}
+
+    def prune(self, cutoff: float) -> int:
+        """Remove records last written before ``cutoff`` (epoch seconds)."""
+        removed = 0
+        for _kind, path in list(self._files()):
+            if path.stat().st_mtime < cutoff:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        removed = 0
+        for _kind, path in list(self._files()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+class _SqliteBackend:
+    """All records in one WAL-mode SQLite database."""
+
+    name = "sqlite"
+
+    def __init__(self, db_path: pathlib.Path):
+        self.db_path = db_path
+        self._conn: sqlite3.Connection | None = None
+        self._pid: int | None = None
+
+    def _connection(self, create: bool = True) -> sqlite3.Connection | None:
+        """This process's connection; ``create=False`` returns ``None``
+        instead of creating an empty database — read paths must not
+        flip a JSON cache dir's auto-detection by materializing a
+        ``cache.db`` as a side effect."""
+        # one connection per process: connections must not cross a fork
+        if self._conn is None or self._pid != os.getpid():
+            if not create and not self.db_path.exists():
+                return None
+            self.db_path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.db_path, timeout=30.0,
+                                   isolation_level=None)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS records ("
+                " kind TEXT NOT NULL, key TEXT NOT NULL,"
+                " record TEXT NOT NULL, created REAL NOT NULL,"
+                " PRIMARY KEY (kind, key))")
+            self._conn, self._pid = conn, os.getpid()
+        return self._conn
+
+    def _discard(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+        self._conn = None
+
+    def _heal(self) -> None:
+        """Move a corrupt database aside so the next write starts fresh.
+
+        The WAL companions (``-wal``/``-shm``) go with it — left behind,
+        SQLite would replay the stale WAL frames into the fresh file."""
+        self._discard()
+        quarantine = self.db_path.with_name(
+            f"{self.db_path.name}.corrupt.{os.getpid()}")
+        try:
+            self.db_path.replace(quarantine)
+        except OSError:
+            pass
+        for suffix in ("-wal", "-shm"):
+            companion = self.db_path.with_name(self.db_path.name + suffix)
+            try:
+                companion.replace(quarantine.with_name(
+                    quarantine.name + suffix))
+            except OSError:
+                pass
+
+    def get(self, kind: str, key: str):
+        try:
+            conn = self._connection(create=False)
+            if conn is None:
+                return None
+            row = conn.execute(
+                "SELECT record FROM records WHERE kind = ? AND key = ?",
+                (kind, key)).fetchone()
+        except sqlite3.Error:
+            self._discard()
+            return None
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except ValueError:
+            return None  # corrupted record: recompute
+
+    def put(self, kind: str, key: str, record, created=None) -> None:
+        blob = json.dumps(jsonify(record), sort_keys=True)
+        created = time.time() if created is None else float(created)
+        try:
+            self._connection().execute(
+                "INSERT OR REPLACE INTO records (kind, key, record, created)"
+                " VALUES (?, ?, ?, ?)", (kind, key, blob, created))
+        except sqlite3.OperationalError:
+            # transient (lock timeout, disk full, ...): the database is
+            # healthy — surface the error, never quarantine the cache
+            self._discard()
+            raise
+        except sqlite3.DatabaseError:
+            # actual corruption ("file is not a database", malformed
+            # image): quarantine the file, retry on a fresh one
+            self._heal()
+            self._connection().execute(
+                "INSERT OR REPLACE INTO records (kind, key, record, created)"
+                " VALUES (?, ?, ?, ?)", (kind, key, blob, created))
+
+    def iter_records(self):
+        try:
+            conn = self._connection(create=False)
+            if conn is None:
+                return
+            rows = conn.execute(
+                "SELECT kind, key, record, created FROM records"
+                " ORDER BY kind, key").fetchall()
+        except sqlite3.Error:
+            self._discard()
+            return
+        for kind, key, blob, created in rows:
+            try:
+                yield kind, key, json.loads(blob), created
+            except ValueError:
+                continue
+
+    def stats(self) -> dict:
+        entries: dict[str, int] = {}
+        try:
+            conn = self._connection(create=False)
+            if conn is not None:
+                for kind, n in conn.execute(
+                        "SELECT kind, COUNT(*) FROM records GROUP BY kind"):
+                    entries[kind] = n
+        except sqlite3.Error:
+            self._discard()
+        size = self.db_path.stat().st_size if self.db_path.exists() else 0
+        return {"backend": self.name, "entries": entries,
+                "total": sum(entries.values()), "bytes": size}
+
+    def prune(self, cutoff: float) -> int:
+        try:
+            conn = self._connection(create=False)
+            if conn is None:
+                return 0
+            cur = conn.execute(
+                "DELETE FROM records WHERE created < ?", (cutoff,))
+            return cur.rowcount
+        except sqlite3.Error:
+            self._discard()
+            return 0
+
+    def clear(self) -> int:
+        try:
+            conn = self._connection(create=False)
+            if conn is None:
+                return 0
+            cur = conn.execute("DELETE FROM records")
+            return cur.rowcount
+        except sqlite3.Error:
+            self._discard()
+            return 0
+
+
+class JobCache:
+    """Content-addressed store of JSON records under one root.
+
+    ``backend`` is ``"json"``, ``"sqlite"`` or ``None`` to auto-detect:
+    a root ending in ``.db`` or containing ``cache.db`` opens the sqlite
+    backend, anything else the JSON directory layout (the historical
+    default, so existing caches keep working).
+    """
+
+    def __init__(self, root, backend: str | None = None):
+        self.root = pathlib.Path(root)
+        if backend is None:
+            backend = ("sqlite" if self.root.suffix == ".db"
+                       or (self.root / DB_NAME).exists() else "json")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown cache backend {backend!r}; "
+                             f"choose from {BACKENDS}")
+        if backend == "sqlite":
+            db = (self.root if self.root.suffix == ".db"
+                  else self.root / DB_NAME)
+            self._backend = _SqliteBackend(db)
+        else:
+            self._backend = _JsonBackend(self.root)
+
+    @property
+    def backend(self) -> str:
+        """Name of the active storage backend."""
+        return self._backend.name
+
+    def path(self, kind: str, key: str) -> pathlib.Path:
+        """JSON backend only: where the record of ``key`` lives."""
+        if not isinstance(self._backend, _JsonBackend):
+            raise ValueError("path() is only meaningful for the json "
+                             "backend; sqlite stores records in "
+                             f"{self._backend.db_path}")
+        return self._backend.path(kind, key)
+
+    def get(self, kind: str, key: str):
+        """The stored record, or ``None`` on miss/corruption."""
+        return self._backend.get(kind, key)
+
+    def put(self, kind: str, key: str, record, created=None) -> None:
+        """Persist a record atomically; ``created`` (epoch seconds)
+        overrides the write timestamp used by ``prune`` (migration)."""
+        self._backend.put(kind, key, record, created=created)
+
+    def iter_records(self):
+        """Yield ``(kind, key, record, created)`` for every readable
+        record (unreadable ones are skipped, as in ``get``)."""
+        return self._backend.iter_records()
+
+    def stats(self) -> dict:
+        """``{"backend", "entries": {kind: n}, "total", "bytes"}``."""
+        return self._backend.stats()
+
+    def prune(self, older_than: float) -> int:
+        """Remove records written more than ``older_than`` seconds ago;
+        returns the number removed."""
+        return self._backend.prune(time.time() - float(older_than))
+
+    def clear(self) -> int:
+        """Remove every record; returns the number removed."""
+        return self._backend.clear()
+
+
+def migrate_cache(src: JobCache, dst: JobCache) -> int:
+    """Copy every record of ``src`` into ``dst`` (timestamps preserved);
+    returns the number of records copied."""
+    copied = 0
+    for kind, key, record, created in src.iter_records():
+        dst.put(kind, key, record, created=created)
+        copied += 1
+    return copied

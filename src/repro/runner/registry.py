@@ -26,6 +26,7 @@ __all__ = [
     "get_spec",
     "make_algorithm",
     "make_solver",
+    "pipeline_optimum",
     "solver_names",
 ]
 
@@ -306,6 +307,21 @@ for _spec in (
                   summary="per-step minimizer of f_t (ignores switching)"),
 ):
     _register(_spec)
+
+
+#: per pipeline, the registry entry whose solver *is* the engine's
+#: phase-1 optimum computation — re-running it in phase 2 would repeat
+#: the identical call on the identical instance, so its cost is the
+#: optimum by construction (the general pipeline is deliberately absent:
+#: its exact solvers — binary_search, graph, ... — are *different*
+#: algorithms from the phase-1 DP and cross-validate it)
+_PIPELINE_OPTIMA = {"restricted": "restricted", "hetero": "dp_hetero"}
+
+
+def pipeline_optimum(pipeline: str) -> str | None:
+    """Name of the registry entry defining ``pipeline``'s offline
+    optimum, or ``None`` when the optimum is computed independently."""
+    return _PIPELINE_OPTIMA.get(pipeline)
 
 
 def get_spec(name: str) -> AlgorithmSpec:

@@ -144,10 +144,8 @@ def adversarial_hinge_instance(T: int, eps: float = 0.05):
     cost ~beta, then switching beta, every block."""
     from ..core.instance import Instance
     block = int(np.ceil(2.0 / eps)) + 1
-    rows = np.empty((T, 2))
-    for t in range(T):
-        up_phase = (t // block) % 2 == 0
-        rows[t] = [eps, 0.0] if up_phase else [0.0, eps]
+    up_phase = (np.arange(T) // block) % 2 == 0
+    rows = np.where(up_phase[:, None], [eps, 0.0], [0.0, eps])
     return Instance(beta=2.0, F=rows)
 
 
