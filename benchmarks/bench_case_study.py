@@ -6,57 +6,67 @@ relative to static provisioning, across trace families and switching
 costs.  Expected shape (Lin et al. Sections V-VI): savings are positive
 and substantial on high-PMR traces, shrink as beta grows, and the online
 algorithms capture part but not all of the offline savings.
+
+The (trace x beta) sweep runs as an engine grid: `case-msr` /
+`case-hotmail` scenarios with the switching cost on the grid's
+``params`` axis, `static`/`lcp`/`randomized` fanned out per instance
+and the offline optimum hoisted once by phase 1.
 """
 
 import numpy as np
 
-from repro.analysis import optimal_cost
-from repro.online import (LCP, RandomizedRounding, ThresholdFractional,
-                          run_online, solve_static)
-from repro.workloads import (capacity_for, hotmail_like_loads,
-                             instance_from_loads, msr_like_loads,
-                             peak_to_mean_ratio)
+from repro.online import LCP, run_online
+from repro.runner import GridSpec, build_instance, run_grid
+from repro.runner.scenarios import case_study_loads
+from repro.workloads import peak_to_mean_ratio
 
 from conftest import record
 
+_BETAS = (1.0, 4.0, 16.0)
+_TRACES = {"case-msr": "msr-like", "case-hotmail": "hotmail-like"}
 
-def _build(trace: str, beta: float, seed: int = 0):
-    rng = np.random.default_rng(seed)
-    gen = msr_like_loads if trace == "msr-like" else hotmail_like_loads
-    loads = gen(24 * 7, peak=30.0, rng=rng)
-    m = capacity_for(loads)
-    inst = instance_from_loads(loads, m=m, beta=beta, delay_weight=10.0)
-    return loads, inst
+
+def _savings_rows(grid_rows):
+    """Pivot engine rows into one savings row per (trace, beta)."""
+    by_cell: dict = {}
+    for r in grid_rows:
+        by_cell.setdefault((r["scenario"], r["beta"], r["seed"]),
+                           {})[r["algorithm"]] = r
+    out = []
+    for (scenario, beta, seed), cell in by_cell.items():
+        static = cell["static"]["cost"]
+        opt = cell["static"]["opt"]
+        loads = case_study_loads(scenario, 24 * 7, seed)
+        out.append({
+            "trace": _TRACES[scenario], "PMR": peak_to_mean_ratio(loads),
+            "beta": beta, "seed": seed,
+            "opt_saving_%": 100 * (1 - opt / static),
+            "lcp_saving_%": 100 * (1 - cell["lcp"]["cost"] / static),
+            "rand_saving_%":
+                100 * (1 - cell["randomized"]["cost"] / static),
+        })
+    return out
 
 
 def test_e11_savings_table(benchmark):
-    rows = []
-    for trace in ("msr-like", "hotmail-like"):
-        for beta in (1.0, 4.0, 16.0):
-            loads, inst = _build(trace, beta)
-            static = solve_static(inst).cost
-            opt = optimal_cost(inst)
-            lcp = run_online(inst, LCP()).cost
-            rr = run_online(inst, RandomizedRounding(ThresholdFractional(),
-                                                     rng=0)).cost
-            rows.append({
-                "trace": trace, "PMR": peak_to_mean_ratio(loads),
-                "beta": beta,
-                "opt_saving_%": 100 * (1 - opt / static),
-                "lcp_saving_%": 100 * (1 - lcp / static),
-                "rand_saving_%": 100 * (1 - rr / static),
-            })
-    record("E11_savings", rows,
+    spec = GridSpec(scenarios=tuple(_TRACES),
+                    algorithms=("static", "lcp", "randomized"),
+                    seeds=(0,), sizes=(24 * 7,),
+                    params=tuple({"beta": b} for b in _BETAS))
+    rows = sorted(_savings_rows(run_grid(spec)),
+                  key=lambda r: (r["trace"], r["beta"]))
+    record("E11_savings",
+           [{k: v for k, v in r.items() if k != "seed"} for r in rows],
            title="E11: right-sizing savings vs static provisioning")
     # Shape: offline savings positive everywhere and decreasing in beta.
-    for trace in ("msr-like", "hotmail-like"):
+    for trace in _TRACES.values():
         sub = [r for r in rows if r["trace"] == trace]
         assert all(r["opt_saving_%"] > 0 for r in sub)
         assert sub[0]["opt_saving_%"] >= sub[-1]["opt_saving_%"] - 1e-9
         # Online algorithms never beat offline.
         for r in sub:
             assert r["lcp_saving_%"] <= r["opt_saving_%"] + 1e-9
-    _, inst = _build("hotmail-like", 4.0)
+    inst = build_instance("case-hotmail", 24 * 7, 0, params={"beta": 4.0})
     benchmark(run_online, inst, LCP())
 
 
@@ -65,7 +75,7 @@ def test_e11_beta_envelope(benchmark):
     optimal power-up count — the structural sensitivity behind 'savings
     shrink as beta grows'."""
     from repro.analysis import beta_sweep, is_concave_sequence
-    _, inst = _build("hotmail-like", 1.0)
+    inst = build_instance("case-hotmail", 24 * 7, 0, params={"beta": 1.0})
     betas = np.linspace(0.25, 24.0, 12)
     rows = beta_sweep(inst, betas)
     record("E11_beta_envelope",
@@ -84,19 +94,23 @@ def test_e11_beta_envelope(benchmark):
 def test_e11_higher_pmr_bigger_savings(benchmark):
     """Spikier traces leave more idle capacity on the table, so
     right-sizing saves more (Lin et al.'s PMR observation)."""
+    spec = GridSpec(scenarios=tuple(_TRACES),
+                    algorithms=("static", "lcp", "randomized"),
+                    seeds=(0, 1, 2), sizes=(24 * 7,),
+                    params=({"beta": 4.0},))
+    cells = _savings_rows(run_grid(spec))
     rows = []
-    for trace in ("msr-like", "hotmail-like"):
-        savings = []
-        pmrs = []
-        for seed in range(3):
-            loads, inst = _build(trace, 4.0, seed=seed)
-            static = solve_static(inst).cost
-            savings.append(1 - optimal_cost(inst) / static)
-            pmrs.append(peak_to_mean_ratio(loads))
-        rows.append({"trace": trace, "mean_PMR": float(np.mean(pmrs)),
-                     "mean_opt_saving_%": 100 * float(np.mean(savings))})
+    for trace in _TRACES.values():
+        sub = [r for r in cells if r["trace"] == trace]
+        rows.append({
+            "trace": trace,
+            "mean_PMR": float(np.mean([r["PMR"] for r in sub])),
+            "mean_opt_saving_%":
+                float(np.mean([r["opt_saving_%"] for r in sub])),
+        })
     record("E11_pmr", rows, title="E11: savings grow with PMR")
     assert rows[1]["mean_PMR"] > rows[0]["mean_PMR"]
     assert rows[1]["mean_opt_saving_%"] > rows[0]["mean_opt_saving_%"]
-    _, inst = _build("msr-like", 4.0)
+    from repro.online import solve_static
+    inst = build_instance("case-msr", 24 * 7, 0, params={"beta": 4.0})
     benchmark(solve_static, inst)

@@ -3,22 +3,27 @@
 Regenerates Lemma 21/23's curves: algorithm B's ratio approaches
 2 - eps/2 on the adaptive adversary, and algorithms that deviate from B
 (memoryless balance, eager followers) only do worse.
+
+Both curves run as `game`-pipeline engine grids (`lb-continuous`
+scenario, eps ``params`` axis); the timed kernel stays the raw loop.
 """
 
 from repro.lower_bounds import ContinuousAdversary, play_game
-from repro.online import AlgorithmB, MemorylessBalance, ThresholdFractional
+from repro.online import AlgorithmB, MemorylessBalance
+from repro.runner import GridSpec, run_grid
 
 from conftest import record
 
 
 def test_e8_algorithm_B_curve(benchmark):
-    rows = []
-    for eps in (0.2, 0.1, 0.05, 0.02):
-        adv = ContinuousAdversary(eps)
-        T = min(adv.horizon(), 60000)
-        res = play_game(adv, AlgorithmB(), T)
-        rows.append({"eps": eps, "T": T, "ratio": res.ratio,
-                     "lemma21_target": 2 - eps / 2})
+    spec = GridSpec(scenarios=("lb-continuous",),
+                    algorithms=("game-algorithm-b",), seeds=(0,),
+                    sizes=(60000,),
+                    params=tuple({"eps": e}
+                                 for e in (0.2, 0.1, 0.05, 0.02)))
+    rows = [{"eps": r["eps"], "T": r["game_T"], "ratio": r["ratio"],
+             "lemma21_target": 2 - r["eps"] / 2}
+            for r in run_grid(spec)]
     record("E8_continuous_B", rows,
            title="E8: continuous bound, algorithm B (-> 2)")
     assert rows[-1]["ratio"] > 1.95
@@ -30,17 +35,19 @@ def test_e8_algorithm_B_curve(benchmark):
 def test_e8_deviating_algorithms_do_worse(benchmark):
     """Lemma 23: any algorithm that leaves B's trajectory pays at least
     as much; eager algorithms overshoot well past 2."""
-    eps = 0.05
-    rows = []
-    for make, name in ((AlgorithmB, "algorithm-B"),
-                       (ThresholdFractional, "threshold"),
-                       (MemorylessBalance, "memoryless")):
-        adv = ContinuousAdversary(eps)
-        res = play_game(adv, make(), 20000)
-        rows.append({"algorithm": name, "ratio": res.ratio})
+    spec = GridSpec(scenarios=("lb-continuous",),
+                    algorithms=("game-algorithm-b", "game-threshold",
+                                "game-memoryless"),
+                    seeds=(0,), sizes=(20000,), params=({"eps": 0.05},))
+    names = {"game-algorithm-b": "algorithm-B",
+             "game-threshold": "threshold",
+             "game-memoryless": "memoryless"}
+    rows = [{"algorithm": names[r["algorithm"]], "ratio": r["ratio"]}
+            for r in run_grid(spec)]
     record("E8_deviation", rows,
            title="E8: deviating from B never helps")
     b_ratio = rows[0]["ratio"]
     for row in rows[1:]:
         assert row["ratio"] >= b_ratio - 1e-6, row
-    benchmark(play_game, ContinuousAdversary(eps), MemorylessBalance(), 2000)
+    benchmark(play_game, ContinuousAdversary(0.05), MemorylessBalance(),
+              2000)

@@ -4,10 +4,16 @@ Regenerates the ratio-vs-eps curve of the adaptive two-state adversary
 against LCP (the optimal deterministic algorithm) and against naive
 baselines: all curves approach 3 from below as eps -> 0 and the explicit
 proof bound 3 - eps - 6/(T eps/2 + 2) is met.
+
+The eps grids run as `game`-pipeline engine jobs (`lb-deterministic`
+scenario x `game-*` players with an eps ``params`` axis), so they share
+the engine's process pool, per-job cache and deterministic seeding with
+every other experiment; the timed kernel stays the raw adaptive loop.
 """
 
 from repro.lower_bounds import DeterministicDiscreteAdversary, play_game
 from repro.online import LCP, FollowTheMinimizer
+from repro.runner import GridSpec, run_grid
 
 from conftest import record
 
@@ -17,13 +23,13 @@ def proof_bound(eps: float, T: int) -> float:
 
 
 def test_e6_ratio_curve(benchmark):
-    rows = []
-    for eps in (0.2, 0.1, 0.05, 0.02):
-        adv = DeterministicDiscreteAdversary(eps)
-        T = min(adv.horizon(), 40000)
-        res = play_game(adv, LCP(), T)
-        rows.append({"eps": eps, "T": T, "lcp_ratio": res.ratio,
-                     "proof_bound": proof_bound(eps, T)})
+    spec = GridSpec(scenarios=("lb-deterministic",),
+                    algorithms=("game-lcp",), seeds=(0,), sizes=(40000,),
+                    params=tuple({"eps": e}
+                                 for e in (0.2, 0.1, 0.05, 0.02)))
+    rows = [{"eps": r["eps"], "T": r["game_T"], "lcp_ratio": r["ratio"],
+             "proof_bound": proof_bound(r["eps"], r["game_T"])}
+            for r in run_grid(spec)]
     record("E6_det_lower_bound", rows,
            title="E6: deterministic lower bound (-> 3)")
     for row in rows:
@@ -36,13 +42,14 @@ def test_e6_ratio_curve(benchmark):
 
 def test_e6_any_algorithm_bounded(benchmark):
     """The adversary defeats other deterministic algorithms too."""
-    rows = []
-    for make, name in ((LCP, "lcp"), (FollowTheMinimizer, "follow-min")):
-        adv = DeterministicDiscreteAdversary(0.05)
-        T = min(adv.horizon(), 20000)
-        res = play_game(adv, make(), T)
-        rows.append({"algorithm": name, "ratio": res.ratio,
-                     "proof_bound": proof_bound(0.05, T)})
+    spec = GridSpec(scenarios=("lb-deterministic",),
+                    algorithms=("game-lcp", "game-followmin"),
+                    seeds=(0,), sizes=(20000,),
+                    params=({"eps": 0.05},))
+    names = {"game-lcp": "lcp", "game-followmin": "follow-min"}
+    rows = [{"algorithm": names[r["algorithm"]], "ratio": r["ratio"],
+             "proof_bound": proof_bound(r["eps"], r["game_T"])}
+            for r in run_grid(spec)]
     record("E6_all_algorithms", rows,
            title="E6: the bound binds every deterministic algorithm")
     for row in rows:

@@ -4,22 +4,27 @@ Regenerates the reduction of Section 5.3: the oblivious adversary plays
 against the expected trajectory; the exact expected cost of the rounded
 algorithm (Lemma 24 with equality for the Section 4 rounding) over the
 offline optimum approaches 2.
+
+The curve runs as a `game`-pipeline engine grid (`lb-continuous` x
+`game-rounded`); the Lemma 24 equality check compares the fractional
+and rounded players' engine rows on the identical realized game.
 """
 
-from repro.lower_bounds import (ContinuousAdversary, play_game,
-                                play_randomized_game)
+from repro.lower_bounds import ContinuousAdversary, play_randomized_game
 from repro.online import ThresholdFractional
+from repro.runner import GridSpec, run_grid
 
 from conftest import record
 
 
 def test_e9_randomized_curve(benchmark):
-    rows = []
-    for eps in (0.2, 0.1, 0.05, 0.02):
-        adv = ContinuousAdversary(eps)
-        T = min(adv.horizon(), 60000)
-        res = play_randomized_game(adv, ThresholdFractional(), T)
-        rows.append({"eps": eps, "T": T, "expected_ratio": res.ratio})
+    spec = GridSpec(scenarios=("lb-continuous",),
+                    algorithms=("game-rounded",), seeds=(0,),
+                    sizes=(60000,),
+                    params=tuple({"eps": e}
+                                 for e in (0.2, 0.1, 0.05, 0.02)))
+    rows = [{"eps": r["eps"], "T": r["game_T"],
+             "expected_ratio": r["ratio"]} for r in run_grid(spec)]
     record("E9_randomized_lb", rows,
            title="E9: randomized lower bound (-> 2)")
     assert rows[-1]["expected_ratio"] > 1.95
@@ -31,15 +36,21 @@ def test_e9_randomized_curve(benchmark):
 def test_e9_lemma24_equality_for_our_rounding(benchmark):
     """E[C(X)] = C(x-bar) for the Section 4 rounding: the reduction's
     inequality (Lemma 24) is tight here."""
-    eps = 0.1
-    frac = play_game(ContinuousAdversary(eps), ThresholdFractional(), 10000)
-    rand = play_randomized_game(ContinuousAdversary(eps),
-                                ThresholdFractional(), 10000)
+    spec = GridSpec(scenarios=("lb-continuous",),
+                    algorithms=("game-threshold", "game-rounded"),
+                    seeds=(0,), sizes=(10000,), params=({"eps": 0.1},))
+    by_alg = {r["algorithm"]: r for r in run_grid(spec)}
+    frac = by_alg["game-threshold"]
+    rand = by_alg["game-rounded"]
+    assert frac["game_T"] == rand["game_T"]  # the same realized game
     record("E9_lemma24", [{
-        "fractional_cost": frac.algorithm_cost,
-        "expected_rounded_cost": rand.algorithm_cost,
-        "difference": abs(frac.algorithm_cost - rand.algorithm_cost),
+        "fractional_cost": frac["cost"],
+        "expected_rounded_cost": rand["cost"],
+        "difference": abs(frac["cost"] - rand["cost"]),
     }], title="E9: Lemma 24 equality check")
-    assert abs(frac.algorithm_cost - rand.algorithm_cost) < 1e-6
+    assert abs(frac["cost"] - rand["cost"]) < 1e-6
+    from repro.lower_bounds import play_game
     from repro.online import expected_cost_exact
-    benchmark(expected_cost_exact, frac.instance, frac.schedule)
+    game = play_game(ContinuousAdversary(0.1), ThresholdFractional(),
+                     10000)
+    benchmark(expected_cost_exact, game.instance, game.schedule)

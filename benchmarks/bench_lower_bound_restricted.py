@@ -3,23 +3,27 @@
 Regenerates the ratio curves of the two-state games embedded in Lin et
 al.'s restricted model (single per-server cost f(z) = eps|1-2z| on two
 servers, loads in {1/2, 1}): deterministic -> 3, randomized -> 2.
+
+The curves run as `game`-pipeline engine grids (`lb-restricted` /
+`lb-continuous` scenarios); the feasibility sanity check keeps the raw
+adversary loop because it inspects the adversary's internal load trace.
 """
 
 from repro.lower_bounds import (ContinuousAdversary,
                                 RestrictedDiscreteAdversary, play_game,
                                 play_randomized_game)
 from repro.online import LCP, ThresholdFractional
+from repro.runner import GridSpec, run_grid
 
 from conftest import record
 
 
 def test_e7_restricted_deterministic(benchmark):
-    rows = []
-    for eps in (0.2, 0.1, 0.05):
-        adv = RestrictedDiscreteAdversary(eps)
-        T = min(adv.horizon(), 40000)
-        res = play_game(adv, LCP(), T)
-        rows.append({"eps": eps, "T": T, "ratio": res.ratio})
+    spec = GridSpec(scenarios=("lb-restricted",),
+                    algorithms=("game-lcp",), seeds=(0,), sizes=(40000,),
+                    params=tuple({"eps": e} for e in (0.2, 0.1, 0.05)))
+    rows = [{"eps": r["eps"], "T": r["game_T"], "ratio": r["ratio"]}
+            for r in run_grid(spec)]
     record("E7_restricted_det", rows,
            title="E7: restricted-model deterministic bound (-> 3)")
     assert rows[-1]["ratio"] > 2.85
@@ -34,12 +38,12 @@ def test_e7_restricted_randomized(benchmark):
     model (Theorem 7's f(z) = eps|1 - kz| with loads {0, 1/k}); the game
     itself is identical, so we replay it and verify the -> 2 curve.
     """
-    rows = []
-    for eps in (0.2, 0.1, 0.05):
-        adv = ContinuousAdversary(eps)
-        T = min(adv.horizon(), 40000)
-        res = play_randomized_game(adv, ThresholdFractional(), T)
-        rows.append({"eps": eps, "T": T, "ratio": res.ratio})
+    spec = GridSpec(scenarios=("lb-continuous",),
+                    algorithms=("game-rounded",), seeds=(0,),
+                    sizes=(40000,),
+                    params=tuple({"eps": e} for e in (0.2, 0.1, 0.05)))
+    rows = [{"eps": r["eps"], "T": r["game_T"], "ratio": r["ratio"]}
+            for r in run_grid(spec)]
     record("E7_restricted_rand", rows,
            title="E7/E9: restricted-model randomized bound (-> 2)")
     assert rows[-1]["ratio"] > 1.9

@@ -10,13 +10,19 @@ energy and latency:
   one across schedules;
 * the β knob maps onto transition energy: higher transition energy makes
   the optimizer switch less.
+
+The rollouts run as `game`-pipeline engine jobs: the `sim-diurnal`
+scenario materializes the trace and the bridged cost matrix once
+(phase 0), the simulated cost of the optimal schedule is hoisted as the
+pipeline baseline (phase 1), and `sim-opt`/`sim-lcp`/`sim-static`
+policies fan out and replay through the simulator (phase 2).
 """
 
 import numpy as np
 
 from repro.core.schedule import cost as abstract_cost
 from repro.offline import solve_dp
-from repro.online import LCP, run_online, solve_static
+from repro.runner import GridSpec, run_grid
 from repro.simulator import (ServerPowerModel, bridge_instance,
                              poisson_job_trace, replay_schedule,
                              simulated_cost)
@@ -32,20 +38,16 @@ def _trace(T=168, peak=12.0, seed=0):
 
 
 def test_e13_optimizer_beats_static_in_simulation(benchmark):
-    rows = []
-    for seed in range(3):
-        trace = _trace(seed=seed)
-        m = 18
-        inst = bridge_instance(trace, m, beta=6.0)
-        opt = solve_dp(inst).schedule
-        lcp = run_online(inst, LCP()).schedule.astype(int)
-        static = solve_static(inst).schedule
-        sims = {name: simulated_cost(s, trace, m)
-                for name, s in [("opt", opt), ("lcp", lcp),
-                                ("static", static)]}
-        rows.append({"seed": seed, "sim_opt": sims["opt"],
-                     "sim_lcp": sims["lcp"], "sim_static": sims["static"],
-                     "saving_%": 100 * (1 - sims["opt"] / sims["static"])})
+    spec = GridSpec(scenarios=("sim-diurnal",),
+                    algorithms=("sim-opt", "sim-lcp", "sim-static"),
+                    seeds=(0, 1, 2), sizes=(168,))
+    cells: dict = {}
+    for r in run_grid(spec):
+        cells.setdefault(r["seed"], {})[r["algorithm"]] = r["cost"]
+    rows = [{"seed": seed, "sim_opt": sims["sim-opt"],
+             "sim_lcp": sims["sim-lcp"], "sim_static": sims["sim-static"],
+             "saving_%": 100 * (1 - sims["sim-opt"] / sims["sim-static"])}
+            for seed, sims in sorted(cells.items())]
     record("E13_simulated", rows,
            title="E13: simulated cost of optimized vs static schedules")
     for row in rows:

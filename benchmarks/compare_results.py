@@ -8,15 +8,26 @@ metric drifts beyond its tolerance:
   e.g. the per-algorithm ``mean_ratio`` fingerprints in
   ``BENCH_engine.json``) — tight tolerance; these are *correctness*
   fingerprints, a drift means reproduced results changed;
-* **runtime metrics** (key path contains ``seconds``, ``jobs_per_sec``
-  or ``speedup``) — loose tolerance; CI machines are noisy, only large
-  regressions should fail.
+* **runtime metrics** (key path contains ``seconds``, ``jobs_per_sec``,
+  ``speedup`` or the ``timings/`` stats of a pytest-benchmark autosave)
+  — loose tolerance; CI machines are noisy, only large regressions
+  should fail.
 
-Files are matched by basename between the two directories (searched
-recursively for ``*.json`` starting with ``BENCH``); a missing previous
-directory or no matching files exits 0 — the first run has nothing to
-compare against.  Counters and other numeric leaves are not tracked,
-so layout additions don't break the gate.
+Documents are matched by their **bench identity**, not by filename: a
+``BENCH_*.json`` document is keyed by its embedded ``"bench"`` field
+(falling back to the basename only when the field is absent), and its
+``results`` rows are re-keyed by ``(T, variant)`` — so renaming an
+artifact between runs cannot silently drop it from the comparison, and
+row insertions don't misalign the diff.  A bench present in the
+previous run but missing from the current one fails the gate.
+
+pytest-benchmark autosave files (machine-suffixed directories, counter
+plus commit/timestamp filenames like
+``.benchmarks/Linux-CPython-3.12-64bit/0001_xxx_20260727_041500.json``)
+are folded in under the normalized identity ``autosave-<counter>``:
+the machine directory and the per-run name suffix are stripped, and
+each timing is re-keyed by its benchmark ``fullname`` with only the
+stable location stats (``mean``/``median``/``min``) tracked.
 
 Usage::
 
@@ -29,10 +40,17 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import sys
 
 RATIO_MARKERS = ("ratio",)
-TIME_MARKERS = ("seconds", "jobs_per_sec", "speedup", "time")
+TIME_MARKERS = ("seconds", "jobs_per_sec", "speedup", "time", "timings/")
+
+#: pytest-benchmark autosave basename: counter, then commit/timestamp noise
+_AUTOSAVE_RE = re.compile(r"^(\d{4})_.*\.json$")
+
+#: the per-benchmark stats worth diffing (location, not dispersion)
+_AUTOSAVE_STATS = ("mean", "median", "min")
 
 
 def _numeric_leaves(node, path=()):
@@ -50,6 +68,10 @@ def _numeric_leaves(node, path=()):
 def _metric_kind(path: tuple) -> str | None:
     """'ratio', 'time' or None (untracked) for a leaf's key path."""
     joined = "/".join(path).lower()
+    if joined.startswith("timings/"):
+        # autosave wall-clock stats: always runtime, even when the
+        # benchmark's own name contains "ratio" (test_e4_ratio_table)
+        return "time"
     if any(m in joined for m in RATIO_MARKERS):
         return "ratio"
     if any(m in joined for m in TIME_MARKERS):
@@ -57,9 +79,24 @@ def _metric_kind(path: tuple) -> str | None:
     return None
 
 
+def _is_autosave(doc) -> bool:
+    """Whether a JSON document is a pytest-benchmark autosave."""
+    return (isinstance(doc, dict) and "benchmarks" in doc
+            and "machine_info" in doc)
+
+
 def _index_rows(doc):
-    """Re-key ``results`` rows by (T, variant) so row order and added
-    rows between runs don't misalign the comparison."""
+    """Re-key a document's repeated structures by stable identities so
+    row order and added rows between runs don't misalign the diff:
+    ``results`` lists by (T, variant), pytest-benchmark ``benchmarks``
+    lists by the benchmark fullname (location stats only — everything
+    machine/run-specific is dropped)."""
+    if _is_autosave(doc):
+        return {"timings": {
+            row.get("fullname", row.get("name", "?")): {
+                stat: row["stats"][stat] for stat in _AUTOSAVE_STATS
+                if stat in row.get("stats", {})}
+            for row in doc["benchmarks"] if isinstance(row, dict)}}
     if isinstance(doc, dict) and isinstance(doc.get("results"), list):
         doc = dict(doc)
         doc["results"] = {
@@ -89,8 +126,32 @@ def compare_docs(previous, current, *, ratio_tol: float,
     return problems
 
 
-def _bench_files(root: pathlib.Path) -> dict[str, pathlib.Path]:
-    return {p.name: p for p in sorted(root.rglob("BENCH*.json"))}
+def _bench_identity(path: pathlib.Path, doc) -> str:
+    """The document's run-stable identity: the embedded bench name for
+    ``BENCH_*`` documents, the normalized counter for pytest-benchmark
+    autosaves, the basename otherwise."""
+    if _is_autosave(doc):
+        m = _AUTOSAVE_RE.match(path.name)
+        return f"autosave-{m.group(1) if m else path.stem}"
+    if isinstance(doc, dict) and isinstance(doc.get("bench"), str):
+        return f"bench-{doc['bench']}"
+    return path.name
+
+
+def _bench_files(root: pathlib.Path) -> dict[str, tuple]:
+    """Map bench identity -> (path, parsed document) under ``root``."""
+    out: dict[str, tuple] = {}
+    candidates = sorted(root.rglob("BENCH*.json"))
+    candidates += [p for p in sorted(root.rglob("*.json"))
+                   if _AUTOSAVE_RE.match(p.name)]
+    for path in candidates:
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError as exc:
+            print(f"{path}: unreadable ({exc}); skipping")
+            continue
+        out[_bench_identity(path, doc)] = (path, doc)
+    return out
 
 
 def main(argv=None) -> int:
@@ -109,19 +170,19 @@ def main(argv=None) -> int:
         return 0
     prev_files = _bench_files(previous)
     cur_files = _bench_files(current)
-    shared = sorted(set(prev_files) & set(cur_files))
-    if not shared:
-        print("no matching benchmark JSON files; nothing to compare")
+    if not prev_files:
+        print("no previous benchmark JSON files; nothing to compare")
         return 0
     failed = False
-    for name in shared:
-        try:
-            prev_doc = json.loads(prev_files[name].read_text())
-            cur_doc = json.loads(cur_files[name].read_text())
-        except ValueError as exc:
-            print(f"{name}: unreadable ({exc}); skipping")
-            continue
-        problems = compare_docs(prev_doc, cur_doc,
+    missing = sorted(set(prev_files) - set(cur_files))
+    if missing:
+        # a renamed/dropped artifact must not silently pass the gate
+        failed = True
+        for name in missing:
+            print(f"MISSING from current run: {name} "
+                  f"(was {prev_files[name][0]})")
+    for name in sorted(set(prev_files) & set(cur_files)):
+        problems = compare_docs(prev_files[name][1], cur_files[name][1],
                                 ratio_tol=args.ratio_tol,
                                 time_tol=args.time_tol)
         if problems:

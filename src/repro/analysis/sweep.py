@@ -62,7 +62,8 @@ def _point_key(fn: Callable, point: dict) -> str:
 
 def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence], *,
           n_jobs: int = 1, cache_dir=None,
-          stats: dict | None = None) -> list[dict]:
+          stats: dict | None = None, sink=None,
+          batch_size: int | None = None):
     """Evaluate ``fn(**point)`` on every point of the parameter grid.
 
     ``grid`` maps parameter names to value lists; the returned rows merge
@@ -72,36 +73,56 @@ def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence], *,
     ``cache_dir``, previously evaluated points are read back from the
     per-point cache; pass a dict as ``stats`` to receive ``hits`` and
     ``misses`` counters.
+
+    Like :func:`repro.runner.run_grid`, a sweep streams: points run in
+    bounded batches of ``batch_size`` (``None`` = one batch) and rows
+    flow into a :mod:`repro.runner.sinks` ``sink`` as each batch
+    finishes.  The default ``sink=None`` collects and returns the
+    historical ``list[dict]``; a file-backed sink keeps parent memory
+    at O(batch) and ``sweep`` returns ``sink.result()``.
     """
+    from ..runner.engine import _batches
+    from ..runner.sinks import ListSink
     names = list(grid.keys())
-    points = [dict(zip(names, values))
-              for values in itertools.product(*(grid[n] for n in names))]
+    points = (dict(zip(names, values))
+              for values in itertools.product(*(grid[n] for n in names)))
     cache = (cache_dir if isinstance(cache_dir, JobCache)
              else JobCache(cache_dir) if cache_dir is not None else None)
-    results: list = [None] * len(points)
-    pending: list[tuple[int, dict, str]] = []
-    for i, point in enumerate(points):
-        key = _point_key(fn, point) if cache is not None else ""
-        cached = cache.get("sweep", key) if cache is not None else None
-        if cached is not None:
-            results[i] = cached
-        else:
-            pending.append((i, point, key))
-    for (i, _point, key), result in zip(
-            pending, parallel_map(_Eval(fn), [p for _, p, _ in pending],
-                                  n_jobs=n_jobs)):
-        # canonicalize through the JSON form so hit and miss rows are
-        # indistinguishable (numpy scalars -> float, tuples -> lists)
-        results[i] = jsonify(result) if cache is not None else result
-        if cache is not None:
-            cache.put("sweep", key, result)
+    sink = ListSink() if sink is None else sink
+    hits = misses = 0
+    sink.open()
+    try:
+        for batch in _batches(points, batch_size):
+            results: list = [None] * len(batch)
+            pending: list[tuple[int, dict, str]] = []
+            for i, point in enumerate(batch):
+                key = _point_key(fn, point) if cache is not None else ""
+                cached = (cache.get("sweep", key)
+                          if cache is not None else None)
+                if cached is not None:
+                    results[i] = cached
+                    hits += 1
+                else:
+                    pending.append((i, point, key))
+            misses += len(pending)
+            for (i, _point, key), result in zip(
+                    pending,
+                    parallel_map(_Eval(fn), [p for _, p, _ in pending],
+                                 n_jobs=n_jobs)):
+                # canonicalize through the JSON form so hit and miss
+                # rows are indistinguishable (numpy scalars -> float,
+                # tuples -> lists)
+                results[i] = jsonify(result) if cache is not None else result
+                if cache is not None:
+                    cache.put("sweep", key, result)
+            for point, result in zip(batch, results):
+                clash = set(point) & set(result)
+                if clash:
+                    raise ValueError(
+                        f"measurement keys collide with grid: {clash}")
+                sink.write({**point, **result})
+    finally:
+        sink.close()
     if stats is not None:
-        stats.update({"hits": len(points) - len(pending),
-                      "misses": len(pending)})
-    rows = []
-    for point, result in zip(points, results):
-        clash = set(point) & set(result)
-        if clash:
-            raise ValueError(f"measurement keys collide with grid: {clash}")
-        rows.append({**point, **result})
-    return rows
+        stats.update({"hits": hits, "misses": misses})
+    return sink.result()

@@ -7,12 +7,15 @@ Subcommands, mirroring the library's pillars:
 * ``repro simulate``  — replay online algorithms on a trace and report
   costs and empirical ratios against the offline optimum.
 * ``repro sweep``     — batch (scenario x algorithm x seed x size) grids
-  through the parallel engine, with caching and ratio aggregation.
+  through the streaming engine, with caching, bounded-memory batches
+  (``--batch-size``), pluggable result sinks (``--sink jsonl/sqlite``)
+  and ratio aggregation.
 * ``repro bench``     — predefined engine grids with wall-clock timing.
-* ``repro lowerbound`` — run the Section 5 adversarial games and print
-  the ratio-vs-eps curves.
+* ``repro lowerbound`` — the Section 5 adversarial games as
+  `game`-pipeline engine grids; prints the ratio-vs-eps curves.
 * ``repro cache``     — administer the per-job result cache: stats,
-  prune-by-age, clear, and JSON-dir → SQLite migration.
+  prune by age and/or LRU size bound, clear, and JSON-dir → SQLite
+  migration.
 
 Examples::
 
@@ -20,12 +23,15 @@ Examples::
     repro simulate --workload hotmail -T 168 --algorithms lcp,threshold
     repro sweep --scenarios diurnal,bursty --algorithms lcp,threshold \
         --seeds 0,1,2 -T 168 --n-jobs 4
+    repro sweep --scenarios diurnal --algorithms lcp --seeds 0,1,2 \
+        -T 168 --sink jsonl --sink-path rows.jsonl --batch-size 4
     repro bench --grid traces --n-jobs 4 --store-dir /tmp/store
     repro lowerbound --kind deterministic --eps 0.2,0.1,0.05
     repro solve --loads-csv trace.csv --beta 4 --solver dp
     repro cache stats --cache-dir /tmp/cache
     repro cache migrate --cache-dir /tmp/cache
     repro cache prune --cache-dir /tmp/cache --older-than 30d
+    repro cache prune --cache-dir /tmp/cache --max-bytes 100m
 """
 
 from __future__ import annotations
@@ -128,6 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of rebuilding")
         sp.add_argument("--force", action="store_true",
                         help="recompute even on a cache hit")
+        sp.add_argument("--batch-size", type=int, default=None,
+                        metavar="N",
+                        help="stream phase-2 jobs in batches of N so "
+                             "the parent holds O(N) pending rows "
+                             "(default: one batch)")
+        sp.add_argument("--sink", choices=("list", "jsonl", "sqlite"),
+                        default="list",
+                        help="where result rows stream to: an in-memory "
+                             "list (printed), a JSONL file or a SQLite "
+                             "database")
+        sp.add_argument("--sink-path", metavar="PATH",
+                        help="output path for --sink jsonl/sqlite "
+                             "(default rows.jsonl / rows.db)")
 
     sp = sub.add_parser("sweep",
                         help="batch a (scenario x algorithm x seed x size) "
@@ -156,7 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
                     default="smoke")
     add_engine_args(sp)
 
-    sp = sub.add_parser("lowerbound", help="Section 5 adversarial games")
+    sp = sub.add_parser("lowerbound",
+                        help="Section 5 adversarial games (eps grids "
+                             "run as game-pipeline engine jobs)")
     sp.add_argument("--kind",
                     choices=("deterministic", "continuous", "randomized",
                              "restricted"),
@@ -166,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--max-steps", type=int, default=30000)
     sp.add_argument("--n-jobs", type=int, default=1,
                     help="play the eps grid on a process pool")
+    sp.add_argument("--cache-dir", metavar="DIR",
+                    help="per-job result cache (eps points persist "
+                         "like any other engine job)")
 
     sp = sub.add_parser("report",
                         help="assemble the experiment report from "
@@ -190,11 +214,16 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=("auto", "json", "sqlite"),
                              default="auto")
         if name == "prune":
-            csp.add_argument("--older-than", required=True,
+            csp.add_argument("--older-than",
                              metavar="AGE",
                              help="age cutoff: number plus unit suffix "
                                   "s/m/h/d (plain numbers mean days), "
                                   "e.g. 30d, 12h, 90")
+            csp.add_argument("--max-bytes", metavar="SIZE",
+                             help="size bound: evict least-recently-"
+                                  "accessed records until the cache "
+                                  "holds at most SIZE bytes (suffixes "
+                                  "k/m/g), e.g. 100m")
     return p
 
 
@@ -289,12 +318,12 @@ def _split(csv: str, cast=str) -> tuple:
 
 
 def _build_spec(scenarios, algorithms, seeds, sizes, lookahead=0,
-                instance_seed=None):
+                instance_seed=None, params=None):
     """Validate names against the catalogs and build a GridSpec."""
-    from .runner import (GridSpec, algorithm_names, scenario_names,
-                         solver_names)
+    from .runner import (GridSpec, algorithm_names, game_names,
+                         scenario_names, solver_names)
     known_scenarios = scenario_names()
-    known_algorithms = algorithm_names() + solver_names()
+    known_algorithms = algorithm_names() + solver_names() + game_names()
     for name in scenarios:
         if name not in known_scenarios:
             raise SystemExit(f"unknown scenario {name!r}; choose from "
@@ -306,7 +335,8 @@ def _build_spec(scenarios, algorithms, seeds, sizes, lookahead=0,
     try:
         return GridSpec(scenarios=scenarios, algorithms=algorithms,
                         seeds=seeds, sizes=sizes, lookahead=lookahead,
-                        instance_seed=instance_seed)
+                        instance_seed=instance_seed,
+                        params=params if params else ({},))
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
 
@@ -324,6 +354,24 @@ def _print_cache_stats(stats: dict) -> None:
     print(f"cache: {stats['job_hits']} hits, {stats['job_misses']} misses, "
           f"{stats['opt_solved']} optima solved, "
           f"{stats['opt_hits']} optima cached")
+
+
+def _make_cli_sink(args):
+    """The result sink selected by --sink/--sink-path (None = list)."""
+    if getattr(args, "sink", "list") == "list":
+        return None
+    from .runner import make_sink
+    default = "rows.jsonl" if args.sink == "jsonl" else "rows.db"
+    return make_sink(args.sink, args.sink_path or default)
+
+
+def _print_sink_results(result, args, stats: dict, n_jobs: int,
+                        title: str) -> None:
+    """Report a file-backed sink's output without re-loading the rows
+    into parent memory (that would defeat the streaming core)."""
+    print(f"{title}: {stats['rows_written']} rows -> {result} "
+          f"(sink {args.sink}, {stats['batches']} batches, "
+          f"max {stats['max_pending']} pending rows, n_jobs={n_jobs})")
 
 
 def _print_store_stats(stats: dict) -> None:
@@ -357,10 +405,15 @@ def _cmd_sweep(args) -> int:
                        _split(args.seeds, int), _split(args.T, int),
                        lookahead=args.lookahead)
     stats: dict = {}
-    rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
-                    store_dir=args.store_dir, force=args.force, stats=stats)
-    _print_grid_results(rows, args.per_row,
-                        f"sweep {len(spec)} jobs (key {spec.cache_key()})")
+    result = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
+                      store_dir=args.store_dir, force=args.force,
+                      stats=stats, sink=_make_cli_sink(args),
+                      batch_size=args.batch_size)
+    title = f"sweep {len(spec)} jobs (key {spec.cache_key()})"
+    if args.sink == "list":
+        _print_grid_results(result, args.per_row, title)
+    else:
+        _print_sink_results(result, args, stats, args.n_jobs, title)
     if args.cache_dir:
         _print_cache_stats(stats)
     if args.store_dir:
@@ -373,13 +426,20 @@ def _cmd_bench(args) -> int:
     spec = GridSpec(**_BENCH_GRIDS[args.grid])
     stats: dict = {}
     start = time.perf_counter()
-    rows = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
-                    store_dir=args.store_dir, force=args.force, stats=stats)
+    result = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
+                      store_dir=args.store_dir, force=args.force,
+                      stats=stats, sink=_make_cli_sink(args),
+                      batch_size=args.batch_size)
     elapsed = time.perf_counter() - start
-    _print_grid_results(rows, per_row=False,
-                        title=f"bench grid {args.grid!r}")
-    print(f"\n{len(rows)} jobs in {elapsed:.2f}s "
-          f"({len(rows) / elapsed:.1f} jobs/s, n_jobs={args.n_jobs})")
+    if args.sink == "list":
+        _print_grid_results(result, per_row=False,
+                            title=f"bench grid {args.grid!r}")
+    else:
+        _print_sink_results(result, args, stats, args.n_jobs,
+                            f"bench grid {args.grid!r}")
+    n = stats["rows_written"]
+    print(f"\n{n} jobs in {elapsed:.2f}s "
+          f"({n / elapsed:.1f} jobs/s, n_jobs={args.n_jobs})")
     if args.cache_dir:
         _print_cache_stats(stats)
     if args.store_dir:
@@ -388,6 +448,8 @@ def _cmd_bench(args) -> int:
 
 
 _AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+_SIZE_UNITS = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
 
 
 def _parse_age(text: str) -> float:
@@ -404,6 +466,19 @@ def _parse_age(text: str) -> float:
     return value * (unit if unit is not None else 86400.0)
 
 
+def _parse_size(text: str) -> int:
+    """Byte size from '100m'/'2g'/'50000' (plain = bytes)."""
+    text = text.strip().lower()
+    unit = _SIZE_UNITS.get(text[-1:], None)
+    digits = text[:-1] if unit is not None else text
+    try:
+        value = float(digits)
+    except ValueError:
+        raise SystemExit(f"could not parse size {text!r}; use e.g. "
+                         "'500k', '100m', '2g' or plain bytes") from None
+    return int(value * (unit if unit is not None else 1))
+
+
 def _cmd_cache(args) -> int:
     from .runner import JobCache, migrate_cache
     cache = _open_cache(args)
@@ -416,8 +491,16 @@ def _cmd_cache(args) -> int:
         print(f"total:   {info['total']} records, {info['bytes']} bytes")
         return 0
     if args.cache_command == "prune":
-        removed = cache.prune(_parse_age(args.older_than))
-        print(f"pruned {removed} records older than {args.older_than}")
+        if not args.older_than and not args.max_bytes:
+            raise SystemExit("prune needs --older-than and/or --max-bytes")
+        removed = 0
+        if args.older_than:
+            removed = cache.prune(_parse_age(args.older_than))
+            print(f"pruned {removed} records older than {args.older_than}")
+        if args.max_bytes:
+            evicted = cache.prune_bytes(_parse_size(args.max_bytes))
+            print(f"evicted {evicted} least-recently-used records "
+                  f"(size bound {args.max_bytes})")
         return 0
     if args.cache_command == "clear":
         removed = cache.clear()
@@ -435,43 +518,30 @@ def _cmd_cache(args) -> int:
     return 0
 
 
-def _lowerbound_point(task: tuple) -> dict:
-    """Play one (kind, eps) adversarial game; module-level so the eps
-    grid can fan out over the engine's process pool."""
-    from .lower_bounds import (ContinuousAdversary,
-                               DeterministicDiscreteAdversary,
-                               RestrictedDiscreteAdversary, play_game,
-                               play_randomized_game)
-    from .online import LCP, AlgorithmB, ThresholdFractional
-    kind, eps, max_steps = task
-    if kind == "deterministic":
-        adv = DeterministicDiscreteAdversary(eps)
-        res = play_game(adv, LCP(), min(adv.horizon(), max_steps))
-        target = 3.0
-    elif kind == "restricted":
-        adv = RestrictedDiscreteAdversary(eps)
-        res = play_game(adv, LCP(), min(adv.horizon(), max_steps))
-        target = 3.0
-    elif kind == "continuous":
-        adv = ContinuousAdversary(eps)
-        res = play_game(adv, AlgorithmB(), min(adv.horizon(), max_steps))
-        target = 2.0
-    else:
-        adv = ContinuousAdversary(eps)
-        res = play_randomized_game(adv, ThresholdFractional(),
-                                   min(adv.horizon(), max_steps))
-        target = 2.0
-    return {"eps": eps, "T": res.instance.T, "ratio": res.ratio,
-            "limit": target}
+#: (scenario, game player) realizing each historical --kind
+_LOWERBOUND_GRIDS = {
+    "deterministic": ("lb-deterministic", "game-lcp"),
+    "restricted": ("lb-restricted", "game-lcp"),
+    "continuous": ("lb-continuous", "game-algorithm-b"),
+    "randomized": ("lb-continuous", "game-rounded"),
+}
 
 
 def _cmd_lowerbound(args) -> int:
+    """The Section 5 eps grids as `game`-pipeline engine jobs: each
+    (kind, eps) point is one grid job, so the eps sweep inherits the
+    engine's process pool, per-job cache and deterministic seeding."""
     from .analysis import format_table
-    from .runner import parallel_map
-    tasks = [(args.kind, float(e), args.max_steps)
-             for e in args.eps.split(",")]
-    rows = parallel_map(_lowerbound_point, tasks, n_jobs=args.n_jobs)
-    print(format_table(rows, title=f"{args.kind} lower-bound game"))
+    from .runner import run_grid
+    scenario, algorithm = _LOWERBOUND_GRIDS[args.kind]
+    spec = _build_spec((scenario,), (algorithm,), (0,), (args.max_steps,),
+                       params=tuple({"eps": float(e)}
+                                    for e in args.eps.split(",")))
+    rows = run_grid(spec, n_jobs=args.n_jobs,
+                    cache_dir=_open_cache(args))
+    table = [{"eps": r["eps"], "T": r["game_T"], "ratio": r["ratio"],
+              "limit": r["limit"]} for r in rows]
+    print(format_table(table, title=f"{args.kind} lower-bound game"))
     return 0
 
 

@@ -2,12 +2,14 @@
 
 from .adversary import (ContinuousAdversary, DeterministicDiscreteAdversary,
                         RestrictedDiscreteAdversary, restricted_rows)
-from .games import (GameResult, play_dilated_game, play_game,
-                    play_randomized_game, ratio_curve)
+from .games import (GamePlayer, GameResult, LowerBoundGame,
+                    play_dilated_game, play_game, play_randomized_game,
+                    ratio_curve)
 
 __all__ = [
     "ContinuousAdversary", "DeterministicDiscreteAdversary",
     "RestrictedDiscreteAdversary", "restricted_rows",
-    "GameResult", "play_dilated_game", "play_game", "play_randomized_game",
+    "GamePlayer", "GameResult", "LowerBoundGame",
+    "play_dilated_game", "play_game", "play_randomized_game",
     "ratio_curve",
 ]

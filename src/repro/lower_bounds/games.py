@@ -30,8 +30,8 @@ from ..offline.dp import solve_dp
 from ..online.base import OnlineAlgorithm
 from ..online.randomized import expected_cost_exact
 
-__all__ = ["GameResult", "play_game", "play_randomized_game",
-           "play_dilated_game", "ratio_curve"]
+__all__ = ["GameResult", "LowerBoundGame", "GamePlayer", "play_game",
+           "play_randomized_game", "play_dilated_game", "ratio_curve"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -126,6 +126,105 @@ def play_dilated_game(adversary, algorithm: OnlineAlgorithm, *,
     opt = solve_dp(instance, return_schedule=False).cost
     return GameResult(instance=instance, schedule=xs, algorithm_cost=alg_cost,
                       opt_cost=opt, name=algorithm.name)
+
+
+# ----------------------------------------------------------------------
+# Engine adapters: the Section 5 games as `game`-pipeline instances.
+# ----------------------------------------------------------------------
+
+#: adversary families playable as engine jobs, with their ratio limits
+_ADVERSARIES = {"deterministic": 3.0, "continuous": 2.0, "restricted": 3.0}
+
+
+@dataclasses.dataclass(frozen=True)
+class LowerBoundGame:
+    """One Section 5 lower-bound game as a `game`-pipeline instance.
+
+    The engine treats this like any other scenario instance, but the
+    workload is *adaptive* — the adversary's functions depend on the
+    algorithm's play — so there is no dense payload to materialize
+    (``store_payload`` is ``None``) and no algorithm-independent offline
+    optimum to hoist (``baseline`` reports ``opt=None``; each job prices
+    the fixed instance its own game realized).
+    """
+
+    kind: str            # key into _ADVERSARIES
+    eps: float           # adversary hinge slope
+    max_steps: int       # cap on the adversary's horizon
+
+    def __post_init__(self):
+        if self.kind not in _ADVERSARIES:
+            raise ValueError(f"unknown adversary kind {self.kind!r}; "
+                             f"choose from {sorted(_ADVERSARIES)}")
+
+    @property
+    def T(self) -> int:
+        return self.max_steps
+
+    @property
+    def limit(self) -> float:
+        """The bound the ratio curve approaches as eps -> 0."""
+        return _ADVERSARIES[self.kind]
+
+    def adversary(self):
+        from .adversary import (ContinuousAdversary,
+                                DeterministicDiscreteAdversary,
+                                RestrictedDiscreteAdversary)
+        cls = {"deterministic": DeterministicDiscreteAdversary,
+               "continuous": ContinuousAdversary,
+               "restricted": RestrictedDiscreteAdversary}[self.kind]
+        return cls(self.eps)
+
+    def store_payload(self):
+        return None  # adaptive: nothing to materialize
+
+    def baseline(self) -> dict:
+        """Phase-1 record: shape metadata only (no hoistable optimum)."""
+        adv = self.adversary()
+        return {"opt": None, "m": int(adv.m), "beta": float(adv.beta)}
+
+
+@dataclasses.dataclass(frozen=True)
+class GamePlayer:
+    """A registered `game`-pipeline algorithm: plays one online
+    algorithm against a :class:`LowerBoundGame`'s adversary.
+
+    ``randomized=True`` plays the Theorem 8 reduction
+    (:func:`play_randomized_game` on the fractional inner algorithm)
+    instead of the adaptive game.  Calling the player returns the row
+    fragment the engine merges into the grid row: ``cost``, the game's
+    own offline ``opt``, and the curve coordinates (``eps``,
+    realized-``game_T``, ``limit``).
+    """
+
+    algorithm: str
+    randomized: bool = False
+    lookahead: int = 0
+
+    def _make_algorithm(self) -> OnlineAlgorithm:
+        from ..online import (LCP, AlgorithmB, FollowTheMinimizer,
+                              MemorylessBalance, ThresholdFractional)
+        cls = {"lcp": LCP, "algorithm-b": AlgorithmB,
+               "threshold": ThresholdFractional,
+               "memoryless": MemorylessBalance,
+               "followmin": FollowTheMinimizer}[self.algorithm]
+        if self.lookahead and self.algorithm == "lcp":
+            return cls(lookahead=self.lookahead)
+        return cls()
+
+    def __call__(self, game) -> dict:
+        if not isinstance(game, LowerBoundGame):
+            raise TypeError(
+                f"{type(game).__name__} is not a lower-bound game; "
+                "lb-* players only run on lb-* scenarios")
+        adv = game.adversary()
+        T = min(adv.horizon(), game.max_steps)
+        play = play_randomized_game if self.randomized else play_game
+        res = play(adv, self._make_algorithm(), T)
+        return {"cost": float(res.algorithm_cost),
+                "opt": float(res.opt_cost),
+                "eps": float(game.eps), "game_T": int(res.instance.T),
+                "limit": game.limit}
 
 
 def ratio_curve(make_adversary, make_algorithm, eps_values,

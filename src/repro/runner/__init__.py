@@ -28,18 +28,23 @@ from .engine import (GridSpec, aggregate_rows, instance_key, job_key,
 from .instancestore import InstanceStore, get_instance
 from .jobcache import JobCache, migrate_cache
 from .registry import (PIPELINES, AlgorithmSpec, algorithm_names,
-                       algorithm_table, get_spec, make_algorithm,
-                       make_solver, pipeline_optimum, solver_names)
+                       algorithm_table, game_names, get_spec,
+                       make_algorithm, make_solver, pipeline_optimum,
+                       solver_names)
 from .scenarios import (Scenario, build_instance, get_scenario,
                         scenario_names, trace_suite)
+from .sinks import (JsonlSink, ListSink, ResultSink, SqliteSink,
+                    make_sink, read_jsonl_rows, read_sqlite_rows)
 
 __all__ = [
     "AlgorithmSpec", "PIPELINES", "algorithm_names", "algorithm_table",
-    "get_spec", "make_algorithm", "make_solver", "pipeline_optimum",
-    "solver_names",
+    "game_names", "get_spec", "make_algorithm", "make_solver",
+    "pipeline_optimum", "solver_names",
     "Scenario", "build_instance", "get_scenario", "scenario_names",
     "trace_suite",
     "GridSpec", "InstanceStore", "JobCache", "aggregate_rows",
     "get_instance", "instance_key", "job_key", "migrate_cache",
     "parallel_map", "run_grid", "shutdown_pool",
+    "JsonlSink", "ListSink", "ResultSink", "SqliteSink", "make_sink",
+    "read_jsonl_rows", "read_sqlite_rows",
 ]

@@ -1,9 +1,13 @@
-"""Zero-rebuild parallel batch engine for experiment grids.
+"""Zero-rebuild streaming batch engine for experiment grids.
 
 A :class:`GridSpec` names the cartesian product of
-(scenario x algorithm x seed x horizon); the engine expands it into
-jobs and executes them in three phases — in-process or on a persistent
-process pool with chunking:
+(scenario x algorithm x seed x horizon x params); the engine *streams*
+it: job coordinates are generated lazily, submitted in bounded batches
+(``batch_size``), and finished rows flow — in job order — into a
+pluggable result sink (:mod:`repro.runner.sinks`), so a million-job
+grid holds O(batch) pending records in the parent instead of the whole
+table.  Each batch runs through three phases — in-process or on a
+persistent process pool with chunking:
 
 * **Phase 0 — materialization.**  With a ``store_dir``, each distinct
   ``(scenario, pipeline, T, inst_seed)`` instance is built exactly once
@@ -17,7 +21,10 @@ process pool with chunking:
   Optima are persisted when a cache directory is given, so a grid with
   ``A`` algorithms pays roughly ``1/A`` of the naive per-job cost.
 * **Phase 2 — algorithms.**  Algorithm jobs fan out over
-  :func:`parallel_map`, each reusing its instance's hoisted optimum.
+  :func:`parallel_map`, each reusing its instance's hoisted optimum;
+  the batch's rows are flushed to the sink (and the per-job cache)
+  before the next batch is generated — so a killed grid resumes from
+  the cache paying only the jobs it never finished.
 
 Three properties make this the substrate for every large experiment:
 
@@ -41,17 +48,20 @@ Three properties make this the substrate for every large experiment:
 
 Algorithms are resolved through :mod:`repro.runner.registry`; the
 registry entry's ``pipeline`` selects the instance representation, so
-restricted-model (``restricted``) and heterogeneous (``dp_hetero``,
-``static_hetero``, ``greedy_hetero``) solvers run under the same engine
-— and land in the same aggregate tables — as the general-model
-algorithms.
+restricted-model (``restricted``), heterogeneous (``dp_hetero``,
+``static_hetero``, ``greedy_hetero``) and game (``game-*``/``sim-*``
+players on the Section 5 adversaries and E13 simulator rollouts)
+entries run under the same engine — and land in the same aggregate
+tables — as the general-model algorithms.
 """
 
 from __future__ import annotations
 
 import atexit
+import collections
 import dataclasses
 import hashlib
+import itertools
 import json
 import multiprocessing
 import zlib
@@ -60,6 +70,7 @@ from concurrent.futures import ProcessPoolExecutor
 from . import instancestore
 from .instancestore import InstanceStore, get_instance
 from .jobcache import JobCache, content_key
+from .sinks import ListSink, ResultSink
 
 __all__ = [
     "GridSpec",
@@ -73,10 +84,20 @@ __all__ = [
 ]
 
 #: bump when row contents / seeding change, to invalidate stale caches
-ENGINE_VERSION = 2
+ENGINE_VERSION = 3
 
 _JOB_FIELDS = ("scenario", "algorithm", "T", "inst_seed", "seed",
-               "lookahead")
+               "lookahead", "params")
+
+
+def _canonical_params(entry) -> str:
+    """One ``params``-axis entry as a canonical JSON string (the form
+    job tuples, cache keys and worker tasks carry)."""
+    if isinstance(entry, str):
+        entry = json.loads(entry)
+    if not isinstance(entry, dict):
+        raise ValueError(f"params entries must be dicts, got {entry!r}")
+    return json.dumps(entry, sort_keys=True)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,8 +108,15 @@ class GridSpec:
     ``instance_seed`` is set, in which case every job shares the one
     instance and the seeds only drive algorithm randomness — the shape
     Monte-Carlo experiments need.  ``algorithms`` may name online
-    algorithms and offline solvers interchangeably; both are resolved
-    through :mod:`repro.runner.registry`.
+    algorithms, offline solvers and game players interchangeably; all
+    are resolved through :mod:`repro.runner.registry`.
+
+    ``params`` is an extra axis of scenario-parameter dicts (each kept
+    as a canonical JSON string), crossed with the other axes and passed
+    to the scenario builder as keyword arguments — the shape the
+    lower-bound eps grids (``{"eps": 0.1}``) and the case study's beta
+    sweep (``{"beta": 4.0}``) need.  The default is one empty dict, so
+    parameterless grids are unchanged.
     """
 
     scenarios: tuple[str, ...]
@@ -97,14 +125,17 @@ class GridSpec:
     sizes: tuple[int, ...] = (168,)
     lookahead: int = 0
     instance_seed: int | None = None
+    params: tuple = ("{}",)
 
     def __post_init__(self):
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         object.__setattr__(self, "sizes", tuple(int(t) for t in self.sizes))
+        object.__setattr__(self, "params",
+                           tuple(_canonical_params(p) for p in self.params))
         if not (self.scenarios and self.algorithms and self.seeds
-                and self.sizes):
+                and self.sizes and self.params):
             raise ValueError("grid axes must all be non-empty")
         if any(s < 0 for s in self.seeds) or (
                 self.instance_seed is not None and self.instance_seed < 0):
@@ -125,28 +156,36 @@ class GridSpec:
         blob = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
-    def jobs(self) -> list[tuple]:
-        """Expand into job coordinate tuples, in deterministic order."""
-        out = []
+    def iter_jobs(self):
+        """Generate job coordinate tuples lazily, in deterministic
+        order.  A job's instance coordinates vary slowest within one
+        (T, scenario, params, seed) block — every job of one instance
+        is contiguous, which is what lets the streaming core keep only
+        a small window of solved optima alive."""
         for T in self.sizes:
             for scenario in self.scenarios:
-                for seed in self.seeds:
-                    inst_seed = (seed if self.instance_seed is None
-                                 else self.instance_seed)
-                    for algorithm in self.algorithms:
-                        out.append((scenario, algorithm, T, inst_seed,
-                                    seed, self.lookahead))
-        return out
+                for params in self.params:
+                    for seed in self.seeds:
+                        inst_seed = (seed if self.instance_seed is None
+                                     else self.instance_seed)
+                        for algorithm in self.algorithms:
+                            yield (scenario, algorithm, T, inst_seed,
+                                   seed, self.lookahead, params)
+
+    def jobs(self) -> list[tuple]:
+        """Expand into job coordinate tuples, in deterministic order."""
+        return list(self.iter_jobs())
 
     def __len__(self) -> int:
         return (len(self.scenarios) * len(self.algorithms)
-                * len(self.seeds) * len(self.sizes))
+                * len(self.seeds) * len(self.sizes) * len(self.params))
 
 
 def _job_seed(job: tuple) -> int:
     """Stable per-job algorithm seed (hash() is salted; crc32 is not)."""
-    scenario, algorithm, T, inst_seed, seed, lookahead = job
-    blob = f"{scenario}|{algorithm}|{T}|{inst_seed}|{seed}|{lookahead}"
+    scenario, algorithm, T, inst_seed, seed, lookahead, params = job
+    blob = (f"{scenario}|{algorithm}|{T}|{inst_seed}|{seed}|{lookahead}"
+            f"|{params}")
     return zlib.crc32(blob.encode())
 
 
@@ -160,17 +199,18 @@ def job_key(job: tuple) -> str:
 def _instance_coords(job: tuple) -> tuple:
     """The phase-0/1 coordinates a job's instance is built from."""
     from .registry import get_spec
-    scenario, algorithm, T, inst_seed, _seed, _lookahead = job
-    return (scenario, get_spec(algorithm).pipeline, T, inst_seed)
+    scenario, algorithm, T, inst_seed, _seed, _lookahead, params = job
+    return (scenario, get_spec(algorithm).pipeline, T, inst_seed, params)
 
 
 def instance_key(coords: tuple) -> str:
     """Content-addressed cache key of one instance's offline optimum."""
-    scenario, pipeline, T, inst_seed = coords
+    scenario, pipeline, T, inst_seed, params = \
+        instancestore.split_coords(coords)
     return content_key({"kind": "instance",
                         "engine_version": ENGINE_VERSION,
                         "scenario": scenario, "pipeline": pipeline,
-                        "T": T, "inst_seed": inst_seed})
+                        "T": T, "inst_seed": inst_seed, "params": params})
 
 
 def _solve_instance(task: tuple) -> dict:
@@ -178,11 +218,16 @@ def _solve_instance(task: tuple) -> dict:
 
     ``task`` is ``(coords, store_root)``; must stay module-level (pool
     pickling).  Returns the per-instance record reused by every phase-2
-    job on the same instance.
+    job on the same instance.  Game instances delegate to their own
+    ``baseline()`` — adaptive games have no algorithm-independent
+    optimum (``opt`` is ``None``), simulator games hoist the simulated
+    cost of the optimal schedule.
     """
     coords, store_root = task
     pipeline = coords[1]
     inst = get_instance(coords, store_root)
+    if pipeline == "game":
+        return inst.baseline()
     if pipeline == "general":
         from ..analysis import optimal_cost
         opt, m, beta = optimal_cost(inst), inst.m, inst.beta
@@ -196,6 +241,16 @@ def _solve_instance(task: tuple) -> dict:
     return {"opt": float(opt), "m": int(m), "beta": float(beta)}
 
 
+def _base_row(job: tuple, spec, inst_record: dict) -> dict:
+    """The row columns shared by every pipeline."""
+    scenario, algorithm, T, _inst_seed, seed, _lookahead, _params = job
+    return {
+        "scenario": scenario, "algorithm": algorithm,
+        "pipeline": spec.pipeline, "T": T,
+        "m": inst_record["m"], "beta": inst_record["beta"], "seed": seed,
+    }
+
+
 def _run_job(task: tuple) -> dict:
     """Phase-2 job: run one algorithm against its hoisted optimum.
 
@@ -205,32 +260,45 @@ def _run_job(task: tuple) -> dict:
     """
     from .registry import get_spec, pipeline_optimum
     job, inst_record, store_root = task
-    scenario, algorithm, T, inst_seed, seed, lookahead = job
+    scenario, algorithm, T, inst_seed, seed, lookahead, params = job
     spec = get_spec(algorithm)
-    if algorithm == pipeline_optimum(spec.pipeline):
+    if algorithm == pipeline_optimum(spec.pipeline) or (
+            spec.pipeline == "game" and spec.optimal
+            and inst_record.get("opt") is not None):
+        # the phase-1 baseline *is* this entry's result (e.g. sim-opt):
+        # synthesize the row — record keys beyond opt/m/beta are its
+        # extra columns — instead of repeating the identical solve
+        extras = {k: v for k, v in inst_record.items()
+                  if k not in ("opt", "m", "beta")}
         return {
-            "scenario": scenario, "algorithm": algorithm,
-            "pipeline": spec.pipeline, "T": T,
-            "m": inst_record["m"], "beta": inst_record["beta"],
-            "seed": seed, "cost": inst_record["opt"],
-            "opt": inst_record["opt"], "ratio": 1.0,
+            **_base_row(job, spec, inst_record),
+            "cost": inst_record["opt"],
+            "opt": inst_record["opt"], "ratio": 1.0, **extras,
         }
-    inst = get_instance((scenario, spec.pipeline, T, inst_seed), store_root)
-    if spec.pipeline == "hetero":
-        cost = spec.make()(inst)[2]
+    inst = get_instance((scenario, spec.pipeline, T, inst_seed, params),
+                        store_root)
+    extras: dict = {}
+    if spec.pipeline == "game":
+        out = spec.make(lookahead=lookahead, seed=_job_seed(job))(inst)
+        cost = out.pop("cost")
+        played_opt = out.pop("opt")
+        extras = out
+        opt = (inst_record["opt"] if inst_record.get("opt") is not None
+               else played_opt)
+    elif spec.pipeline == "hetero":
+        cost, opt = spec.make()(inst)[2], inst_record["opt"]
     elif spec.kind == "online":
         from ..online.base import run_online
         cost = run_online(inst, spec.make(lookahead=lookahead,
                                           seed=_job_seed(job))).cost
+        opt = inst_record["opt"]
     else:
-        cost = spec.make()(inst).cost
-    opt = inst_record["opt"]
+        cost, opt = spec.make()(inst).cost, inst_record["opt"]
     return {
-        "scenario": scenario, "algorithm": algorithm,
-        "pipeline": spec.pipeline, "T": T,
-        "m": inst_record["m"], "beta": inst_record["beta"], "seed": seed,
+        **_base_row(job, spec, inst_record),
         "cost": float(cost), "opt": float(opt),
         "ratio": float(cost / opt) if opt > 0 else float("inf"),
+        **extras,
     }
 
 
@@ -296,29 +364,90 @@ def parallel_map(fn, items, n_jobs: int = 1, chunksize: int | None = None):
         raise
 
 
-def _validate_pipelines(jobs) -> None:
-    """Fail fast (in the parent) when a job pairs an algorithm with a
+def _validate_pipelines(spec: GridSpec) -> None:
+    """Fail fast (in the parent) when the grid pairs an algorithm with a
     scenario that cannot build its pipeline's instance representation."""
     from .registry import get_spec
     from .scenarios import get_scenario
-    for scenario, algorithm, *_ in {(j[0], j[1]) for j in jobs}:
-        pipeline = get_spec(algorithm).pipeline
+    for scenario in spec.scenarios:
         supported = get_scenario(scenario).pipelines
-        if pipeline not in supported:
-            raise ValueError(
-                f"algorithm {algorithm!r} needs the {pipeline!r} pipeline "
-                f"but scenario {scenario!r} only builds {supported}")
+        for algorithm in spec.algorithms:
+            pipeline = get_spec(algorithm).pipeline
+            if pipeline not in supported:
+                raise ValueError(
+                    f"algorithm {algorithm!r} needs the {pipeline!r} "
+                    f"pipeline but scenario {scenario!r} only builds "
+                    f"{supported}")
+
+
+def _batches(iterable, size: int | None):
+    """Yield lists of up to ``size`` items (everything when ``None``)."""
+    if size is None:
+        batch = list(iterable)
+        if batch:
+            yield batch
+        return
+    if size < 1:
+        raise ValueError("batch_size must be positive")
+    it = iter(iterable)
+    while True:
+        batch = list(itertools.islice(it, size))
+        if not batch:
+            return
+        yield batch
+
+
+class _RecordWindow:
+    """Bounded LRU of solved instance records.
+
+    Job order keeps every job of one instance contiguous
+    (:meth:`GridSpec.iter_jobs`), so a window a little larger than the
+    batch's distinct-instance count is enough for the streaming core to
+    never re-solve an optimum it just solved — while a million-instance
+    grid still holds O(batch) records in the parent.
+    """
+
+    def __init__(self):
+        self._data: dict = collections.OrderedDict()
+        self._bound = 64
+
+    def fit(self, need: int) -> None:
+        self._bound = max(self._bound, 2 * need)
+
+    def get(self, coords):
+        rec = self._data.get(coords)
+        if rec is not None:
+            self._data.move_to_end(coords)
+        return rec
+
+    def put(self, coords, rec) -> None:
+        self._data[coords] = rec
+        self._data.move_to_end(coords)
+        while len(self._data) > self._bound:
+            self._data.popitem(last=False)
 
 
 def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
              store_dir=None, force: bool = False,
-             stats: dict | None = None) -> list[dict]:
-    """Run every job of a grid and return one row dict per job.
+             stats: dict | None = None, sink: ResultSink | None = None,
+             batch_size: int | None = None):
+    """Stream every job of a grid through the three-phase engine.
+
+    Jobs are generated lazily and executed in bounded batches of
+    ``batch_size`` (``None`` = one batch); each batch's finished rows
+    are flushed — in job order — to the result ``sink``
+    (:mod:`repro.runner.sinks`).  With the default ``sink=None`` an
+    in-memory :class:`~repro.runner.sinks.ListSink` collects the rows
+    and ``run_grid`` returns the historical ``list[dict]``; with a
+    file-backed sink the parent holds at most O(batch_size) pending
+    rows (the ``max_pending`` stat reports the observed peak) and
+    ``run_grid`` returns ``sink.result()``.
 
     With ``cache_dir``, each job's row (and each instance's optimum) is
     read from the per-job content-addressed cache when present (unless
-    ``force``) and written back after a live run — so re-running any
-    overlapping grid only executes the jobs it has not seen before.
+    ``force``) and written back as its batch completes — so re-running
+    any overlapping grid only executes the jobs it has not seen before,
+    and a grid killed mid-run resumes paying only the unfinished jobs.
     ``cache_dir`` may also be a ready-made :class:`JobCache` (e.g. one
     opened on the SQLite backend).  With ``store_dir``, phase 0
     materializes each distinct pending instance into the shared
@@ -326,7 +455,9 @@ def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
     phases 1 and 2 then mmap the payloads instead of rebuilding.
 
     Pass a dict as ``stats`` to receive counters: ``job_hits``,
-    ``job_misses``, ``opt_hits``, ``opt_solved``,
+    ``job_misses``, ``opt_hits``, ``opt_solved``, ``batches``,
+    ``max_pending`` (peak result rows held in the parent at once —
+    bounded by ``batch_size``), ``rows_written``,
     ``inst_materialized`` (instances newly written to the store this
     call, wherever the build ran), plus this process's
     instance-resolution deltas ``inst_builds`` (scenario builds — with a
@@ -336,69 +467,91 @@ def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
     cache = (cache_dir if isinstance(cache_dir, JobCache)
              else JobCache(cache_dir) if cache_dir is not None else None)
     store_root = None if store_dir is None else str(store_dir)
-    jobs = spec.jobs()
-    _validate_pipelines(jobs)
+    _validate_pipelines(spec)
     counters = {"job_hits": 0, "job_misses": 0, "opt_hits": 0,
-                "opt_solved": 0, "inst_materialized": 0}
+                "opt_solved": 0, "inst_materialized": 0, "batches": 0,
+                "max_pending": 0, "rows_written": 0}
     inst_stats_before = instancestore.build_stats()
-    rows: list = [None] * len(jobs)
-    pending: list[tuple[int, tuple, str]] = []
-    for i, job in enumerate(jobs):
-        key = job_key(job)
-        row = (cache.get("jobs", key)
-               if cache is not None and not force else None)
-        if row is not None:
-            rows[i] = row
-            counters["job_hits"] += 1
-        else:
-            pending.append((i, job, key))
-    counters["job_misses"] = len(pending)
-    if pending:
-        need = dict.fromkeys(_instance_coords(job) for _, job, _ in pending)
-        # Phase 0: materialize each distinct pending instance once.
-        if store_root is not None:
-            store = InstanceStore(store_root)
-            missing = [c for c in need if not store.has(c)]
-            built = parallel_map(instancestore._materialize_job,
-                                 [(c, store_root) for c in missing],
-                                 n_jobs=n_jobs)
-            # a concurrent grid may have materialized some of them first
-            counters["inst_materialized"] = sum(map(bool, built))
-        # Phase 1: solve each distinct pending instance's optimum once.
-        records: dict[tuple, dict] = {}
-        unsolved = []
-        for coords in need:
-            rec = (cache.get("instances", instance_key(coords))
-                   if cache is not None and not force else None)
-            if rec is not None:
-                records[coords] = rec
-                counters["opt_hits"] += 1
-            else:
-                unsolved.append(coords)
-        for coords, rec in zip(unsolved,
-                               parallel_map(_solve_instance,
-                                            [(c, store_root)
-                                             for c in unsolved],
-                                            n_jobs=n_jobs)):
-            records[coords] = rec
-            counters["opt_solved"] += 1
-            if cache is not None:
-                cache.put("instances", instance_key(coords), rec)
-        # Phase 2: fan the algorithm jobs out, reusing the optima.
-        tasks = [(job, records[_instance_coords(job)], store_root)
-                 for _, job, _ in pending]
-        for (i, _job, key), row in zip(pending,
-                                       parallel_map(_run_job, tasks,
-                                                    n_jobs=n_jobs)):
-            rows[i] = row
-            if cache is not None:
-                cache.put("jobs", key, row)
+    sink = ListSink() if sink is None else sink
+    records = _RecordWindow()
+    from .scenarios import get_scenario
+    storable = {name: get_scenario(name).storable
+                for name in spec.scenarios}
+    sink.open(spec.to_dict())
+    try:
+        for batch in _batches(spec.iter_jobs(), batch_size):
+            counters["batches"] += 1
+            rows: list = [None] * len(batch)
+            pending: list[tuple[int, tuple, str]] = []
+            for i, job in enumerate(batch):
+                key = job_key(job)
+                row = (cache.get("jobs", key)
+                       if cache is not None and not force else None)
+                if row is not None:
+                    rows[i] = row
+                    counters["job_hits"] += 1
+                else:
+                    pending.append((i, job, key))
+            counters["job_misses"] += len(pending)
+            counters["max_pending"] = max(counters["max_pending"],
+                                          len(batch))
+            if pending:
+                need = dict.fromkeys(_instance_coords(job)
+                                     for _, job, _ in pending)
+                records.fit(len(need))
+                # Phase 0: materialize each distinct pending instance
+                # once (scenarios with dense payloads only).
+                if store_root is not None:
+                    store = InstanceStore(store_root)
+                    missing = [c for c in need
+                               if storable[c[0]] and not store.has(c)]
+                    built = parallel_map(instancestore._materialize_job,
+                                         [(c, store_root) for c in missing],
+                                         n_jobs=n_jobs)
+                    # a concurrent grid may have materialized some first
+                    counters["inst_materialized"] += sum(map(bool, built))
+                # Phase 1: solve each distinct pending instance's
+                # optimum once (window + cache make it once per grid).
+                unsolved = []
+                for coords in need:
+                    if records.get(coords) is not None:
+                        continue
+                    rec = (cache.get("instances", instance_key(coords))
+                           if cache is not None and not force else None)
+                    if rec is not None:
+                        records.put(coords, rec)
+                        counters["opt_hits"] += 1
+                    else:
+                        unsolved.append(coords)
+                for coords, rec in zip(
+                        unsolved,
+                        parallel_map(_solve_instance,
+                                     [(c, store_root) for c in unsolved],
+                                     n_jobs=n_jobs)):
+                    records.put(coords, rec)
+                    counters["opt_solved"] += 1
+                    if cache is not None:
+                        cache.put("instances", instance_key(coords), rec)
+                # Phase 2: fan the batch's algorithm jobs out.
+                tasks = [(job, records.get(_instance_coords(job)),
+                          store_root) for _, job, _ in pending]
+                for (i, _job, key), row in zip(
+                        pending, parallel_map(_run_job, tasks,
+                                              n_jobs=n_jobs)):
+                    rows[i] = row
+                    if cache is not None:
+                        cache.put("jobs", key, row)
+            for row in rows:
+                sink.write(row)
+                counters["rows_written"] += 1
+    finally:
+        sink.close()
     if stats is not None:
         inst_stats = instancestore.build_stats()
         counters.update({k: inst_stats[k] - inst_stats_before[k]
                          for k in inst_stats})
         stats.update(counters)
-    return rows
+    return sink.result()
 
 
 def aggregate_rows(rows, by=("scenario", "algorithm", "T")) -> list[dict]:

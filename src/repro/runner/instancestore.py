@@ -50,11 +50,12 @@ __all__ = [
     "build_stats",
     "clear_memo",
     "set_memo_size",
+    "split_coords",
     "store_key",
 ]
 
 #: bump when the payload layout changes, to invalidate stale stores
-STORE_VERSION = 1
+STORE_VERSION = 2
 
 #: default number of instances the per-process memo keeps alive
 _DEFAULT_MEMO_SIZE = 8
@@ -66,13 +67,25 @@ _DEFAULT_MEMO_SIZE = 8
 _DEFAULT_MEMO_BYTES = 128 * 1024 * 1024
 
 
+def split_coords(coords: tuple) -> tuple:
+    """Normalize instance coordinates to their five components.
+
+    Coordinates are ``(scenario, pipeline, T, inst_seed[, params])``
+    where ``params`` is the canonical-JSON string of the job's scenario
+    parameters; the historical four-field form means no parameters.
+    """
+    scenario, pipeline, T, inst_seed, *rest = coords
+    params = rest[0] if rest else "{}"
+    return scenario, pipeline, int(T), int(inst_seed), params
+
+
 def store_key(coords: tuple) -> str:
     """Content-addressed key of one instance payload."""
-    scenario, pipeline, T, inst_seed = coords
+    scenario, pipeline, T, inst_seed, params = split_coords(coords)
     return content_key({"kind": "instance-payload",
                         "store_version": STORE_VERSION,
                         "scenario": scenario, "pipeline": pipeline,
-                        "T": T, "inst_seed": inst_seed})
+                        "T": T, "inst_seed": inst_seed, "params": params})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -95,8 +108,10 @@ class StoredRestrictedInstance:
         return self.loads.shape[0]
 
 
-def _instance_payload(inst, pipeline: str) -> tuple[dict, dict]:
-    """Split a built instance into ``(arrays, meta)`` for persistence."""
+def _instance_payload(inst, pipeline: str) -> tuple[dict, dict] | None:
+    """Split a built instance into ``(arrays, meta)`` for persistence,
+    or ``None`` when the instance has no dense payload (adaptive games
+    are replayed live, not materialized)."""
     if pipeline == "general":
         return {"F": inst.F}, {"beta": float(inst.beta)}
     if pipeline == "restricted":
@@ -106,6 +121,8 @@ def _instance_payload(inst, pipeline: str) -> tuple[dict, dict]:
     if pipeline == "hetero":
         return {"F": inst.F}, {"beta1": float(inst.beta1),
                                "beta2": float(inst.beta2)}
+    if pipeline == "game":
+        return inst.store_payload()
     raise ValueError(f"unknown pipeline {pipeline!r}")
 
 
@@ -118,6 +135,9 @@ def _instance_from_payload(pipeline: str, arrays: dict, meta: dict):
         return StoredRestrictedInstance(beta=meta["beta"], m=meta["m"],
                                         loads=arrays["loads"],
                                         costs=arrays["costs"])
+    if pipeline == "game":
+        from ..simulator.bridge import SimulatorGame
+        return SimulatorGame.from_payload(arrays, meta)
     from ..extensions import HeterogeneousInstance
     return HeterogeneousInstance(beta1=meta["beta1"], beta2=meta["beta2"],
                                  F=arrays["F"])
@@ -146,10 +166,14 @@ class InstanceStore:
         """Whether a payload for ``coords`` is materialized."""
         return (self.dir(coords) / "meta.json").exists()
 
-    def put(self, coords: tuple, inst) -> None:
-        """Materialize a built instance's payload (atomic rename)."""
-        scenario, pipeline, T, inst_seed = coords
-        arrays, meta = _instance_payload(inst, pipeline)
+    def put(self, coords: tuple, inst) -> bool:
+        """Materialize a built instance's payload (atomic rename).
+        Returns ``False`` when the instance has no dense payload."""
+        scenario, pipeline, T, inst_seed, params = split_coords(coords)
+        payload = _instance_payload(inst, pipeline)
+        if payload is None:
+            return False
+        arrays, meta = payload
         target = self.dir(coords)
         target.parent.mkdir(parents=True, exist_ok=True)
         tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
@@ -160,12 +184,14 @@ class InstanceStore:
         (tmp / "meta.json").write_text(json.dumps({
             "store_version": STORE_VERSION, "scenario": scenario,
             "pipeline": pipeline, "T": int(T), "inst_seed": int(inst_seed),
-            "arrays": sorted(arrays), "meta": meta}, sort_keys=True))
+            "params": params, "arrays": sorted(arrays), "meta": meta},
+            sort_keys=True))
         try:
             os.replace(tmp, target)
         except OSError:
             # concurrent materializer won the rename race; keep theirs
             shutil.rmtree(tmp, ignore_errors=True)
+        return True
 
     def load(self, coords: tuple, *, mmap: bool = True):
         """Reconstruct the instance of ``coords``; ``None`` on miss or
@@ -186,15 +212,12 @@ class InstanceStore:
 
     def materialize(self, coords: tuple) -> bool:
         """Phase-0 step: build and persist ``coords`` unless present.
-        Returns whether a build happened."""
+        Returns whether a payload was newly written (``False`` also for
+        payload-free instances, e.g. adaptive games)."""
         if self.has(coords):
             return False
-        from .scenarios import build_instance
-        scenario, pipeline, T, inst_seed = coords
         _STATS["inst_builds"] += 1
-        self.put(coords,
-                 build_instance(scenario, T, inst_seed, pipeline=pipeline))
-        return True
+        return self.put(coords, _build_coords(coords))
 
     def stats(self) -> dict:
         """``{"entries", "bytes"}`` of the materialized payloads."""
@@ -205,6 +228,16 @@ class InstanceStore:
                 size += sum(p.stat().st_size
                             for p in meta.parent.iterdir())
         return {"entries": entries, "bytes": size}
+
+
+def _build_coords(coords: tuple):
+    """Build the scenario instance of normalized ``coords`` live."""
+    import json as _json
+
+    from .scenarios import build_instance
+    scenario, pipeline, T, inst_seed, params = split_coords(coords)
+    return build_instance(scenario, T, inst_seed, pipeline=pipeline,
+                          params=_json.loads(params) if params else None)
 
 
 def _materialize_job(task: tuple) -> bool:
@@ -228,7 +261,7 @@ def _resident_nbytes(inst) -> int:
     store mmap cost nothing: their pages are file-backed and the OS
     evicts them under pressure."""
     total = 0
-    for name in ("F", "loads", "costs"):
+    for name in ("F", "loads", "costs", "work"):
         arr = getattr(inst, name, None)
         if isinstance(arr, np.ndarray) and not (
                 isinstance(arr, np.memmap)
@@ -265,9 +298,7 @@ def get_instance(coords: tuple, store_root=None):
         if inst is not None:
             _STATS["inst_loads"] += 1
     if inst is None:
-        from .scenarios import build_instance
-        scenario, pipeline, T, inst_seed = coords
-        inst = build_instance(scenario, T, inst_seed, pipeline=pipeline)
+        inst = _build_coords(coords)
         _STATS["inst_builds"] += 1
     if _MEMO_SIZE > 0:
         _MEMO[memo_key] = (inst, _resident_nbytes(inst))

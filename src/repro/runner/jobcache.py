@@ -42,12 +42,25 @@ import time
 
 import numpy as np
 
-__all__ = ["JobCache", "content_key", "jsonify", "migrate_cache"]
+__all__ = ["JobCache", "connect_wal", "content_key", "jsonify",
+           "migrate_cache"]
 
 #: filename of the sqlite backend inside a cache directory
 DB_NAME = "cache.db"
 
 BACKENDS = ("json", "sqlite")
+
+
+def connect_wal(db_path: pathlib.Path) -> sqlite3.Connection:
+    """Open ``db_path`` with the cache's WAL machinery: autocommit,
+    WAL journal, NORMAL sync and a generous busy timeout, so concurrent
+    writers (engine workers, overlapping sweeps, result sinks) are safe.
+    Shared by the cache backend and :mod:`repro.runner.sinks`."""
+    db_path.parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(db_path, timeout=30.0, isolation_level=None)
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    return conn
 
 
 def jsonify(value):
@@ -86,12 +99,20 @@ class _JsonBackend:
         return self.root / kind / key[:2] / f"{key}.json"
 
     def get(self, kind: str, key: str):
+        path = self.path(kind, key)
         try:
-            payload = json.loads(self.path(kind, key).read_text())
+            payload = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
         if not isinstance(payload, dict) or payload.get("key") != key:
             return None  # foreign or corrupted content: recompute
+        try:
+            # record the access in atime (explicitly, so relatime mounts
+            # don't matter) and keep mtime = written time: prune-by-age
+            # keys on mtime, the LRU size bound on atime
+            os.utime(path, (time.time(), path.stat().st_mtime))
+        except OSError:
+            pass
         return payload.get("record")
 
     def put(self, kind: str, key: str, record, created=None) -> None:
@@ -137,6 +158,24 @@ class _JsonBackend:
                 removed += 1
         return removed
 
+    def prune_bytes(self, max_bytes: int) -> int:
+        """Evict least-recently-accessed records until the cache holds at
+        most ``max_bytes``; returns the number of records removed."""
+        entries = []
+        for _kind, path in self._files():
+            st = path.stat()
+            entries.append((max(st.st_atime, st.st_mtime), st.st_size,
+                            path))
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _mtime, size, path in sorted(entries):
+            if total <= max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            removed += 1
+        return removed
+
     def clear(self) -> int:
         removed = 0
         for _kind, path in list(self._files()):
@@ -164,16 +203,17 @@ class _SqliteBackend:
         if self._conn is None or self._pid != os.getpid():
             if not create and not self.db_path.exists():
                 return None
-            self.db_path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.db_path, timeout=30.0,
-                                   isolation_level=None)
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
+            conn = connect_wal(self.db_path)
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS records ("
                 " kind TEXT NOT NULL, key TEXT NOT NULL,"
                 " record TEXT NOT NULL, created REAL NOT NULL,"
-                " PRIMARY KEY (kind, key))")
+                " accessed REAL, PRIMARY KEY (kind, key))")
+            # databases written before the LRU column existed
+            columns = {row[1] for row in
+                       conn.execute("PRAGMA table_info(records)")}
+            if "accessed" not in columns:
+                conn.execute("ALTER TABLE records ADD COLUMN accessed REAL")
             self._conn, self._pid = conn, os.getpid()
         return self._conn
 
@@ -216,6 +256,14 @@ class _SqliteBackend:
         except sqlite3.Error:
             self._discard()
             return None
+        if row is not None:
+            try:
+                conn.execute(  # last-access drives the LRU prune;
+                    # best-effort: a lost stamp must not mask the hit
+                    "UPDATE records SET accessed = ? WHERE kind = ? "
+                    "AND key = ?", (time.time(), kind, key))
+            except sqlite3.Error:
+                self._discard()
         if row is None:
             return None
         try:
@@ -223,13 +271,16 @@ class _SqliteBackend:
         except ValueError:
             return None  # corrupted record: recompute
 
+    _INSERT = ("INSERT OR REPLACE INTO records "
+               "(kind, key, record, created, accessed)"
+               " VALUES (?, ?, ?, ?, ?)")
+
     def put(self, kind: str, key: str, record, created=None) -> None:
         blob = json.dumps(jsonify(record), sort_keys=True)
         created = time.time() if created is None else float(created)
+        values = (kind, key, blob, created, created)
         try:
-            self._connection().execute(
-                "INSERT OR REPLACE INTO records (kind, key, record, created)"
-                " VALUES (?, ?, ?, ?)", (kind, key, blob, created))
+            self._connection().execute(self._INSERT, values)
         except sqlite3.OperationalError:
             # transient (lock timeout, disk full, ...): the database is
             # healthy — surface the error, never quarantine the cache
@@ -239,9 +290,7 @@ class _SqliteBackend:
             # actual corruption ("file is not a database", malformed
             # image): quarantine the file, retry on a fresh one
             self._heal()
-            self._connection().execute(
-                "INSERT OR REPLACE INTO records (kind, key, record, created)"
-                " VALUES (?, ?, ?, ?)", (kind, key, blob, created))
+            self._connection().execute(self._INSERT, values)
 
     def iter_records(self):
         try:
@@ -270,9 +319,8 @@ class _SqliteBackend:
                     entries[kind] = n
         except sqlite3.Error:
             self._discard()
-        size = self.db_path.stat().st_size if self.db_path.exists() else 0
         return {"backend": self.name, "entries": entries,
-                "total": sum(entries.values()), "bytes": size}
+                "total": sum(entries.values()), "bytes": self._size()}
 
     def prune(self, cutoff: float) -> int:
         try:
@@ -285,6 +333,51 @@ class _SqliteBackend:
         except sqlite3.Error:
             self._discard()
             return 0
+
+    def _size(self) -> int:
+        """Database bytes on disk: main file plus unflushed WAL (the
+        ``-shm`` index is transient shared memory, not persisted)."""
+        total = 0
+        for path in (self.db_path,
+                     self.db_path.with_name(self.db_path.name + "-wal")):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def prune_bytes(self, max_bytes: int) -> int:
+        """Evict least-recently-accessed records (then ``VACUUM``) until
+        the database holds at most ``max_bytes``."""
+        removed = 0
+        try:
+            conn = self._connection(create=False)
+            if conn is None:
+                return 0
+            # drain the WAL first so size estimates see the real file
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            while self._size() > max_bytes:
+                count = conn.execute(
+                    "SELECT COUNT(*) FROM records").fetchone()[0]
+                if count == 0:
+                    break
+                # estimate how many evictions close the gap, floor 1 so
+                # the loop always progresses even on bad estimates
+                overshoot = self._size() - max_bytes
+                batch = max(1, min(count,
+                                   count * overshoot // self._size()))
+                conn.execute(
+                    "DELETE FROM records WHERE rowid IN (SELECT rowid "
+                    "FROM records ORDER BY COALESCE(accessed, created) "
+                    "LIMIT ?)", (batch,))
+                removed += batch
+                # reclaim the space: VACUUM rebuilds through the WAL,
+                # so the checkpoint must come after it
+                conn.execute("VACUUM")
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        except sqlite3.Error:
+            self._discard()
+        return removed
 
     def clear(self) -> int:
         try:
@@ -357,6 +450,13 @@ class JobCache:
         """Remove records written more than ``older_than`` seconds ago;
         returns the number removed."""
         return self._backend.prune(time.time() - float(older_than))
+
+    def prune_bytes(self, max_bytes: int) -> int:
+        """Size-bounded LRU eviction: drop least-recently-accessed
+        records until the cache occupies at most ``max_bytes`` on disk;
+        returns the number removed.  Keeps long-lived caches bounded
+        without cron jobs (CLI: ``repro cache prune --max-bytes``)."""
+        return self._backend.prune_bytes(int(max_bytes))
 
     def clear(self) -> int:
         """Remove every record; returns the number removed."""

@@ -23,6 +23,7 @@ __all__ = [
     "PIPELINES",
     "algorithm_names",
     "algorithm_table",
+    "game_names",
     "get_spec",
     "make_algorithm",
     "make_solver",
@@ -40,9 +41,12 @@ VARIANTS = {1: "general", 2: "restricted", 3: "prediction window",
 
 #: engine pipelines: which instance representation an entry consumes —
 #: ``general`` (:class:`~repro.core.instance.Instance`), ``restricted``
-#: (:class:`~repro.core.instance.RestrictedInstance`, solved structurally)
-#: or ``hetero`` (:class:`~repro.extensions.HeterogeneousInstance`).
-PIPELINES = ("general", "restricted", "hetero")
+#: (:class:`~repro.core.instance.RestrictedInstance`, solved structurally),
+#: ``hetero`` (:class:`~repro.extensions.HeterogeneousInstance`) or
+#: ``game`` (adversarial games / simulator rollouts played per job:
+#: :class:`~repro.lower_bounds.games.LowerBoundGame`,
+#: :class:`~repro.simulator.bridge.SimulatorGame`).
+PIPELINES = ("general", "restricted", "hetero", "game")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,8 +56,11 @@ class AlgorithmSpec:
     ``factory`` builds the runnable object: for ``kind="online"`` an
     :class:`~repro.online.base.OnlineAlgorithm`, for ``kind="offline"``
     a callable ``solver(instance) -> result`` with ``cost``/``schedule``
-    attributes.  Factories accept the keyword options the spec declares
-    support for (``lookahead``, ``seed``).
+    attributes, for ``kind="game"`` a *player*
+    ``player(game_instance) -> dict`` returning at least ``cost`` and
+    ``opt`` (``None`` defers to the pipeline's hoisted baseline).
+    Factories accept the keyword options the spec declares support for
+    (``lookahead``, ``seed``).
     """
 
     name: str
@@ -86,7 +93,7 @@ _REGISTRY: dict[str, AlgorithmSpec] = {}
 def _register(spec: AlgorithmSpec) -> AlgorithmSpec:
     if spec.name in _REGISTRY:
         raise ValueError(f"duplicate registry name {spec.name!r}")
-    if spec.kind not in ("online", "offline"):
+    if spec.kind not in ("online", "offline", "game"):
         raise ValueError(f"bad kind {spec.kind!r} for {spec.name!r}")
     if spec.variant not in VARIANTS:
         raise ValueError(f"bad variant {spec.variant!r} for {spec.name!r}")
@@ -97,6 +104,9 @@ def _register(spec: AlgorithmSpec) -> AlgorithmSpec:
         raise ValueError(f"online entry {spec.name!r} must use the "
                          "general pipeline (online algorithms consume "
                          "general instances)")
+    if (spec.kind == "game") != (spec.pipeline == "game"):
+        raise ValueError(f"entry {spec.name!r}: game players and the "
+                         "game pipeline go together")
     _REGISTRY[spec.name] = spec
     return spec
 
@@ -229,6 +239,55 @@ def _make_greedy_hetero():
     return solve_greedy_hetero
 
 
+# ----------------------------------------------------------------------
+# Game-pipeline player factories (Section 5 games, E13 rollouts).
+# ----------------------------------------------------------------------
+
+def _make_game_lcp(lookahead: int = 0):
+    from ..lower_bounds.games import GamePlayer
+    return GamePlayer("lcp", lookahead=lookahead)
+
+
+def _make_game_followmin():
+    from ..lower_bounds.games import GamePlayer
+    return GamePlayer("followmin")
+
+
+def _make_game_algorithm_b():
+    from ..lower_bounds.games import GamePlayer
+    return GamePlayer("algorithm-b")
+
+
+def _make_game_threshold():
+    from ..lower_bounds.games import GamePlayer
+    return GamePlayer("threshold")
+
+
+def _make_game_memoryless():
+    from ..lower_bounds.games import GamePlayer
+    return GamePlayer("memoryless")
+
+
+def _make_game_rounded():
+    from ..lower_bounds.games import GamePlayer
+    return GamePlayer("threshold", randomized=True)
+
+
+def _make_sim_opt():
+    from ..simulator import SimPolicy
+    return SimPolicy("opt")
+
+
+def _make_sim_lcp():
+    from ..simulator import SimPolicy
+    return SimPolicy("lcp")
+
+
+def _make_sim_static():
+    from ..simulator import SimPolicy
+    return SimPolicy("static")
+
+
 for _spec in (
     # -- online ---------------------------------------------------------
     AlgorithmSpec("lcp", "online", _make_lcp, "3", 1, True, 3.0, True,
@@ -305,6 +364,42 @@ for _spec in (
     AlgorithmSpec("greedy_hetero", "offline", _make_greedy_hetero,
                   "outlook", 4, True, None, False, pipeline="hetero",
                   summary="per-step minimizer of f_t (ignores switching)"),
+    # -- game pipeline: Section 5 adversarial games ---------------------
+    AlgorithmSpec("game-lcp", "game", _make_game_lcp, "5.1/5.2", 1, True,
+                  None, False, supports_lookahead=True, pipeline="game",
+                  summary="LCP vs the adaptive adversary (E6/E7 curves)"),
+    AlgorithmSpec("game-followmin", "game", _make_game_followmin, "5.1",
+                  1, True, None, False, pipeline="game",
+                  summary="follow-the-minimizer vs the adversary "
+                          "(the bound binds every algorithm)"),
+    AlgorithmSpec("game-algorithm-b", "game", _make_game_algorithm_b,
+                  "5.3", 1, False, None, False, pipeline="game",
+                  summary="algorithm B vs the B-simulating adversary "
+                          "(E8 curve)"),
+    AlgorithmSpec("game-threshold", "game", _make_game_threshold, "5.3",
+                  1, False, None, False, pipeline="game",
+                  summary="fractional threshold rule vs the adversary "
+                          "(Lemma 23 deviation)"),
+    AlgorithmSpec("game-memoryless", "game", _make_game_memoryless,
+                  "5.3", 1, False, None, False, pipeline="game",
+                  summary="memoryless balance vs the adversary "
+                          "(Lemma 23 deviation)"),
+    AlgorithmSpec("game-rounded", "game", _make_game_rounded, "5.3", 1,
+                  True, None, False, pipeline="game",
+                  summary="Theorem 8 reduction: exact expected cost of "
+                          "the rounded threshold rule (E9 curve)"),
+    # -- game pipeline: E13 simulator rollouts --------------------------
+    AlgorithmSpec("sim-opt", "game", _make_sim_opt, "E13", 1, True, None,
+                  True, pipeline="game",
+                  summary="Section-2 optimal schedule replayed through "
+                          "the job-level simulator"),
+    AlgorithmSpec("sim-lcp", "game", _make_sim_lcp, "E13", 1, True, None,
+                  False, pipeline="game",
+                  summary="LCP schedule replayed through the simulator"),
+    AlgorithmSpec("sim-static", "game", _make_sim_static, "E13", 1, True,
+                  None, False, pipeline="game",
+                  summary="best static provisioning replayed through "
+                          "the simulator"),
 ):
     _register(_spec)
 
@@ -345,6 +440,11 @@ def solver_names(pipeline: str | None = None) -> tuple[str, ...]:
     engine pipeline)."""
     return tuple(n for n, s in _REGISTRY.items() if s.kind == "offline"
                  and (pipeline is None or s.pipeline == pipeline))
+
+
+def game_names() -> tuple[str, ...]:
+    """Names of the registered game-pipeline players."""
+    return tuple(n for n, s in _REGISTRY.items() if s.kind == "game")
 
 
 def make_algorithm(name: str, *, lookahead: int = 0, seed=None):

@@ -46,16 +46,26 @@ def _scenario_rng(name: str, seed: int) -> np.random.Generator:
 
 @dataclasses.dataclass(frozen=True)
 class Scenario:
-    """A named instance builder: ``build(T, rng) -> Instance``.
+    """A named instance builder: ``build(T, rng, **params) -> Instance``.
 
     ``build`` is the general-model builder; scenarios may additionally
     (or instead) carry builders for the engine's other pipelines —
     ``build_restricted`` returning a
-    :class:`~repro.core.instance.RestrictedInstance` and ``build_hetero``
-    returning a :class:`~repro.extensions.HeterogeneousInstance`.  All
-    builders of one scenario share the ``(scenario, seed)`` generator, so
-    e.g. the restricted view and its general-model encoding are built
-    from identical loads and their optima agree.
+    :class:`~repro.core.instance.RestrictedInstance`, ``build_hetero``
+    returning a :class:`~repro.extensions.HeterogeneousInstance`, and
+    ``build_game`` returning a game-pipeline instance (a
+    :class:`~repro.lower_bounds.games.LowerBoundGame` or
+    :class:`~repro.simulator.bridge.SimulatorGame`).  All builders of
+    one scenario share the ``(scenario, seed)`` generator, so e.g. the
+    restricted view and its general-model encoding are built from
+    identical loads and their optima agree.
+
+    ``params`` are the optional keyword knobs of a grid's ``params``
+    axis (e.g. the adversary slope ``eps``, the case study's ``beta``);
+    builders declare them with defaults so the scenario also builds with
+    no parameters.  ``storable=False`` marks scenarios whose instances
+    have no dense payload (adaptive games) so the engine skips phase-0
+    materialization for them.
     """
 
     name: str
@@ -64,6 +74,8 @@ class Scenario:
     summary: str = ""
     build_restricted: Callable | None = None
     build_hetero: Callable | None = None
+    build_game: Callable | None = None
+    storable: bool = True
 
     @property
     def pipelines(self) -> tuple[str, ...]:
@@ -75,18 +87,29 @@ class Scenario:
             out.append("restricted")
         if self.build_hetero is not None:
             out.append("hetero")
+        if self.build_game is not None:
+            out.append("game")
         return tuple(out)
 
-    def instance(self, T: int, seed: int = 0, pipeline: str = "general"):
-        """Build the scenario's instance for a horizon and seed."""
+    def instance(self, T: int, seed: int = 0, pipeline: str = "general",
+                 params: dict | None = None):
+        """Build the scenario's instance for a horizon, seed and
+        optional parameter dict."""
         builder = {"general": self.build,
                    "restricted": self.build_restricted,
-                   "hetero": self.build_hetero}.get(pipeline)
+                   "hetero": self.build_hetero,
+                   "game": self.build_game}.get(pipeline)
         if builder is None:
             raise ValueError(
                 f"scenario {self.name!r} has no {pipeline!r} builder; it "
                 f"supports {self.pipelines}")
-        return builder(T, _scenario_rng(self.name, seed))
+        rng = _scenario_rng(self.name, seed)
+        try:
+            return builder(T, rng, **(params or {}))
+        except TypeError as exc:
+            raise ValueError(
+                f"scenario {self.name!r} rejected params {params!r}: "
+                f"{exc}") from None
 
 
 def _from_loads(loads, *, beta: float = _BETA,
@@ -203,6 +226,72 @@ def _build_hetero_fleet(T, rng):
                                       beta2=1.0)
 
 
+# ----------------------------------------------------------------------
+# Game-pipeline scenarios: Section 5 lower-bound games and E13
+# simulator rollouts as engine instances.
+# ----------------------------------------------------------------------
+
+def _lb_builder(kind):
+    def build(T, rng, eps=0.1):
+        from ..lower_bounds.games import LowerBoundGame
+        return LowerBoundGame(kind=kind, eps=float(eps), max_steps=T)
+    build.__name__ = f"_build_lb_{kind}"
+    return build
+
+
+_build_lb_deterministic = _lb_builder("deterministic")
+_build_lb_continuous = _lb_builder("continuous")
+_build_lb_restricted = _lb_builder("restricted")
+
+
+def _build_sim_diurnal(T, rng, peak=12.0, m=18, beta=6.0):
+    """E13 rollout: a Poisson job trace on a diurnal rate curve plus the
+    bridged cost matrix the optimizer and policies run on."""
+    from ..simulator import SimulatorGame, bridge_instance, poisson_job_trace
+    from ..workloads import diurnal_loads
+    trace = poisson_job_trace(diurnal_loads(T, peak=peak, rng=rng), rng=rng)
+    inst = bridge_instance(trace, int(m), beta=float(beta))
+    return SimulatorGame(work=trace.work, F=inst.F, m=int(m),
+                         beta=float(beta))
+
+
+# ----------------------------------------------------------------------
+# Case-study scenarios (E11): Lin et al.-style traces with the
+# switching cost exposed as a grid parameter.
+# ----------------------------------------------------------------------
+
+#: case-study scenario name -> its workloads generator name
+_CASE_GENERATORS = {"case-msr": "msr_like_loads",
+                    "case-hotmail": "hotmail_like_loads"}
+_CASE_PEAK = 30.0
+
+
+def case_study_loads(name: str, T: int, rng) -> "np.ndarray":
+    """The load trace a case-study scenario derives its instance from.
+
+    ``rng`` may be a seed or a generator; the E11 benchmark reuses this
+    (with the scenario's ``(name, seed)`` generator) to report the PMR
+    of exactly the trace the grid jobs ran on.
+    """
+    import repro.workloads as workloads
+    if not hasattr(rng, "uniform"):
+        rng = _scenario_rng(name, int(rng))
+    return getattr(workloads, _CASE_GENERATORS[name])(T, peak=_CASE_PEAK,
+                                                      rng=rng)
+
+
+def _case_study(name):
+    def build(T, rng, beta=4.0):
+        return _from_loads(case_study_loads(name, T, rng),
+                           beta=float(beta))
+    build.__name__ = f"_build_{name.replace('-', '_')}"
+    return build
+
+
+_build_case_msr = _case_study("case-msr")
+_build_case_hotmail = _case_study("case-hotmail")
+
+
 _CATALOG: dict[str, Scenario] = {}
 
 for _sc in (
@@ -234,6 +323,25 @@ for _sc in (
     Scenario("hetero-fleet", None, ("heterogeneous",),
              "two-type fleet: fast/hungry vs slow/frugal servers",
              build_hetero=_build_hetero_fleet),
+    Scenario("lb-deterministic", None, ("game", "adversarial"),
+             "Theorem 4 two-state game vs integral algorithms (-> 3)",
+             build_game=_build_lb_deterministic, storable=False),
+    Scenario("lb-continuous", None, ("game", "adversarial"),
+             "Theorem 6/8 fractional game (B-simulating adversary, -> 2)",
+             build_game=_build_lb_continuous, storable=False),
+    Scenario("lb-restricted", None, ("game", "adversarial"),
+             "Theorem 5/9 game embedded in the restricted model (-> 3)",
+             build_game=_build_lb_restricted, storable=False),
+    Scenario("sim-diurnal", None, ("game", "simulator"),
+             "E13 rollout: Poisson jobs on a diurnal rate curve, "
+             "policies replayed through the simulator",
+             build_game=_build_sim_diurnal),
+    Scenario("case-msr", _build_case_msr, ("trace", "case-study"),
+             "E11 case study: MSR-shaped trace, switching cost as a "
+             "grid parameter"),
+    Scenario("case-hotmail", _build_case_hotmail, ("trace", "case-study"),
+             "E11 case study: Hotmail-shaped trace, switching cost as "
+             "a grid parameter"),
 ):
     _CATALOG[_sc.name] = _sc
 
@@ -254,10 +362,13 @@ def get_scenario(name: str) -> Scenario:
 
 
 def build_instance(name: str, T: int, seed: int = 0,
-                   pipeline: str = "general"):
+                   pipeline: str = "general",
+                   params: dict | None = None):
     """Build the instance of scenario ``name`` for ``(T, seed)`` under
-    one of the engine pipelines (``general``/``restricted``/``hetero``)."""
-    return get_scenario(name).instance(T, seed, pipeline)
+    one of the engine pipelines
+    (``general``/``restricted``/``hetero``/``game``), optionally with
+    the scenario-parameter dict of a grid's ``params`` axis."""
+    return get_scenario(name).instance(T, seed, pipeline, params)
 
 
 def trace_suite(T: int = 168, seed: int = 0) -> list:

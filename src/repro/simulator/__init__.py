@@ -16,10 +16,12 @@ provisioning, and the abstract objective tracks the simulated cost.
 
 from .datacenter import DataCenter, ServerPowerModel, SimLog, StepMetrics
 from .jobs import JobTrace, poisson_job_trace
-from .bridge import bridge_instance, replay_schedule, simulated_cost
+from .bridge import (SimPolicy, SimulatorGame, bridge_instance,
+                     replay_schedule, simulated_cost)
 
 __all__ = [
     "DataCenter", "ServerPowerModel", "SimLog", "StepMetrics",
     "JobTrace", "poisson_job_trace",
-    "bridge_instance", "replay_schedule", "simulated_cost",
+    "SimPolicy", "SimulatorGame", "bridge_instance", "replay_schedule",
+    "simulated_cost",
 ]

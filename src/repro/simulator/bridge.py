@@ -18,13 +18,16 @@ cost tracks simulated cost).
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..core.instance import Instance
 from .datacenter import DataCenter, ServerPowerModel, SimLog
 from .jobs import JobTrace
 
-__all__ = ["bridge_instance", "replay_schedule", "simulated_cost"]
+__all__ = ["SimPolicy", "SimulatorGame", "bridge_instance",
+           "replay_schedule", "simulated_cost"]
 
 
 _MAX_DELAY_FACTOR = 10.0
@@ -108,3 +111,101 @@ def simulated_cost(schedule, trace: JobTrace | np.ndarray, m: int, *,
     """Scalar simulated objective of a schedule (energy + w * latency)."""
     log = replay_schedule(schedule, trace, m, power=power)
     return log.total_cost(latency_weight)
+
+
+# ----------------------------------------------------------------------
+# Engine adapters: simulator rollouts as `game`-pipeline instances.
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class SimulatorGame:
+    """One E13 rollout as a `game`-pipeline instance.
+
+    Holds the realized work trace and the bridged cost matrix — the
+    expensive ``O(T m)`` tabulation — so the instance store can
+    materialize both once (``store_payload``) and every policy job
+    reopens them via mmap.  ``baseline`` is the simulated cost of the
+    Section-2 optimal schedule: it is the pipeline's hoisted "optimum",
+    so a policy row's ratio reads "simulated cost over the optimizer's
+    simulated cost".
+    """
+
+    work: np.ndarray     # realized per-step service demand
+    F: np.ndarray        # bridged (T, m+1) cost matrix
+    m: int
+    beta: float
+    latency_weight: float = 2.0
+
+    @property
+    def T(self) -> int:
+        return int(np.asarray(self.work).shape[0])
+
+    def instance(self) -> Instance:
+        """The abstract instance the optimizer/policies run on."""
+        return Instance(beta=float(self.beta), F=np.asarray(self.F))
+
+    def store_payload(self):
+        return ({"work": np.asarray(self.work), "F": np.asarray(self.F)},
+                {"m": int(self.m), "beta": float(self.beta),
+                 "latency_weight": float(self.latency_weight)})
+
+    @classmethod
+    def from_payload(cls, arrays: dict, meta: dict) -> "SimulatorGame":
+        return cls(work=arrays["work"], F=arrays["F"], m=meta["m"],
+                   beta=meta["beta"],
+                   latency_weight=meta["latency_weight"])
+
+    def simulate(self, schedule) -> float:
+        """Replay a schedule through the real simulator."""
+        return simulated_cost(schedule, np.asarray(self.work), self.m,
+                              latency_weight=self.latency_weight)
+
+    def baseline(self) -> dict:
+        """Phase-1 record: simulated cost (and switching count) of the
+        optimal schedule.  The extra keys beyond opt/m/beta become the
+        `sim-opt` row's columns — the engine synthesizes that row from
+        this record instead of re-running the DP in phase 2."""
+        from ..offline import solve_dp
+        sched = solve_dp(self.instance()).schedule
+        changes = int(np.count_nonzero(np.diff(
+            np.concatenate([[0], sched]))))
+        return {"opt": self.simulate(sched), "m": int(self.m),
+                "beta": float(self.beta), "schedule_changes": changes}
+
+
+@dataclasses.dataclass(frozen=True)
+class SimPolicy:
+    """A registered `game`-pipeline algorithm: compute a provisioning
+    schedule on the bridged instance, replay it through the simulator.
+
+    ``policy`` is ``"opt"`` (Section 2 DP), ``"lcp"`` (3-competitive
+    online play) or ``"static"`` (best constant level in hindsight).
+    Returns the engine row fragment; ``opt`` is ``None`` because the
+    hoisted baseline already carries the pipeline optimum.
+    """
+
+    policy: str
+
+    def schedule(self, game: "SimulatorGame") -> np.ndarray:
+        inst = game.instance()
+        if self.policy == "opt":
+            from ..offline import solve_dp
+            return solve_dp(inst).schedule
+        if self.policy == "lcp":
+            from ..online import LCP, run_online
+            return run_online(inst, LCP()).schedule.astype(int)
+        if self.policy == "static":
+            from ..online import solve_static
+            return solve_static(inst).schedule
+        raise ValueError(f"unknown simulator policy {self.policy!r}")
+
+    def __call__(self, game) -> dict:
+        if not isinstance(game, SimulatorGame):
+            raise TypeError(
+                f"{type(game).__name__} is not a simulator game; sim-* "
+                "policies only run on sim-* scenarios")
+        sched = self.schedule(game)
+        changes = int(np.count_nonzero(np.diff(
+            np.concatenate([[0], np.asarray(sched)]))))
+        return {"cost": game.simulate(sched), "opt": None,
+                "schedule_changes": changes}

@@ -138,9 +138,110 @@ class TestSqliteBackend:
         with pytest.raises(ValueError, match="json backend"):
             JobCache(tmp_path, backend="sqlite").path("jobs", "ab12")
 
+    def test_old_database_without_accessed_column_still_opens(self,
+                                                              tmp_path):
+        """Databases written before the LRU column existed migrate in
+        place (ALTER TABLE) on first open."""
+        import sqlite3
+        db = tmp_path / DB_NAME
+        conn = sqlite3.connect(db)
+        conn.execute("CREATE TABLE records (kind TEXT NOT NULL, key TEXT "
+                     "NOT NULL, record TEXT NOT NULL, created REAL NOT "
+                     "NULL, PRIMARY KEY (kind, key))")
+        conn.execute("INSERT INTO records VALUES ('jobs', 'k1', "
+                     "'{\"v\": 1}', 1.0)")
+        conn.commit()
+        conn.close()
+        cache = JobCache(tmp_path, backend="sqlite")
+        assert cache.get("jobs", "k1") == {"v": 1}
+        cache.put("jobs", "k2", {"v": 2})
+        assert cache.prune_bytes(10 ** 9) == 0  # under bound: no-op
+
     def test_unknown_backend_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="unknown cache backend"):
             JobCache(tmp_path, backend="mongodb")
+
+
+class TestPruneBytes:
+    """Size-bounded LRU eviction (`repro cache prune --max-bytes`)."""
+
+    def _fill(self, cache, n=24):
+        for i in range(n):
+            cache.put("jobs", f"k{i:02d}", {"v": i, "pad": "x" * 4000})
+
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_prune_bytes_bounds_the_cache(self, tmp_path, backend):
+        cache = JobCache(tmp_path, backend=backend)
+        self._fill(cache)
+        cache.prune_bytes(10 ** 18)  # no-op bound, drains the WAL
+        before = cache.stats()
+        bound = before["bytes"] // 3
+        removed = cache.prune_bytes(bound)
+        after = cache.stats()
+        assert removed > 0
+        assert after["total"] == before["total"] - removed
+        assert after["total"] > 0  # bound keeps part of the cache
+        assert after["bytes"] <= bound
+
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_prune_bytes_noop_under_bound(self, tmp_path, backend):
+        cache = JobCache(tmp_path, backend=backend)
+        self._fill(cache, n=3)
+        assert cache.prune_bytes(10 ** 9) == 0
+        assert cache.stats()["total"] == 3
+
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_prune_bytes_evicts_least_recently_accessed(self, tmp_path,
+                                                        backend):
+        cache = JobCache(tmp_path, backend=backend)
+        now = time.time()
+        # k0 written longest ago but *read* recently; k1 written later
+        # but never read since -> k1 is the LRU victim
+        cache.put("jobs", "k0", {"v": 0, "pad": "x" * 300},
+                  created=now - 1000)
+        cache.put("jobs", "k1", {"v": 1, "pad": "x" * 300},
+                  created=now - 500)
+        if backend == "json":
+            # file timestamps need a visible gap on coarse filesystems
+            import os
+            p0 = cache.path("jobs", "k0")
+            p1 = cache.path("jobs", "k1")
+            os.utime(p0, (now - 1000, now - 1000))
+            os.utime(p1, (now - 500, now - 500))
+        assert cache.get("jobs", "k0") == {"v": 0, "pad": "x" * 300}
+        removed = cache.prune_bytes(1)  # evict down toward empty
+        assert removed >= 1
+        victims = {key for _kind, key, _rec, _c in cache.iter_records()}
+        # eviction order followed last-access: k1 left before k0
+        if cache.stats()["total"] == 1:
+            assert victims == {"k0"}
+
+    def test_prune_bytes_cli(self, tmp_path, capsys):
+        from repro.cli import main
+        cache = JobCache(tmp_path, backend="json")
+        self._fill(cache)
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-bytes", "1k"]) == 0
+        out = capsys.readouterr().out
+        assert "least-recently-used" in out
+        assert JobCache(tmp_path).stats()["bytes"] <= 1024
+        with pytest.raises(SystemExit, match="older-than"):
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit, match="could not parse size"):
+            main(["cache", "prune", "--cache-dir", str(tmp_path),
+                  "--max-bytes", "huge"])
+
+    def test_prune_age_and_bytes_compose(self, tmp_path, capsys):
+        from repro.cli import main
+        cache = JobCache(tmp_path, backend="sqlite")
+        cache.put("jobs", "old", {"v": 1},
+                  created=time.time() - 100 * 86400)
+        self._fill(cache, n=6)
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--older-than", "30d", "--max-bytes", "1g"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 records" in out
+        assert "evicted 0" in out
 
 
 class TestMigration:

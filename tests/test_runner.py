@@ -89,9 +89,19 @@ class TestScenarios:
                 a = build_instance(name, 12, seed=3, pipeline=pipeline)
                 b = build_instance(name, 12, seed=3, pipeline=pipeline)
                 assert a.T == 12
-                payload = "loads" if pipeline == "restricted" else "F"
-                np.testing.assert_array_equal(getattr(a, payload),
-                                              getattr(b, payload))
+                payload = {"restricted": "loads",
+                           "game": None}.get(pipeline, "F")
+                if payload is None:  # games: compare the dense payloads
+                    pa, pb = a.store_payload(), b.store_payload()
+                    if pa is None:  # adaptive game: dataclass equality
+                        assert a == b
+                    else:
+                        for key in pa[0]:
+                            np.testing.assert_array_equal(pa[0][key],
+                                                          pb[0][key])
+                else:
+                    np.testing.assert_array_equal(getattr(a, payload),
+                                                  getattr(b, payload))
 
     def test_seeds_vary_random_scenarios(self):
         a = build_instance("random-convex", 12, seed=0)
