@@ -5,12 +5,15 @@ evaluated by a user function returning a dict of measurements, and the
 results are collected as a list of flat row dicts ready for
 :mod:`repro.analysis.tables`.
 
-Evaluation runs through the batch engine's
-:func:`repro.runner.engine.parallel_map`, so passing ``n_jobs > 1``
-fans grid points out over the engine's *persistent* process pool (the
-function must then be picklable, i.e. module-level); the pool is shared
-with ``run_grid`` and ``repro lowerbound`` and survives across sweeps,
-so many small sweeps don't pay a pool fork each.  Passing ``cache_dir``
+Evaluation rides the batch engine's pipelined dispatch: passing
+``n_jobs > 1`` fans grid points out over the engine's *persistent*
+process pool (the function must then be picklable, i.e. module-level)
+in fused chunks — several points per worker round-trip — and up to
+``pipeline_depth`` batches stay in flight, so the pool keeps working
+while the parent flushes the previous batch's rows to the sink.  The
+pool is shared with ``run_grid`` and ``repro lowerbound`` and survives
+across sweeps, so many small sweeps don't pay a pool fork each.
+Passing ``cache_dir``
 (a directory, or a ready-made
 :class:`~repro.runner.jobcache.JobCache` — e.g. one opened on the
 SQLite backend) stores each point's measurements in the engine's
@@ -24,10 +27,11 @@ For named (scenario x algorithm) grids with ratio aggregation, prefer
 
 from __future__ import annotations
 
+import collections
 import itertools
 from typing import Callable, Mapping, Sequence
 
-from ..runner.engine import parallel_map
+from ..runner.engine import _batches, _chunk_list, _submit_task
 from ..runner.jobcache import JobCache, content_key, jsonify
 
 __all__ = ["sweep"]
@@ -36,14 +40,15 @@ __all__ = ["sweep"]
 _SWEEP_CACHE_VERSION = 1
 
 
-class _Eval:
-    """Picklable ``point -> fn(**point)`` wrapper for the process pool."""
+class _EvalChunk:
+    """Picklable fused evaluator: one worker round-trip runs a whole
+    chunk of grid points through ``fn(**point)``."""
 
     def __init__(self, fn: Callable[..., Mapping]):
         self.fn = fn
 
-    def __call__(self, point: dict) -> dict:
-        return dict(self.fn(**point))
+    def __call__(self, points: list[dict]) -> list[dict]:
+        return [dict(self.fn(**point)) for point in points]
 
 
 def _point_key(fn: Callable, point: dict) -> str:
@@ -63,7 +68,8 @@ def _point_key(fn: Callable, point: dict) -> str:
 def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence], *,
           n_jobs: int = 1, cache_dir=None,
           stats: dict | None = None, sink=None,
-          batch_size: int | None = None):
+          batch_size: int | None = None, pipeline_depth: int = 2,
+          chunk_points: int | None = None):
     """Evaluate ``fn(**point)`` on every point of the parameter grid.
 
     ``grid`` maps parameter names to value lists; the returned rows merge
@@ -74,22 +80,55 @@ def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence], *,
     per-point cache; pass a dict as ``stats`` to receive ``hits`` and
     ``misses`` counters.
 
-    Like :func:`repro.runner.run_grid`, a sweep streams: points run in
-    bounded batches of ``batch_size`` (``None`` = one batch) and rows
-    flow into a :mod:`repro.runner.sinks` ``sink`` as each batch
-    finishes.  The default ``sink=None`` collects and returns the
-    historical ``list[dict]``; a file-backed sink keeps parent memory
-    at O(batch) and ``sweep`` returns ``sink.result()``.
+    Like :func:`repro.runner.run_grid`, a sweep streams *and
+    pipelines*: points run in bounded batches of ``batch_size``
+    (``None`` = one batch) dispatched as fused chunks of
+    ``chunk_points`` (``None`` auto-sizes), up to ``pipeline_depth``
+    batches stay in flight on the pool, and rows flow into a
+    :mod:`repro.runner.sinks` ``sink`` — always in grid-product order —
+    as each batch finishes.  The default ``sink=None`` collects and
+    returns the historical ``list[dict]``; a file-backed sink keeps
+    parent memory at O(depth x batch) and ``sweep`` returns
+    ``sink.result()``.
     """
-    from ..runner.engine import _batches
     from ..runner.sinks import ListSink
+    if pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be >= 1")
     names = list(grid.keys())
     points = (dict(zip(names, values))
               for values in itertools.product(*(grid[n] for n in names)))
     cache = (cache_dir if isinstance(cache_dir, JobCache)
              else JobCache(cache_dir) if cache_dir is not None else None)
     sink = ListSink() if sink is None else sink
+    flush_ok = [True]   # False once a flush failed (row prefix is torn)
     hits = misses = 0
+    inflight: collections.deque = collections.deque()
+
+    def flush(entry) -> None:
+        batch, results, futures = entry
+        try:
+            for chunk, future in futures:
+                for (i, _point, key), result in zip(chunk,
+                                                    future.result()):
+                    # canonicalize through the JSON form so hit and
+                    # miss rows are indistinguishable (numpy scalars ->
+                    # float, tuples -> lists)
+                    results[i] = (jsonify(result) if cache is not None
+                                  else result)
+                    if cache is not None:
+                        cache.put("sweep", key, result)
+            for point, result in zip(batch, results):
+                clash = set(point) & set(result)
+                if clash:
+                    raise ValueError(
+                        f"measurement keys collide with grid: {clash}")
+                sink.write({**point, **result})
+        except BaseException:
+            # once a flush tears, the abort drain must not keep
+            # writing later batches — killed sinks keep a clean prefix
+            flush_ok[0] = False
+            raise
+
     sink.open()
     try:
         for batch in _batches(points, batch_size):
@@ -105,23 +144,46 @@ def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence], *,
                 else:
                     pending.append((i, point, key))
             misses += len(pending)
-            for (i, _point, key), result in zip(
-                    pending,
-                    parallel_map(_Eval(fn), [p for _, p, _ in pending],
-                                 n_jobs=n_jobs)):
-                # canonicalize through the JSON form so hit and miss
-                # rows are indistinguishable (numpy scalars -> float,
-                # tuples -> lists)
-                results[i] = jsonify(result) if cache is not None else result
-                if cache is not None:
-                    cache.put("sweep", key, result)
-            for point, result in zip(batch, results):
-                clash = set(point) & set(result)
-                if clash:
-                    raise ValueError(
-                        f"measurement keys collide with grid: {clash}")
-                sink.write({**point, **result})
+            futures = [
+                (chunk, _submit_task(_EvalChunk(fn),
+                                     [p for _, p, _ in chunk], n_jobs))
+                for chunk in _chunk_list(pending, n_jobs, chunk_points)]
+            inflight.append((batch, results, futures))
+            # double-buffer: flush the oldest batch only once the pool
+            # holds pipeline_depth batches, so workers chew on batch
+            # N+1 while the parent writes batch N's rows
+            while len(inflight) >= pipeline_depth:
+                flush(inflight.popleft())
+        while inflight:
+            flush(inflight.popleft())
     finally:
+        # abort path: completed head batches still flush to the sink
+        # in order (the pre-pipeline sweep always wrote batch N before
+        # starting N+1; double-buffering must not lose that) — unless
+        # a flush itself is what failed
+        while (flush_ok[0] and inflight
+               and all(f.done() and not f.cancelled()
+                       for _c, f in inflight[0][2])):
+            try:
+                flush(inflight[0])
+            except BaseException:
+                break
+            inflight.popleft()
+        # then cancel what never started, persisting the measurements
+        # of chunks that did complete — a killed sweep must not
+        # recompute points it already paid for
+        for _batch, _results, futures in inflight:
+            for chunk, future in futures:
+                future.cancel()
+                if cache is None or not future.done() or \
+                        future.cancelled():
+                    continue
+                try:
+                    for (_i, _point, key), result in zip(chunk,
+                                                         future.result()):
+                        cache.put("sweep", key, result)
+                except Exception:
+                    pass
         sink.close()
     if stats is not None:
         stats.update({"hits": hits, "misses": misses})

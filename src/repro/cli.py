@@ -6,10 +6,12 @@ Subcommands, mirroring the library's pillars:
   load trace, with solver selection and cost breakdown.
 * ``repro simulate``  — replay online algorithms on a trace and report
   costs and empirical ratios against the offline optimum.
-* ``repro sweep``     — batch (scenario x algorithm x seed x size) grids
-  through the streaming engine, with caching, bounded-memory batches
-  (``--batch-size``), pluggable result sinks (``--sink jsonl/sqlite``)
-  and ratio aggregation.
+* ``repro sweep``     — batch (scenario x algorithm x seed x size x
+  params) grids through the pipelined engine, with caching,
+  bounded-memory batches (``--batch-size``), double-buffering
+  (``--pipeline-depth``), fused dispatch (``--chunk-jobs``), pluggable
+  result sinks (``--sink jsonl/sqlite``) and param-aware ratio
+  aggregation (``--params``, ``--group-by``).
 * ``repro bench``     — predefined engine grids with wall-clock timing.
 * ``repro lowerbound`` — the Section 5 adversarial games as
   `game`-pipeline engine grids; prints the ratio-vs-eps curves.
@@ -25,6 +27,9 @@ Examples::
         --seeds 0,1,2 -T 168 --n-jobs 4
     repro sweep --scenarios diurnal --algorithms lcp --seeds 0,1,2 \
         -T 168 --sink jsonl --sink-path rows.jsonl --batch-size 4
+    repro sweep --scenarios case-msr --algorithms lcp,threshold \
+        -T 168 --params '{"beta": 2.0};{"beta": 8.0}' \
+        --group-by scenario,algorithm,T,beta
     repro bench --grid traces --n-jobs 4 --store-dir /tmp/store
     repro lowerbound --kind deterministic --eps 0.2,0.1,0.05
     repro solve --loads-csv trace.csv --beta 4 --solver dp
@@ -137,8 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--batch-size", type=int, default=None,
                         metavar="N",
                         help="stream phase-2 jobs in batches of N so "
-                             "the parent holds O(N) pending rows "
-                             "(default: one batch)")
+                             "the parent holds O(N x depth) pending "
+                             "rows (default: one batch)")
+        sp.add_argument("--pipeline-depth", type=int, default=2,
+                        metavar="D",
+                        help="batches kept in flight at once: with "
+                             "n_jobs > 1, batch N+1's instances "
+                             "materialize and solve while batch N's "
+                             "algorithm jobs still run (1 = barrier "
+                             "per batch)")
+        sp.add_argument("--chunk-jobs", type=int, default=None,
+                        metavar="K",
+                        help="fuse K jobs per worker round-trip "
+                             "(amortizes IPC; LCP-family jobs on one "
+                             "instance share a work-function sweep); "
+                             "default auto-sizes, 1 disables fusion")
         sp.add_argument("--sink", choices=("list", "jsonl", "sqlite"),
                         default="list",
                         help="where result rows stream to: an in-memory "
@@ -163,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma list of horizon lengths")
     sp.add_argument("--lookahead", type=int, default=0,
                     help="prediction window for lookahead algorithms")
+    sp.add_argument("--params", default=None, metavar="JSON",
+                    help="semicolon list of scenario-parameter JSON "
+                         "dicts crossed with the grid, e.g. "
+                         "'{\"beta\": 2.0};{\"beta\": 8.0}'")
+    sp.add_argument("--group-by", default=None, metavar="COLS",
+                    help="comma list of row columns to aggregate on "
+                         "(default scenario,algorithm,T); params-axis "
+                         "columns work too, e.g. "
+                         "scenario,algorithm,T,beta for the E11 "
+                         "per-beta tables")
     sp.add_argument("--per-row", action="store_true",
                     help="print every job row, not only aggregates")
     sp.add_argument("--list", action="store_true",
@@ -173,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run a predefined engine grid with timing")
     sp.add_argument("--grid", choices=sorted(_BENCH_GRIDS),
                     default="smoke")
+    sp.add_argument("--group-by", default=None, metavar="COLS",
+                    help="comma list of row columns to aggregate on")
     add_engine_args(sp)
 
     sp = sub.add_parser("lowerbound",
@@ -341,12 +371,24 @@ def _build_spec(scenarios, algorithms, seeds, sizes, lookahead=0,
         raise SystemExit(str(exc)) from None
 
 
-def _print_grid_results(rows, per_row: bool, title: str) -> None:
+def _print_grid_results(rows, per_row: bool, title: str,
+                        group_by=None) -> None:
     from .analysis import format_table
     from .runner import aggregate_rows
     if per_row:
         print(format_table(rows, title=f"{title} — rows"))
-    print(format_table(aggregate_rows(rows),
+    by = group_by if group_by else ("scenario", "algorithm", "T")
+    if group_by:
+        # aggregate_rows tolerates missing keys (heterogeneous rows),
+        # so a typo'd column would silently group everything under
+        # None — catch it here, where the user can see the choices
+        known = set().union(*(row.keys() for row in rows)) if rows else set()
+        missing = [k for k in by if k not in known]
+        if missing:
+            raise SystemExit(
+                f"unknown --group-by column(s) {', '.join(missing)}; "
+                f"rows have {', '.join(sorted(known))}")
+    print(format_table(aggregate_rows(rows, by=by),
                        title=f"{title} — aggregate ratios"))
 
 
@@ -371,7 +413,8 @@ def _print_sink_results(result, args, stats: dict, n_jobs: int,
     into parent memory (that would defeat the streaming core)."""
     print(f"{title}: {stats['rows_written']} rows -> {result} "
           f"(sink {args.sink}, {stats['batches']} batches, "
-          f"max {stats['max_pending']} pending rows, n_jobs={n_jobs})")
+          f"max {stats['max_pending']} pending rows, n_jobs={n_jobs}, "
+          f"{stats['overlapped_batches']} overlapped)")
 
 
 def _print_store_stats(stats: dict) -> None:
@@ -401,17 +444,31 @@ def _cmd_sweep(args) -> int:
         print(algorithm_table())
         return 0
     from .runner import run_grid
+    params = None
+    if args.params:
+        import json as _json
+        try:
+            params = tuple(_json.loads(part)
+                           for part in args.params.split(";") if part)
+        except ValueError:
+            raise SystemExit(f"could not parse --params {args.params!r}; "
+                             "use semicolon-separated JSON dicts"
+                             ) from None
     spec = _build_spec(_split(args.scenarios), _split(args.algorithms),
                        _split(args.seeds, int), _split(args.T, int),
-                       lookahead=args.lookahead)
+                       lookahead=args.lookahead, params=params)
     stats: dict = {}
     result = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
                       store_dir=args.store_dir, force=args.force,
                       stats=stats, sink=_make_cli_sink(args),
-                      batch_size=args.batch_size)
+                      batch_size=args.batch_size,
+                      pipeline_depth=args.pipeline_depth,
+                      chunk_jobs=args.chunk_jobs)
     title = f"sweep {len(spec)} jobs (key {spec.cache_key()})"
     if args.sink == "list":
-        _print_grid_results(result, args.per_row, title)
+        _print_grid_results(result, args.per_row, title,
+                            group_by=_split(args.group_by)
+                            if args.group_by else None)
     else:
         _print_sink_results(result, args, stats, args.n_jobs, title)
     if args.cache_dir:
@@ -429,11 +486,15 @@ def _cmd_bench(args) -> int:
     result = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
                       store_dir=args.store_dir, force=args.force,
                       stats=stats, sink=_make_cli_sink(args),
-                      batch_size=args.batch_size)
+                      batch_size=args.batch_size,
+                      pipeline_depth=args.pipeline_depth,
+                      chunk_jobs=args.chunk_jobs)
     elapsed = time.perf_counter() - start
     if args.sink == "list":
         _print_grid_results(result, per_row=False,
-                            title=f"bench grid {args.grid!r}")
+                            title=f"bench grid {args.grid!r}",
+                            group_by=_split(args.group_by)
+                            if args.group_by else None)
     else:
         _print_sink_results(result, args, stats, args.n_jobs,
                             f"bench grid {args.grid!r}")
@@ -485,6 +546,8 @@ def _cmd_cache(args) -> int:
     if args.cache_command == "stats":
         info = cache.stats()
         print(f"backend: {info['backend']}")
+        if "auto_vacuum" in info:
+            print(f"vacuum:  {info['auto_vacuum']}")
         print(f"root:    {cache.root}")
         for kind in sorted(info["entries"]):
             print(f"  {kind:12s} {info['entries'][kind]} records")

@@ -19,7 +19,8 @@ import numpy as np
 from ..core.instance import Instance
 from ..core.schedule import cost as schedule_cost
 
-__all__ = ["OnlineAlgorithm", "OnlineResult", "run_online"]
+__all__ = ["OnlineAlgorithm", "OnlineResult", "run_online",
+           "run_online_many"]
 
 
 class OnlineAlgorithm:
@@ -28,6 +29,14 @@ class OnlineAlgorithm:
     Subclasses set :attr:`name`, :attr:`fractional` and
     :attr:`lookahead`, implement :meth:`reset` and :meth:`step`, and may
     keep arbitrary internal state between steps.
+
+    Algorithms of the LCP family additionally set
+    :attr:`consumes_bounds` and implement :meth:`step_bounds`: their
+    decision at time ``tau`` is a pure function of the work-function
+    bounds ``(x^L_tau, x^U_tau)`` (plus their own previous state), so a
+    single ``O(T m)`` :class:`~repro.online.workfunction.WorkFunctions`
+    sweep can serve every such algorithm replayed on the same instance
+    (:func:`run_online_many`).
     """
 
     name: str = "online"
@@ -35,6 +44,9 @@ class OnlineAlgorithm:
     fractional: bool = False
     #: prediction-window length ``w`` (rows passed via ``future``)
     lookahead: int = 0
+    #: whether the step decision factors through the LCP bounds
+    #: ``(x^L, x^U)`` — enables the shared work-function replay
+    consumes_bounds: bool = False
 
     def reset(self, m: int, beta: float) -> None:
         """Prepare for a fresh instance with states ``0..m``."""
@@ -47,6 +59,12 @@ class OnlineAlgorithm:
         the next ``min(w, remaining)`` rows when ``lookahead > 0``.
         """
         raise NotImplementedError
+
+    def step_bounds(self, lo: int, hi: int):
+        """Commit the step from externally computed bounds (only for
+        algorithms with :attr:`consumes_bounds`)."""
+        raise NotImplementedError(
+            f"{self.name} does not consume work-function bounds")
 
     @property
     def state(self):
@@ -72,6 +90,31 @@ class OnlineResult:
         object.__setattr__(self, "schedule", s)
 
 
+def _checked_state(algorithm: OnlineAlgorithm, x, t: int, m: int):
+    """Validate and clip one committed state (shared by both replays)."""
+    if algorithm.fractional:
+        xf = float(x)
+        if not -1e-9 <= xf <= m + 1e-9:
+            raise ValueError(
+                f"{algorithm.name} left [0, m] at t={t + 1}: {xf}")
+        return min(max(xf, 0.0), float(m))
+    xi = int(x)
+    if not 0 <= xi <= m:
+        raise ValueError(
+            f"{algorithm.name} left [0, m] at t={t + 1}: {xi}")
+    return xi
+
+
+def _priced(instance: Instance, algorithm: OnlineAlgorithm,
+            xs: np.ndarray) -> OnlineResult:
+    """Price a committed schedule with eq. (1) — via the continuous
+    extension for fractional algorithms."""
+    total = schedule_cost(instance, xs.astype(np.float64),
+                          integral=not algorithm.fractional)
+    return OnlineResult(schedule=xs, cost=total, name=algorithm.name,
+                        fractional=algorithm.fractional)
+
+
 def run_online(instance: Instance, algorithm: OnlineAlgorithm) -> OnlineResult:
     """Replay an instance through an online algorithm.
 
@@ -86,20 +129,60 @@ def run_online(instance: Instance, algorithm: OnlineAlgorithm) -> OnlineResult:
     w = algorithm.lookahead
     for t in range(T):
         future = instance.F[t + 1:t + 1 + w] if w > 0 else None
-        x = algorithm.step(instance.F[t], future)
-        if algorithm.fractional:
-            xf = float(x)
-            if not -1e-9 <= xf <= m + 1e-9:
-                raise ValueError(
-                    f"{algorithm.name} left [0, m] at t={t + 1}: {xf}")
-            xs[t] = min(max(xf, 0.0), float(m))
-        else:
-            xi = int(x)
-            if not 0 <= xi <= m:
-                raise ValueError(
-                    f"{algorithm.name} left [0, m] at t={t + 1}: {xi}")
-            xs[t] = xi
-    total = schedule_cost(instance, xs.astype(np.float64),
-                          integral=not algorithm.fractional)
-    return OnlineResult(schedule=xs, cost=total, name=algorithm.name,
-                        fractional=algorithm.fractional)
+        xs[t] = _checked_state(algorithm,
+                               algorithm.step(instance.F[t], future), t, m)
+    return _priced(instance, algorithm, xs)
+
+
+def run_online_many(instance: Instance,
+                    algorithms) -> list[OnlineResult]:
+    """Replay several online algorithms over one instance in one pass.
+
+    Algorithms with :attr:`OnlineAlgorithm.consumes_bounds` (the LCP
+    family) share a single work-function sweep: the ``O(T m)``
+    maintenance of ``hat-C^L_tau`` — the dominant kernel of the
+    Section 3 discrete algorithms — is paid once per *instance* instead
+    of once per *job*, and each consumer commits its step through
+    :meth:`~OnlineAlgorithm.step_bounds` from the same ``(x^L, x^U)``
+    pair.  Algorithms with a prediction window get the window-extended
+    bounds, computed once per distinct window length per step.
+    Non-consumers are stepped normally inside the same pass.
+
+    Results are bit-identical to replaying each algorithm through
+    :func:`run_online` separately: the bounds are deterministic
+    functions of the revealed prefix, and validation and pricing are
+    shared code paths.
+    """
+    algorithms = list(algorithms)
+    if not algorithms:
+        return []
+    T, m = instance.T, instance.m
+    wf = None
+    if any(a.consumes_bounds for a in algorithms):
+        from .lcp import lookahead_bounds
+        from .workfunction import WorkFunctions
+        wf = WorkFunctions(m, instance.beta)
+    for algorithm in algorithms:
+        algorithm.reset(m, instance.beta)
+    xs = [np.empty(T, dtype=np.float64 if a.fractional else np.int64)
+          for a in algorithms]
+    for t in range(T):
+        f_row = instance.F[t]
+        if wf is not None:
+            wf.update(f_row)
+        bounds: dict[int, tuple[int, int]] = {}
+        for algorithm, out in zip(algorithms, xs):
+            w = algorithm.lookahead
+            future = instance.F[t + 1:t + 1 + w] if w > 0 else None
+            if algorithm.consumes_bounds:
+                eff = (w if w > 0 and future is not None
+                       and future.shape[0] > 0 else 0)
+                if eff not in bounds:
+                    bounds[eff] = (lookahead_bounds(wf, future) if eff
+                                   else wf.bounds())
+                x = algorithm.step_bounds(*bounds[eff])
+            else:
+                x = algorithm.step(f_row, future)
+            out[t] = _checked_state(algorithm, x, t, m)
+    return [_priced(instance, algorithm, x)
+            for algorithm, x in zip(algorithms, xs)]

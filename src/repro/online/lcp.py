@@ -87,6 +87,9 @@ class LCP(OnlineAlgorithm):
     """
 
     fractional = False
+    #: the step decision factors through ``(x^L, x^U)``, so a grid can
+    #: replay many LCP-family jobs from one shared work-function sweep
+    consumes_bounds = True
 
     def __init__(self, lookahead: int = 0, *, record_bounds: bool = False):
         if lookahead < 0:
@@ -107,6 +110,10 @@ class LCP(OnlineAlgorithm):
             lo, hi = lookahead_bounds(self._wf, future)
         else:
             lo, hi = self._wf.bounds()
+        return self.step_bounds(lo, hi)
+
+    def step_bounds(self, lo: int, hi: int) -> int:
+        """Eq. (13) from precomputed bounds (the shared-replay entry)."""
         if self._record:
             self.bounds_log.append((lo, hi))
         x = max(lo, min(hi, self.state))
@@ -126,6 +133,7 @@ class EagerLCP(OnlineAlgorithm):
 
     fractional = False
     name = "eager-lcp"
+    consumes_bounds = True
 
     def reset(self, m: int, beta: float) -> None:
         self._wf = WorkFunctions(m, beta)
@@ -133,7 +141,9 @@ class EagerLCP(OnlineAlgorithm):
 
     def step(self, f_row: np.ndarray, future: np.ndarray | None = None) -> int:
         self._wf.update(f_row)
-        lo, hi = self._wf.bounds()
+        return self.step_bounds(*self._wf.bounds())
+
+    def step_bounds(self, lo: int, hi: int) -> int:
         x = lo if abs(lo - self.state) <= abs(hi - self.state) else hi
         self._set_state(x)
         return x

@@ -33,11 +33,16 @@ __all__ = ["WorkFunctions", "update_CL", "update_CU"]
 
 
 def update_CL(prev: np.ndarray | None, f_row: np.ndarray,
-              beta: float) -> np.ndarray:
+              beta: float, states: np.ndarray | None = None) -> np.ndarray:
     """One step of the ``hat-C^L`` recurrence (``prev=None`` for tau=1,
-    where ``hat-C^L_1(x) = f_1(x) + beta x`` since ``x_0 = 0``)."""
-    width = f_row.shape[0]
-    states = np.arange(width, dtype=np.float64)
+    where ``hat-C^L_1(x) = f_1(x) + beta x`` since ``x_0 = 0``).
+
+    ``states`` is the tabulation grid ``0..m``; callers in the hot
+    replay loop (:class:`WorkFunctions`) pass their cached grid so the
+    per-step update allocates no index vector.
+    """
+    if states is None:
+        states = np.arange(f_row.shape[0], dtype=np.float64)
     if prev is None:
         return f_row + beta * states
     up = beta * states + prefix_min(prev - beta * states)
@@ -46,11 +51,11 @@ def update_CL(prev: np.ndarray | None, f_row: np.ndarray,
 
 
 def update_CU(prev: np.ndarray | None, f_row: np.ndarray,
-              beta: float) -> np.ndarray:
+              beta: float, states: np.ndarray | None = None) -> np.ndarray:
     """One step of the ``hat-C^U`` recurrence (``prev=None`` for tau=1,
     where ``hat-C^U_1(x) = f_1(x)``: powering up is free under U)."""
-    width = f_row.shape[0]
-    states = np.arange(width, dtype=np.float64)
+    if states is None:
+        states = np.arange(f_row.shape[0], dtype=np.float64)
     if prev is None:
         return f_row.astype(np.float64, copy=True)
     stay = prefix_min(prev)
@@ -89,9 +94,9 @@ class WorkFunctions:
         if f_row.shape != (self.m + 1,):
             raise ValueError(
                 f"cost row must have shape ({self.m + 1},), got {f_row.shape}")
-        self._CL = update_CL(self._CL, f_row, self.beta)
+        self._CL = update_CL(self._CL, f_row, self.beta, self._states)
         if self._track_U:
-            self._CU = update_CU(self._CU, f_row, self.beta)
+            self._CU = update_CU(self._CU, f_row, self.beta, self._states)
         self.tau += 1
 
     # ------------------------------------------------------------------

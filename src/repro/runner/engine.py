@@ -1,13 +1,13 @@
-"""Zero-rebuild streaming batch engine for experiment grids.
+"""Zero-rebuild pipelined batch engine for experiment grids.
 
 A :class:`GridSpec` names the cartesian product of
 (scenario x algorithm x seed x horizon x params); the engine *streams*
 it: job coordinates are generated lazily, submitted in bounded batches
 (``batch_size``), and finished rows flow — in job order — into a
 pluggable result sink (:mod:`repro.runner.sinks`), so a million-job
-grid holds O(batch) pending records in the parent instead of the whole
-table.  Each batch runs through three phases — in-process or on a
-persistent process pool with chunking:
+grid holds O(``pipeline_depth`` x batch) pending records in the parent
+instead of the whole table.  Each batch runs through three phases —
+in-process or on a persistent process pool with fused chunking:
 
 * **Phase 0 — materialization.**  With a ``store_dir``, each distinct
   ``(scenario, pipeline, T, inst_seed)`` instance is built exactly once
@@ -20,11 +20,25 @@ persistent process pool with chunking:
   solved exactly once, however many algorithms the grid runs on it.
   Optima are persisted when a cache directory is given, so a grid with
   ``A`` algorithms pays roughly ``1/A`` of the naive per-job cost.
-* **Phase 2 — algorithms.**  Algorithm jobs fan out over
-  :func:`parallel_map`, each reusing its instance's hoisted optimum;
-  the batch's rows are flushed to the sink (and the per-job cache)
-  before the next batch is generated — so a killed grid resumes from
-  the cache paying only the jobs it never finished.
+* **Phase 2 — algorithms.**  Algorithm jobs fan out in *fused chunks*
+  (``chunk_jobs`` jobs per worker round-trip, amortizing pickle/IPC),
+  each reusing its instance's hoisted optimum; jobs of one instance
+  whose algorithms consume work-function bounds (the LCP family) are
+  replayed together from one shared ``O(T m)`` sweep
+  (:func:`repro.online.base.run_online_many`).  A batch's rows are
+  flushed to the sink — in job order — as soon as the batch completes
+  *and* every earlier batch has flushed, and each job's row is written
+  to the per-job cache the moment its chunk finishes — so a killed grid
+  resumes from the cache paying only the jobs it never finished.
+
+Batches themselves are *pipelined* on the persistent pool: up to
+``pipeline_depth`` batches are in flight at once, so while batch N's
+phase-2 chunks run, the parent is already generating batch N+1 and
+submitting its phase-0 materializations and phase-1 solves — workers
+never idle waiting for the parent to build the next batch.  The
+``overlapped_batches`` and ``inflight_max`` stats counters prove the
+overlap (both stay at 0/1 on the in-process path, where each batch
+completes synchronously).
 
 Three properties make this the substrate for every large experiment:
 
@@ -38,13 +52,15 @@ Three properties make this the substrate for every large experiment:
   backend): one record per job key, plus one per instance optimum.
   Overlapping grids share work, and extending a grid by one seed
   executes only the new seed's jobs.
-* **Pool reuse** — :func:`parallel_map` keeps one module-level
+* **Pool reuse** — the engine keeps one module-level
   ``ProcessPoolExecutor`` alive across phases, grids and callers
-  (``analysis/sweep``, ``repro lowerbound``), so the many small grids
-  the benches run don't pay a pool fork each; :func:`shutdown_pool`
-  tears it down explicitly (and at interpreter exit).  Jobs are handed
-  to workers in contiguous chunks to amortize IPC, while row order
-  always matches job order.
+  (``analysis/sweep``, ``repro lowerbound``, :func:`parallel_map`), so
+  the many small grids the benches run don't pay a pool fork each;
+  :func:`shutdown_pool` tears it down explicitly (and at interpreter
+  exit), cancelling queued-but-unstarted tasks so an interrupted
+  pipeline never leaks orphaned work.  Jobs are handed to workers in
+  contiguous chunks to amortize IPC, while row order always matches
+  job order.
 
 Algorithms are resolved through :mod:`repro.runner.registry`; the
 registry entry's ``pipeline`` selects the instance representation, so
@@ -65,7 +81,8 @@ import itertools
 import json
 import multiprocessing
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (FIRST_COMPLETED, Future,
+                                ProcessPoolExecutor, wait)
 
 from . import instancestore
 from .instancestore import InstanceStore, get_instance
@@ -84,7 +101,10 @@ __all__ = [
 ]
 
 #: bump when row contents / seeding change, to invalidate stale caches
-ENGINE_VERSION = 3
+ENGINE_VERSION = 4
+
+#: how many batches the pipelined core keeps in flight at once
+DEFAULT_PIPELINE_DEPTH = 2
 
 _JOB_FIELDS = ("scenario", "algorithm", "T", "inst_seed", "seed",
                "lookahead", "params")
@@ -242,12 +262,34 @@ def _solve_instance(task: tuple) -> dict:
 
 
 def _base_row(job: tuple, spec, inst_record: dict) -> dict:
-    """The row columns shared by every pipeline."""
-    scenario, algorithm, T, _inst_seed, seed, _lookahead, _params = job
-    return {
+    """The row columns shared by every pipeline.
+
+    The job's ``params``-axis entries ride along as columns (core
+    columns win name collisions, e.g. a ``beta`` override is reported
+    as the instance's realized ``beta``), so :func:`aggregate_rows` can
+    group on any swept parameter — the E11-style per-beta tables come
+    straight out of one grid.
+    """
+    scenario, algorithm, T, _inst_seed, seed, _lookahead, params = job
+    row = {
         "scenario": scenario, "algorithm": algorithm,
         "pipeline": spec.pipeline, "T": T,
         "m": inst_record["m"], "beta": inst_record["beta"], "seed": seed,
+    }
+    if params != "{}":
+        for key, value in json.loads(params).items():
+            row.setdefault(key, value)
+    return row
+
+
+def _online_row(job: tuple, spec, inst_record: dict, cost: float) -> dict:
+    """Assemble one online job's result row (shared by the per-job and
+    the shared-replay paths, so both produce byte-identical rows)."""
+    opt = inst_record["opt"]
+    return {
+        **_base_row(job, spec, inst_record),
+        "cost": float(cost), "opt": float(opt),
+        "ratio": float(cost / opt) if opt > 0 else float("inf"),
     }
 
 
@@ -289,9 +331,10 @@ def _run_job(task: tuple) -> dict:
         cost, opt = spec.make()(inst)[2], inst_record["opt"]
     elif spec.kind == "online":
         from ..online.base import run_online
-        cost = run_online(inst, spec.make(lookahead=lookahead,
-                                          seed=_job_seed(job))).cost
-        opt = inst_record["opt"]
+        return _online_row(job, spec, inst_record,
+                           run_online(inst, spec.make(
+                               lookahead=lookahead,
+                               seed=_job_seed(job))).cost)
     else:
         cost, opt = spec.make()(inst).cost, inst_record["opt"]
     return {
@@ -300,6 +343,93 @@ def _run_job(task: tuple) -> dict:
         "ratio": float(cost / opt) if opt > 0 else float("inf"),
         **extras,
     }
+
+
+# ----------------------------------------------------------------------
+# Fused multi-job tasks: one worker round-trip executes a whole chunk,
+# amortizing pickle/IPC, and co-scheduled LCP-family jobs on the same
+# instance share a single work-function sweep.
+# ----------------------------------------------------------------------
+
+
+def _solve_chunk(task: tuple) -> list[dict]:
+    """Fused phase-1 job: solve several instances' optima in one
+    round-trip (each through :func:`_solve_instance`, so per-item
+    behavior — and test monkeypatching — is unchanged)."""
+    coords_list, store_root = task
+    return [_solve_instance((coords, store_root)) for coords in coords_list]
+
+
+def _sharing_coords(job: tuple):
+    """The instance coordinates a job can share a work-function sweep
+    on, or ``None`` when its algorithm keeps per-job state."""
+    from .registry import get_spec
+    spec = get_spec(job[1])
+    if (spec.kind == "online" and spec.pipeline == "general"
+            and spec.shares_workfunction):
+        return _instance_coords(job)
+    return None
+
+
+def _run_shared(tasks: list[tuple]) -> list[dict]:
+    """Replay several LCP-family jobs on one instance from a single
+    shared ``O(T m)`` work-function sweep — bit-identical to running
+    each through :func:`_run_job` (asserted by the test suite)."""
+    from .registry import get_spec
+    from ..online.base import run_online_many
+    job0, _rec0, store_root = tasks[0]
+    inst = get_instance(_instance_coords(job0), store_root)
+    algorithms = [get_spec(job[1]).make(lookahead=job[5],
+                                        seed=_job_seed(job))
+                  for job, _rec, _root in tasks]
+    results = run_online_many(inst, algorithms)
+    return [_online_row(job, get_spec(job[1]), rec, res.cost)
+            for (job, rec, _root), res in zip(tasks, results)]
+
+
+def _run_chunk(tasks: list[tuple]) -> list[dict]:
+    """Fused phase-2 job: run a contiguous slice of a batch's pending
+    jobs in one worker round-trip.  Within the chunk, jobs of one
+    instance whose algorithms consume work-function bounds are grouped
+    (in job order) and replayed through :func:`_run_shared`; everything
+    else goes through :func:`_run_job` unchanged."""
+    rows: list = [None] * len(tasks)
+    groups: dict[tuple, list[int]] = {}
+    for idx, (job, _rec, _root) in enumerate(tasks):
+        coords = _sharing_coords(job)
+        if coords is not None:
+            groups.setdefault(coords, []).append(idx)
+    for idxs in groups.values():
+        if len(idxs) < 2:
+            continue  # nothing to share; take the ordinary path
+        for idx, row in zip(idxs,
+                            _run_shared([tasks[i] for i in idxs])):
+            rows[idx] = row
+    for idx, task in enumerate(tasks):
+        if rows[idx] is None:
+            rows[idx] = _run_job(task)
+    return rows
+
+
+def _chunk_list(items, n_jobs: int, chunk_jobs: int | None) -> list[list]:
+    """Split ``items`` into contiguous chunks for fused dispatch.
+
+    ``chunk_jobs=None`` auto-sizes: in-process everything fuses into
+    one chunk (maximal sharing, no IPC to amortize anyway); on the pool
+    roughly two chunks per worker balance round-trip amortization
+    against load balancing.  ``chunk_jobs=1`` disables fusion (the
+    pre-pipeline per-job dispatch).
+    """
+    items = list(items)
+    if not items:
+        return []
+    if chunk_jobs is not None:
+        size = max(1, int(chunk_jobs))
+    elif n_jobs <= 1:
+        size = len(items)
+    else:
+        size = max(1, -(-len(items) // (2 * n_jobs)))
+    return [items[i:i + size] for i in range(0, len(items), size)]
 
 
 # ----------------------------------------------------------------------
@@ -314,7 +444,7 @@ def _get_pool(n_jobs: int) -> ProcessPoolExecutor:
     """The module-level executor, grown (never shrunk) to ``n_jobs``."""
     global _POOL, _POOL_WORKERS
     if _POOL is not None and _POOL_WORKERS < n_jobs:
-        _POOL.shutdown(wait=True)
+        _POOL.shutdown(wait=True, cancel_futures=True)
         _POOL = None
     if _POOL is None:
         methods = multiprocessing.get_all_start_methods()
@@ -327,12 +457,30 @@ def _get_pool(n_jobs: int) -> ProcessPoolExecutor:
 
 def shutdown_pool() -> None:
     """Tear down the persistent worker pool (idempotent; also runs at
-    interpreter exit).  The next parallel call starts a fresh pool."""
+    interpreter exit).  The next parallel call starts a fresh pool.
+
+    In-flight pipelined futures are drained cleanly: queued-but-
+    unstarted tasks are cancelled (``cancel_futures=True``) and running
+    ones are awaited, so a Ctrl-C mid-pipeline never leaves orphaned
+    tasks executing against a torn-down parent.
+    """
     global _POOL, _POOL_WORKERS
     if _POOL is not None:
-        _POOL.shutdown(wait=True)
+        _POOL.shutdown(wait=True, cancel_futures=True)
         _POOL = None
         _POOL_WORKERS = 0
+
+
+def _submit_task(fn, arg, n_jobs: int) -> Future:
+    """Run ``fn(arg)`` — inline (returning an already-completed future)
+    for ``n_jobs <= 1``, else on the persistent pool.  The inline path
+    raises synchronously, like the historical serial engine, and keeps
+    module-level ``fn`` internals monkeypatchable by tests."""
+    if n_jobs <= 1:
+        future: Future = Future()
+        future.set_result(fn(arg))
+        return future
+    return _get_pool(n_jobs).submit(fn, arg)
 
 
 atexit.register(shutdown_pool)
@@ -381,14 +529,24 @@ def _validate_pipelines(spec: GridSpec) -> None:
 
 
 def _batches(iterable, size: int | None):
-    """Yield lists of up to ``size`` items (everything when ``None``)."""
+    """Iterate lists of up to ``size`` items (everything when ``None``).
+
+    ``size`` is validated *eagerly*, before the first item of
+    ``iterable`` is consumed — a bad ``batch_size`` surfaces at the
+    call site (before any sink is opened or job generated), not at the
+    first ``next()`` of a lazily-evaluated generator.
+    """
+    if size is not None and size < 1:
+        raise ValueError("batch_size must be positive")
+    return _iter_batches(iterable, size)
+
+
+def _iter_batches(iterable, size: int | None):
     if size is None:
         batch = list(iterable)
         if batch:
             yield batch
         return
-    if size < 1:
-        raise ValueError("batch_size must be positive")
     it = iter(iterable)
     while True:
         batch = list(itertools.islice(it, size))
@@ -427,11 +585,80 @@ class _RecordWindow:
             self._data.popitem(last=False)
 
 
+class _Promise:
+    """One instance's offline optimum, somewhere between *planned* and
+    *solved*.  The owning batch fills in ``(future, pos)`` when it
+    submits its phase-1 chunk and ``record`` at harvest; a later batch
+    that needs the same instance (job order keeps them adjacent, so
+    only batch boundaries overlap) borrows the promise instead of
+    re-submitting the solve."""
+
+    __slots__ = ("future", "pos", "record")
+
+    def __init__(self):
+        self.future: Future | None = None
+        self.pos: int | None = None
+        self.record: dict | None = None
+
+    def ready(self) -> bool:
+        return self.record is not None or (
+            self.future is not None and self.future.done())
+
+    def result(self) -> dict:
+        if self.record is None:
+            self.record = self.future.result()[self.pos]
+        return self.record
+
+
+#: batch pipeline stages, in order
+_MAT, _SOLVE, _RUN, _DONE = range(4)
+
+
+class _BatchState:
+    """One in-flight batch's progress through the three phases."""
+
+    __slots__ = ("batch", "rows", "pending", "stage", "mat_futures",
+                 "mat_borrowed", "to_solve", "own_promises", "borrowed",
+                 "records", "run_futures")
+
+    def __init__(self, batch: list):
+        self.batch = batch
+        self.rows: list = [None] * len(batch)
+        self.pending: list[tuple[int, tuple, str]] = []
+        self.stage = _MAT
+        self.mat_futures: list[tuple[list, Future]] = []
+        self.mat_borrowed: list[Future] = []
+        self.to_solve: list[tuple] = []
+        self.own_promises: dict[tuple, _Promise] = {}
+        self.borrowed: dict[tuple, _Promise] = {}
+        self.records: dict[tuple, dict] = {}
+        self.run_futures: list[tuple[list, Future]] = []
+
+    def unfinished_futures(self) -> list[Future]:
+        """Futures the scheduler may need to block on."""
+        futures = [f for _c, f in self.mat_futures if not f.done()]
+        futures += [f for f in self.mat_borrowed if not f.done()]
+        futures += [p.future for p in self.own_promises.values()
+                    if p.future is not None and not p.future.done()]
+        futures += [f for _chunk, f in self.run_futures if not f.done()]
+        return futures
+
+    def all_futures(self) -> list[Future]:
+        futures = [f for _c, f in self.mat_futures]
+        futures += [p.future for p in self.own_promises.values()
+                    if p.future is not None]
+        futures += [f for _chunk, f in self.run_futures]
+        return futures
+
+
 def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
              store_dir=None, force: bool = False,
              stats: dict | None = None, sink: ResultSink | None = None,
-             batch_size: int | None = None):
-    """Stream every job of a grid through the three-phase engine.
+             batch_size: int | None = None,
+             pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+             chunk_jobs: int | None = None):
+    """Stream every job of a grid through the pipelined three-phase
+    engine.
 
     Jobs are generated lazily and executed in bounded batches of
     ``batch_size`` (``None`` = one batch); each batch's finished rows
@@ -439,112 +666,299 @@ def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
     (:mod:`repro.runner.sinks`).  With the default ``sink=None`` an
     in-memory :class:`~repro.runner.sinks.ListSink` collects the rows
     and ``run_grid`` returns the historical ``list[dict]``; with a
-    file-backed sink the parent holds at most O(batch_size) pending
-    rows (the ``max_pending`` stat reports the observed peak) and
-    ``run_grid`` returns ``sink.result()``.
+    file-backed sink the parent holds at most
+    O(``pipeline_depth`` x ``batch_size``) pending rows (the
+    ``max_pending`` stat reports the observed peak) and ``run_grid``
+    returns ``sink.result()``.
+
+    With ``n_jobs > 1`` batches are *double-buffered* on the persistent
+    pool: up to ``pipeline_depth`` batches are in flight, so batch
+    N+1's phase-0 materializations and phase-1 solves are submitted
+    while batch N's phase-2 chunks still run — the pool stays saturated
+    end to end instead of idling at three serial barriers per batch.
+    Phase dispatch is *fused*: ``chunk_jobs`` jobs ride one worker
+    round-trip (``None`` auto-sizes, ``1`` disables fusion), and
+    LCP-family jobs sharing an instance are replayed from one shared
+    work-function sweep.  Rows are bit-identical for every
+    ``(n_jobs, batch_size, pipeline_depth, chunk_jobs)`` combination.
 
     With ``cache_dir``, each job's row (and each instance's optimum) is
     read from the per-job content-addressed cache when present (unless
-    ``force``) and written back as its batch completes — so re-running
-    any overlapping grid only executes the jobs it has not seen before,
-    and a grid killed mid-run resumes paying only the unfinished jobs.
-    ``cache_dir`` may also be a ready-made :class:`JobCache` (e.g. one
-    opened on the SQLite backend).  With ``store_dir``, phase 0
-    materializes each distinct pending instance into the shared
-    :class:`~repro.runner.instancestore.InstanceStore` exactly once;
-    phases 1 and 2 then mmap the payloads instead of rebuilding.
+    ``force``) and written back the moment its chunk completes — so
+    re-running any overlapping grid only executes the jobs it has not
+    seen before, and a grid killed mid-run resumes paying only the
+    unfinished jobs.  ``cache_dir`` may also be a ready-made
+    :class:`JobCache` (e.g. one opened on the SQLite backend).  With
+    ``store_dir``, phase 0 materializes each distinct pending instance
+    into the shared :class:`~repro.runner.instancestore.InstanceStore`
+    exactly once; phases 1 and 2 then mmap the payloads instead of
+    rebuilding.
 
     Pass a dict as ``stats`` to receive counters: ``job_hits``,
     ``job_misses``, ``opt_hits``, ``opt_solved``, ``batches``,
     ``max_pending`` (peak result rows held in the parent at once —
-    bounded by ``batch_size``), ``rows_written``,
-    ``inst_materialized`` (instances newly written to the store this
-    call, wherever the build ran), plus this process's
-    instance-resolution deltas ``inst_builds`` (scenario builds — with a
-    store, at most one per distinct instance end-to-end), ``inst_loads``
-    (store mmap loads) and ``inst_memo_hits``.
+    bounded by ``pipeline_depth x batch_size``), ``rows_written``,
+    ``overlapped_batches`` (batches admitted while an earlier batch
+    still had unfinished worker tasks — 0 on the serial path, > 0
+    proves pipeline overlap), ``inflight_max`` (peak simultaneously
+    admitted batches), ``inst_materialized`` (instances newly written
+    to the store this call, wherever the build ran), plus this
+    process's instance-resolution deltas ``inst_builds`` (scenario
+    builds — with a store, at most one per distinct instance
+    end-to-end), ``inst_loads`` (store mmap loads) and
+    ``inst_memo_hits``.
     """
     cache = (cache_dir if isinstance(cache_dir, JobCache)
              else JobCache(cache_dir) if cache_dir is not None else None)
     store_root = None if store_dir is None else str(store_dir)
     _validate_pipelines(spec)
+    if pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be >= 1")
+    batches_iter = _batches(spec.iter_jobs(), batch_size)
     counters = {"job_hits": 0, "job_misses": 0, "opt_hits": 0,
                 "opt_solved": 0, "inst_materialized": 0, "batches": 0,
-                "max_pending": 0, "rows_written": 0}
+                "max_pending": 0, "rows_written": 0,
+                "overlapped_batches": 0, "inflight_max": 0}
     inst_stats_before = instancestore.build_stats()
     sink = ListSink() if sink is None else sink
-    records = _RecordWindow()
+    sink_ok = [True]   # False once the sink itself refused a write
+    window = _RecordWindow()
+    promises: dict[tuple, _Promise] = {}
+    materializing: dict[tuple, Future] = {}
+    inflight: collections.deque[_BatchState] = collections.deque()
     from .scenarios import get_scenario
     storable = {name: get_scenario(name).storable
                 for name in spec.scenarios}
-    sink.open(spec.to_dict())
-    try:
-        for batch in _batches(spec.iter_jobs(), batch_size):
-            counters["batches"] += 1
-            rows: list = [None] * len(batch)
-            pending: list[tuple[int, tuple, str]] = []
-            for i, job in enumerate(batch):
-                key = job_key(job)
-                row = (cache.get("jobs", key)
-                       if cache is not None and not force else None)
-                if row is not None:
-                    rows[i] = row
-                    counters["job_hits"] += 1
-                else:
-                    pending.append((i, job, key))
-            counters["job_misses"] += len(pending)
-            counters["max_pending"] = max(counters["max_pending"],
-                                          len(batch))
-            if pending:
-                need = dict.fromkeys(_instance_coords(job)
-                                     for _, job, _ in pending)
-                records.fit(len(need))
-                # Phase 0: materialize each distinct pending instance
-                # once (scenarios with dense payloads only).
-                if store_root is not None:
-                    store = InstanceStore(store_root)
-                    missing = [c for c in need
-                               if storable[c[0]] and not store.has(c)]
-                    built = parallel_map(instancestore._materialize_job,
-                                         [(c, store_root) for c in missing],
-                                         n_jobs=n_jobs)
-                    # a concurrent grid may have materialized some first
-                    counters["inst_materialized"] += sum(map(bool, built))
-                # Phase 1: solve each distinct pending instance's
-                # optimum once (window + cache make it once per grid).
-                unsolved = []
-                for coords in need:
-                    if records.get(coords) is not None:
-                        continue
-                    rec = (cache.get("instances", instance_key(coords))
-                           if cache is not None and not force else None)
-                    if rec is not None:
-                        records.put(coords, rec)
-                        counters["opt_hits"] += 1
-                    else:
-                        unsolved.append(coords)
-                for coords, rec in zip(
-                        unsolved,
-                        parallel_map(_solve_instance,
-                                     [(c, store_root) for c in unsolved],
-                                     n_jobs=n_jobs)):
-                    records.put(coords, rec)
-                    counters["opt_solved"] += 1
-                    if cache is not None:
-                        cache.put("instances", instance_key(coords), rec)
-                # Phase 2: fan the batch's algorithm jobs out.
-                tasks = [(job, records.get(_instance_coords(job)),
-                          store_root) for _, job, _ in pending]
-                for (i, _job, key), row in zip(
-                        pending, parallel_map(_run_job, tasks,
-                                              n_jobs=n_jobs)):
-                    rows[i] = row
+
+    def plan(batch: list) -> _BatchState:
+        """Admit one batch: cache lookups, then submit phase 0 (and,
+        via :func:`advance`, everything that is already unblocked)."""
+        counters["batches"] += 1
+        st = _BatchState(batch)
+        for i, job in enumerate(batch):
+            key = job_key(job)
+            row = (cache.get("jobs", key)
+                   if cache is not None and not force else None)
+            if row is not None:
+                st.rows[i] = row
+                counters["job_hits"] += 1
+            else:
+                st.pending.append((i, job, key))
+        counters["job_misses"] += len(st.pending)
+        if not st.pending:
+            st.stage = _DONE
+            return st
+        need = dict.fromkeys(_instance_coords(job)
+                             for _, job, _ in st.pending)
+        window.fit(len(need) * pipeline_depth)
+        for coords in need:
+            promise = promises.get(coords)
+            if promise is not None:   # an earlier batch is solving it
+                st.borrowed[coords] = promise
+                continue
+            rec = window.get(coords)
+            if rec is None and cache is not None and not force:
+                rec = cache.get("instances", instance_key(coords))
+                if rec is not None:
+                    window.put(coords, rec)
+                    counters["opt_hits"] += 1
+            if rec is not None:
+                st.records[coords] = rec
+            else:
+                st.to_solve.append(coords)
+                promises[coords] = st.own_promises[coords] = _Promise()
+        # Phase 0: materialize each distinct pending instance once
+        # (scenarios with dense payloads only).  Borrowed instances are
+        # the previous batch's responsibility, and a materialization an
+        # earlier in-flight batch already submitted is *waited on*, not
+        # re-submitted — overlap must not duplicate instance builds.
+        if store_root is not None:
+            store = InstanceStore(store_root)
+            missing = []
+            for coords in need:
+                if coords in st.borrowed or not storable[coords[0]]:
+                    continue
+                shared = materializing.get(coords)
+                if shared is not None:
+                    st.mat_borrowed.append(shared)
+                elif not store.has(coords):
+                    missing.append(coords)
+            for chunk in _chunk_list(missing, n_jobs, chunk_jobs):
+                future = _submit_task(instancestore._materialize_chunk,
+                                      (chunk, store_root), n_jobs)
+                st.mat_futures.append((chunk, future))
+                for coords in chunk:
+                    materializing[coords] = future
+        return st
+
+    def submit_solves(st: _BatchState) -> None:
+        for chunk in _chunk_list(st.to_solve, n_jobs, chunk_jobs):
+            future = _submit_task(_solve_chunk, (chunk, store_root),
+                                  n_jobs)
+            for pos, coords in enumerate(chunk):
+                promise = st.own_promises[coords]
+                promise.future, promise.pos = future, pos
+
+    def submit_runs(st: _BatchState) -> None:
+        for chunk in _chunk_list(st.pending, n_jobs, chunk_jobs):
+            tasks = [(job, st.records[_instance_coords(job)], store_root)
+                     for _i, job, _key in chunk]
+            st.run_futures.append(
+                (chunk, _submit_task(_run_chunk, tasks, n_jobs)))
+
+    def advance(st: _BatchState) -> bool:
+        """Move one batch through its stage machine; True on progress."""
+        progressed = False
+        if st.stage == _MAT and all(
+                f.done() for _c, f in st.mat_futures) and all(
+                f.done() for f in st.mat_borrowed):
+            for chunk_coords, future in st.mat_futures:
+                counters["inst_materialized"] += sum(
+                    map(bool, future.result()))
+                for coords in chunk_coords:
+                    materializing.pop(coords, None)
+            st.mat_futures = []
+            st.mat_borrowed = []
+            submit_solves(st)
+            st.stage = _SOLVE
+            progressed = True
+        if st.stage == _SOLVE:
+            for coords, promise in st.own_promises.items():
+                # harvest is keyed on THIS batch's bookkeeping, not on
+                # promise.record: a borrowing batch may have resolved
+                # the promise first, and that must not skip the owner's
+                # window/cache writes and opt_solved count
+                if coords in st.records or not promise.ready():
+                    continue
+                rec = promise.result()
+                st.records[coords] = rec
+                window.put(coords, rec)
+                counters["opt_solved"] += 1
+                if cache is not None:
+                    cache.put("instances", instance_key(coords), rec)
+                promises.pop(coords, None)
+                progressed = True
+            if (all(coords in st.records
+                    for coords in st.own_promises)
+                    and all(p.ready() for p in st.borrowed.values())):
+                for coords, promise in st.borrowed.items():
+                    st.records[coords] = promise.result()
+                submit_runs(st)
+                st.stage = _RUN
+                progressed = True
+        if st.stage == _RUN:
+            remaining = []
+            for chunk, future in st.run_futures:
+                if not future.done():
+                    remaining.append((chunk, future))
+                    continue
+                for (i, _job, key), row in zip(chunk, future.result()):
+                    st.rows[i] = row
                     if cache is not None:
                         cache.put("jobs", key, row)
-            for row in rows:
-                sink.write(row)
-                counters["rows_written"] += 1
+                progressed = True
+            st.run_futures = remaining
+            if not remaining:
+                st.stage = _DONE
+                progressed = True
+        return progressed
+
+    def pump() -> bool:
+        """Advance every in-flight batch; flush completed heads in
+        admission order (the sink sees rows in job order)."""
+        progressed = False
+        for st in list(inflight):
+            while advance(st):
+                progressed = True
+        while inflight and inflight[0].stage == _DONE:
+            st = inflight.popleft()
+            try:
+                sink.write_many(st.rows)
+            except BaseException:
+                # a sink that refuses rows must stop ALL flushing —
+                # the abort drain must not write later batches after a
+                # torn one (kill+resume relies on a clean row prefix)
+                sink_ok[0] = False
+                raise
+            counters["rows_written"] += len(st.rows)
+            progressed = True
+        return progressed
+
+    def drain() -> None:
+        """Abort path: cancel outstanding work, persist what finished.
+
+        Completed-but-unharvested chunk rows are written to the job
+        cache, and fully completed head batches are still flushed to
+        the sink in order (the serial engine always flushed batch N-1
+        before starting batch N; pipelining must not lose that) —
+        unless the abort came from the sink itself.
+        """
+        for st in inflight:
+            for future in st.all_futures():
+                future.cancel()
+        for st in inflight:   # best-effort: completed chunks still count
+            remaining = []
+            for chunk, future in st.run_futures:
+                if not (future.done() and not future.cancelled()):
+                    remaining.append((chunk, future))
+                    continue
+                try:
+                    harvested = future.result()
+                except Exception:
+                    remaining.append((chunk, future))
+                    continue
+                for (i, _job, key), row in zip(chunk, harvested):
+                    st.rows[i] = row
+                    if cache is not None:
+                        try:
+                            cache.put("jobs", key, row)
+                        except Exception:
+                            pass
+            st.run_futures = remaining
+        while (sink_ok[0] and inflight
+               and all(r is not None for r in inflight[0].rows)):
+            st = inflight.popleft()
+            try:
+                sink.write_many(st.rows)
+            except BaseException:
+                break
+            counters["rows_written"] += len(st.rows)
+
+    sink.open(spec.to_dict())
+    exhausted = False
+    try:
+        while True:
+            while not exhausted and len(inflight) < pipeline_depth:
+                batch = next(batches_iter, None)
+                if batch is None:
+                    exhausted = True
+                    break
+                if any(b.unfinished_futures() for b in inflight):
+                    counters["overlapped_batches"] += 1
+                inflight.append(plan(batch))
+                counters["inflight_max"] = max(counters["inflight_max"],
+                                               len(inflight))
+                counters["max_pending"] = max(
+                    counters["max_pending"],
+                    sum(len(b.batch) for b in inflight))
+                pump()
+            if not inflight:
+                if exhausted:
+                    break
+                continue
+            if not pump():
+                futures = [f for st in inflight
+                           for f in st.unfinished_futures()]
+                if not futures:  # pragma: no cover - defensive
+                    raise RuntimeError("pipeline stalled without "
+                                       "outstanding work")
+                wait(futures, return_when=FIRST_COMPLETED)
+    except BaseException:
+        drain()
+        raise
     finally:
+        promises.clear()
+        materializing.clear()
         sink.close()
     if stats is not None:
         inst_stats = instancestore.build_stats()
@@ -562,11 +976,19 @@ def aggregate_rows(rows, by=("scenario", "algorithm", "T")) -> list[dict]:
     ``mean_cost``.  ``T`` is a default key so multi-size grids never
     average costs across horizons; when every row shares one horizon
     the column is constant and harmless.
+
+    ``by`` is *param-aware*: any row column works, including the
+    ``params``-axis columns the engine merges into each row (``beta``,
+    ``eps``, ...), so ``by=("scenario", "algorithm", "T", "beta")``
+    emits the E11-style per-beta tables from one grid (the CLI exposes
+    this as ``--group-by``).  A key missing from a row groups under
+    ``None`` rather than failing, so heterogeneous tables (e.g. game
+    rows next to general rows) still aggregate.
     """
     by = tuple(by)
     groups: dict[tuple, list[dict]] = {}
     for row in rows:
-        groups.setdefault(tuple(row[k] for k in by), []).append(row)
+        groups.setdefault(tuple(row.get(k) for k in by), []).append(row)
     out = []
     for key, members in groups.items():
         ratios = [r["ratio"] for r in members]

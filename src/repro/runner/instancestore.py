@@ -246,6 +246,15 @@ def _materialize_job(task: tuple) -> bool:
     return InstanceStore(root).materialize(coords)
 
 
+def _materialize_chunk(task: tuple) -> list[bool]:
+    """Fused phase-0 job: materialize several instances in one worker
+    round-trip, reusing one :class:`InstanceStore` handle (the engine's
+    chunked dispatch amortizes pickle/IPC across the chunk)."""
+    coords_list, root = task
+    store = InstanceStore(root)
+    return [store.materialize(coords) for coords in coords_list]
+
+
 # ----------------------------------------------------------------------
 # Per-process memo: each process builds/loads any instance at most once.
 # ----------------------------------------------------------------------

@@ -201,9 +201,18 @@ class _SqliteBackend:
         ``cache.db`` as a side effect."""
         # one connection per process: connections must not cross a fork
         if self._conn is None or self._pid != os.getpid():
-            if not create and not self.db_path.exists():
+            fresh = not self.db_path.exists()
+            if not create and fresh:
                 return None
             conn = connect_wal(self.db_path)
+            if fresh:
+                # new caches keep a free-page map so pruning can
+                # reclaim space with PRAGMA incremental_vacuum instead
+                # of a full table-rewriting VACUUM per eviction round;
+                # the mode only takes hold through a VACUUM, which is
+                # free here — the database is still empty
+                conn.execute("PRAGMA auto_vacuum=INCREMENTAL")
+                conn.execute("VACUUM")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS records ("
                 " kind TEXT NOT NULL, key TEXT NOT NULL,"
@@ -309,18 +318,31 @@ class _SqliteBackend:
             except ValueError:
                 continue
 
+    _VACUUM_MODES = {0: "none", 1: "full", 2: "incremental"}
+
+    def _auto_vacuum(self, conn: sqlite3.Connection) -> int:
+        """The database's ``auto_vacuum`` mode (0 on older caches)."""
+        try:
+            return int(conn.execute("PRAGMA auto_vacuum").fetchone()[0])
+        except sqlite3.Error:
+            return 0
+
     def stats(self) -> dict:
         entries: dict[str, int] = {}
+        vacuum = "none"
         try:
             conn = self._connection(create=False)
             if conn is not None:
                 for kind, n in conn.execute(
                         "SELECT kind, COUNT(*) FROM records GROUP BY kind"):
                     entries[kind] = n
+                vacuum = self._VACUUM_MODES.get(self._auto_vacuum(conn),
+                                                "none")
         except sqlite3.Error:
             self._discard()
         return {"backend": self.name, "entries": entries,
-                "total": sum(entries.values()), "bytes": self._size()}
+                "total": sum(entries.values()), "bytes": self._size(),
+                "auto_vacuum": vacuum}
 
     def prune(self, cutoff: float) -> int:
         try:
@@ -347,13 +369,23 @@ class _SqliteBackend:
         return total
 
     def prune_bytes(self, max_bytes: int) -> int:
-        """Evict least-recently-accessed records (then ``VACUUM``) until
-        the database holds at most ``max_bytes``."""
+        """Evict least-recently-accessed records until the database
+        holds at most ``max_bytes``.
+
+        Space is reclaimed after each eviction round with ``PRAGMA
+        incremental_vacuum`` when the database was created with
+        ``auto_vacuum=INCREMENTAL`` (every cache.db this backend
+        creates) — returning the freed pages without rewriting the
+        whole file.  Databases from before the mode existed fall back
+        to a full ``VACUUM`` per round, which on a multi-GB cache costs
+        a complete table rewrite each time.
+        """
         removed = 0
         try:
             conn = self._connection(create=False)
             if conn is None:
                 return 0
+            incremental = self._auto_vacuum(conn) == 2
             # drain the WAL first so size estimates see the real file
             conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
             while self._size() > max_bytes:
@@ -371,9 +403,15 @@ class _SqliteBackend:
                     "FROM records ORDER BY COALESCE(accessed, created) "
                     "LIMIT ?)", (batch,))
                 removed += batch
-                # reclaim the space: VACUUM rebuilds through the WAL,
-                # so the checkpoint must come after it
-                conn.execute("VACUUM")
+                # reclaim the space: both paths rebuild through the
+                # WAL, so the checkpoint must come after them.  The
+                # incremental pragma frees one page per statement step,
+                # and sqlite3.execute only steps a rowless PRAGMA once
+                # — executescript drives it to completion
+                if incremental:
+                    conn.executescript("PRAGMA incremental_vacuum")
+                else:
+                    conn.execute("VACUUM")
                 conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         except sqlite3.Error:
             self._discard()

@@ -76,6 +76,12 @@ class AlgorithmSpec:
     supports_seed: bool = False
     pipeline: str = "general"       # key into PIPELINES
     summary: str = ""
+    #: the algorithm's step decision factors through the LCP bounds
+    #: ``(x^L, x^U)`` (:attr:`repro.online.OnlineAlgorithm.consumes_bounds`),
+    #: so the engine may replay several such jobs on one instance from a
+    #: single shared work-function sweep — the ``threshold``/
+    #: ``memoryless`` rules keep their own state and stay per-job
+    shares_workfunction: bool = False
 
     def make(self, *, lookahead: int = 0, seed=None):
         """Instantiate with only the options this spec supports."""
@@ -107,6 +113,11 @@ def _register(spec: AlgorithmSpec) -> AlgorithmSpec:
     if (spec.kind == "game") != (spec.pipeline == "game"):
         raise ValueError(f"entry {spec.name!r}: game players and the "
                          "game pipeline go together")
+    if spec.shares_workfunction and (spec.kind != "online"
+                                     or spec.pipeline != "general"):
+        raise ValueError(f"entry {spec.name!r}: only general-pipeline "
+                         "online algorithms can share a work-function "
+                         "sweep")
     _REGISTRY[spec.name] = spec
     return spec
 
@@ -291,7 +302,7 @@ def _make_sim_static():
 for _spec in (
     # -- online ---------------------------------------------------------
     AlgorithmSpec("lcp", "online", _make_lcp, "3", 1, True, 3.0, True,
-                  supports_lookahead=True,
+                  supports_lookahead=True, shares_workfunction=True,
                   summary="lazy capacity provisioning (Theorem 2)"),
     AlgorithmSpec("threshold", "online", _make_threshold, "4", 1, False,
                   2.0, True,
@@ -319,7 +330,7 @@ for _spec in (
                   False, supports_lookahead=True,
                   summary="averaging fixed horizon control"),
     AlgorithmSpec("eager-lcp", "online", _make_eager_lcp, "ablation", 1,
-                  True, None, False,
+                  True, None, False, shares_workfunction=True,
                   summary="anti-laziness LCP ablation (always jump to a "
                           "bound)"),
     # -- offline --------------------------------------------------------

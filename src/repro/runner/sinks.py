@@ -49,10 +49,12 @@ SINK_KINDS = ("list", "jsonl", "sqlite")
 class ResultSink:
     """Base sink: the streaming engine's output contract.
 
-    ``open`` is called once before the first row, ``write`` once per
-    result row *in job order*, ``close`` exactly once afterwards (also
-    on error).  ``result()`` is what :func:`~repro.runner.run_grid`
-    returns to its caller.
+    ``open`` is called once before the first row; the engine then
+    flushes each completed batch through :meth:`write_many` (whose
+    default calls :meth:`write` once per result row, *in job order*);
+    ``close`` runs exactly once afterwards (also on error).
+    ``result()`` is what :func:`~repro.runner.run_grid` returns to its
+    caller.
     """
 
     def open(self, meta: dict | None = None) -> None:
@@ -60,6 +62,17 @@ class ResultSink:
 
     def write(self, row: dict) -> None:
         raise NotImplementedError
+
+    def write_many(self, rows) -> None:
+        """Write a completed batch's rows, in order.
+
+        The default delegates to :meth:`write` row by row, so sinks
+        (and test doubles) that only override ``write`` keep their
+        behavior; backends with a cheaper bulk path (SQLite
+        ``executemany``) override this instead.
+        """
+        for row in rows:
+            self.write(row)
 
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
@@ -151,6 +164,13 @@ class SqliteSink(ResultSink):
         self._connection().execute(
             "INSERT INTO rows (row) VALUES (?)", (blob,))
         self.rows_written += 1
+
+    def write_many(self, rows) -> None:
+        blobs = [(json.dumps(jsonify(row), sort_keys=True),)
+                 for row in rows]
+        self._connection().executemany(
+            "INSERT INTO rows (row) VALUES (?)", blobs)
+        self.rows_written += len(blobs)
 
     def close(self) -> None:
         if self._conn is not None:

@@ -216,6 +216,55 @@ class TestPruneBytes:
         if cache.stats()["total"] == 1:
             assert victims == {"k0"}
 
+    def test_new_databases_use_incremental_vacuum(self, tmp_path):
+        """Satellite acceptance: caches created by this backend keep a
+        free-page map, so eviction rounds reclaim space with
+        ``PRAGMA incremental_vacuum`` instead of a full VACUUM."""
+        import sqlite3
+        cache = JobCache(tmp_path, backend="sqlite")
+        self._fill(cache)
+        assert cache.stats()["auto_vacuum"] == "incremental"
+        mode = sqlite3.connect(tmp_path / DB_NAME).execute(
+            "PRAGMA auto_vacuum").fetchone()[0]
+        assert mode == 2  # INCREMENTAL
+        cache.prune_bytes(10 ** 18)  # no-op bound, drains the WAL
+        before = cache.stats()
+        bound = before["bytes"] // 3
+        removed = cache.prune_bytes(bound)
+        after = cache.stats()
+        assert removed > 0
+        assert after["bytes"] <= bound  # pages actually came back
+
+    def test_legacy_database_falls_back_to_full_vacuum(self, tmp_path):
+        """A cache.db from before the incremental mode still prunes
+        (full VACUUM per round) and reports its vacuum mode."""
+        from repro.runner.jobcache import connect_wal
+        conn = connect_wal(tmp_path / DB_NAME)  # auto_vacuum=NONE
+        conn.execute("CREATE TABLE records (kind TEXT NOT NULL, key "
+                     "TEXT NOT NULL, record TEXT NOT NULL, created "
+                     "REAL NOT NULL, accessed REAL, "
+                     "PRIMARY KEY (kind, key))")
+        conn.close()
+        cache = JobCache(tmp_path)
+        self._fill(cache)
+        assert cache.stats()["auto_vacuum"] == "none"
+        cache.prune_bytes(10 ** 18)  # no-op bound, drains the WAL
+        bound = cache.stats()["bytes"] // 3
+        assert cache.prune_bytes(bound) > 0
+        assert cache.stats()["bytes"] <= bound
+
+    def test_json_backend_reports_no_vacuum_mode(self, tmp_path):
+        cache = JobCache(tmp_path, backend="json")
+        self._fill(cache, n=2)
+        assert "auto_vacuum" not in cache.stats()
+
+    def test_stats_cli_reports_vacuum_mode(self, tmp_path, capsys):
+        from repro.cli import main
+        cache = JobCache(tmp_path, backend="sqlite")
+        cache.put("jobs", "k", {"v": 1})
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "vacuum:  incremental" in capsys.readouterr().out
+
     def test_prune_bytes_cli(self, tmp_path, capsys):
         from repro.cli import main
         cache = JobCache(tmp_path, backend="json")
