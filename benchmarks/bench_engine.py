@@ -18,7 +18,19 @@ grid at several horizons, under five execution variants:
   jobs per worker round-trip, and LCP-family jobs on one instance
   replayed from a single shared work-function sweep;
 * ``warm_cache`` — every row is served from the per-job result cache
-  (the incremental-grid steady state).
+  (the incremental-grid steady state);
+* ``kernel``     — ``fused`` with the vectorized work-function kernels
+  (``REPRO_KERNEL=vector``): whole-table sweeps, whole-trajectory
+  replay fast paths, and one memoized sweep per instance shared by the
+  phase-1 optimum, the LCP family and the backward solver;
+* ``kernel_unfused`` — the vectorized kernels under per-job dispatch
+  (``chunk_jobs=1``), isolating the kernels' contribution from chunk
+  fusion (the per-process sweep memo still deduplicates sweeps).
+
+The legacy variants are pinned to ``REPRO_KERNEL=scalar`` so they keep
+measuring the historical per-step code paths (and stay comparable
+across runs); the ``kernel*`` variants measure the vectorized paths.
+Every variant must produce bit-identical rows.
 
 Results are written as machine-readable JSON (default
 ``BENCH_engine.json`` at the repo root) so the nightly regression
@@ -47,12 +59,14 @@ DEFAULT_SIZES = (1_000, 10_000, 100_000)
 #: work-function sweep) under the ``fused`` variant's chunking
 DEFAULT_ALGORITHMS = ("lcp", "eager-lcp", "threshold", "memoryless",
                       "followmin", "never-off")
-VARIANTS = ("rebuild", "mmap_store", "pipelined", "fused", "warm_cache")
+VARIANTS = ("rebuild", "mmap_store", "pipelined", "fused", "warm_cache",
+            "kernel", "kernel_unfused")
 
 
 def _run_variant(spec, variant: str, workdir: pathlib.Path,
                  n_jobs: int) -> dict:
     """Time one run_grid execution under one variant; returns a row."""
+    from repro import kernels
     from repro.runner import run_grid, shutdown_pool
     from repro.runner import instancestore
     store_dir = workdir / "store"
@@ -69,34 +83,40 @@ def _run_variant(spec, variant: str, workdir: pathlib.Path,
     elif variant == "pipelined":
         kwargs.update(store_dir=store_dir, batch_size=batched,
                       pipeline_depth=2)
-    elif variant == "fused":
+    elif variant in ("fused", "kernel"):
         kwargs.update(store_dir=store_dir, batch_size=batched,
                       pipeline_depth=2, chunk_jobs=None)
+    elif variant == "kernel_unfused":
+        kwargs.update(store_dir=store_dir, batch_size=batched,
+                      pipeline_depth=2)
     else:
         kwargs["cache_dir"] = cache_dir
+    kernel = "vector" if variant.startswith("kernel") else "scalar"
     best = None
     try:
-        for _repeat in range(3):  # best-of-3 damps scheduler noise
-            instancestore.clear_memo()
-            # drop the persistent pool so forked workers inherit the
-            # variant's memo state instead of the warm-up run's
-            # (matters for n_jobs > 1)
-            shutdown_pool()
-            stats: dict = {}
-            start = time.perf_counter()
-            rows = run_grid(spec, n_jobs=n_jobs, stats=stats, **kwargs)
-            elapsed = time.perf_counter() - start
-            row = {"variant": variant, "jobs": len(rows),
-                   "seconds": round(elapsed, 6),
-                   "jobs_per_sec": round(len(rows) / elapsed, 3),
-                   "inst_builds": stats.get("inst_builds"),
-                   "inst_loads": stats.get("inst_loads"),
-                   "rows": rows}
-            if best is not None and best["rows"] != rows:
-                raise AssertionError(
-                    f"variant {variant!r} rows differ between repeats")
-            if best is None or row["seconds"] < best["seconds"]:
-                best = row
+        with kernels.use(kernel):
+            for _repeat in range(3):  # best-of-3 damps scheduler noise
+                instancestore.clear_memo()
+                kernels.clear_sweep_cache()
+                # drop the persistent pool so forked workers inherit the
+                # variant's memo state instead of the warm-up run's
+                # (matters for n_jobs > 1)
+                shutdown_pool()
+                stats: dict = {}
+                start = time.perf_counter()
+                rows = run_grid(spec, n_jobs=n_jobs, stats=stats, **kwargs)
+                elapsed = time.perf_counter() - start
+                row = {"variant": variant, "jobs": len(rows),
+                       "seconds": round(elapsed, 6),
+                       "jobs_per_sec": round(len(rows) / elapsed, 3),
+                       "inst_builds": stats.get("inst_builds"),
+                       "inst_loads": stats.get("inst_loads"),
+                       "rows": rows}
+                if best is not None and best["rows"] != rows:
+                    raise AssertionError(
+                        f"variant {variant!r} rows differ between repeats")
+                if best is None or row["seconds"] < best["seconds"]:
+                    best = row
     finally:
         if previous is not None:
             instancestore.set_memo_size(previous)
@@ -148,11 +168,15 @@ def bench_engine(sizes=DEFAULT_SIZES, algorithms=DEFAULT_ALGORITHMS,
                                    / by[(T, "mmap_store")]["jobs_per_sec"],
                                    3)
                      for T in sizes}
-    return {"bench": "engine_throughput", "version": 2,
+    speedup_kernel = {str(T): round(by[(T, "kernel")]["jobs_per_sec"]
+                                    / by[(T, "fused")]["jobs_per_sec"], 3)
+                      for T in sizes}
+    return {"bench": "engine_throughput", "version": 3,
             "scenario": scenario, "algorithms": list(algorithms),
             "n_jobs": n_jobs, "results": results,
             "speedup_store_vs_rebuild": speedup,
-            "speedup_fused_vs_store": speedup_fused}
+            "speedup_fused_vs_store": speedup_fused,
+            "speedup_kernel_vs_fused": speedup_kernel}
 
 
 def main(argv=None) -> int:
@@ -180,6 +204,8 @@ def main(argv=None) -> int:
               f"({row['seconds']:.2f}s, builds={row['inst_builds']})")
     print("speedup store vs rebuild:",
           report["speedup_store_vs_rebuild"])
+    print("speedup kernel vs fused:",
+          report["speedup_kernel_vs_fused"])
     print(f"wrote {args.out}")
     return 0
 

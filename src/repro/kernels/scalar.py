@@ -1,0 +1,37 @@
+"""Scalar reference kernel: the original per-step work-function loop.
+
+This is the pre-kernel code path, verbatim: one
+:class:`~repro.online.workfunction.WorkFunctions` update per revealed
+cost row, bounds read back per step.  It exists as the executable
+specification the vectorized kernel is tested against
+(``tests/test_kernels.py`` asserts bit-identical output) and as the
+``REPRO_KERNEL=scalar`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..online.workfunction import WorkFunctions
+
+__all__ = ["sweep_workfunction"]
+
+
+def sweep_workfunction(costs: np.ndarray, beta: float):
+    """Per-step reference sweep over a ``(T, m+1)`` cost table.
+
+    Returns the same :class:`~repro.kernels.SweepResult` as the
+    vectorized kernel: per-prefix LCP bounds plus the final-row minimum
+    (the offline optimum, Lemma 11 / the Section 2 DP).
+    """
+    from . import SweepResult
+    F = np.asarray(costs, dtype=np.float64)
+    T, m = F.shape[0], F.shape[1] - 1
+    lo = np.empty(T, dtype=np.int64)
+    hi = np.empty(T, dtype=np.int64)
+    wf = WorkFunctions(m, beta)
+    for t in range(T):
+        wf.update(F[t])
+        lo[t], hi[t] = wf.bounds()
+    opt = float(wf.CL.min()) if T else 0.0
+    return SweepResult(lo=lo, hi=hi, opt=opt)

@@ -11,16 +11,20 @@ analysis compares LCP against: it moves as late as possible, mirroring
 LCP's laziness from the other end of time.
 
 The solver runs one forward pass collecting ``(x^L_t, x^U_t)`` for every
-prefix (``O(T m)``) and one backward clamping pass (``O(T)``).
+prefix (``O(T m)``, through the :mod:`repro.kernels` sweep dispatch) and
+one backward clamping pass (``O(T)``).  On engine grids the forward
+sweep is the same one phase 1 (offline optimum) and the phase-2 shared
+LCP replay consume, so a ``bounds=`` trajectory may be handed in and
+the sweep paid once per instance.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..core.instance import Instance
 from ..core.schedule import cost
-from ..online.workfunction import WorkFunctions
 from .result import OfflineResult
 
 __all__ = ["solve_backward_lcp", "prefix_bounds"]
@@ -28,27 +32,25 @@ __all__ = ["solve_backward_lcp", "prefix_bounds"]
 
 def prefix_bounds(instance: Instance) -> tuple[np.ndarray, np.ndarray]:
     """``(x^L_t, x^U_t)`` for every prefix ``t = 1..T`` (Section 3.1)."""
-    T = instance.T
-    lo = np.empty(T, dtype=np.int64)
-    hi = np.empty(T, dtype=np.int64)
-    wf = WorkFunctions(instance.m, instance.beta)
-    for t in range(T):
-        wf.update(instance.F[t])
-        lo[t], hi[t] = wf.bounds()
-    return lo, hi
+    sweep = kernels.sweep_workfunction(instance.F, instance.beta)
+    return sweep.lo, sweep.hi
 
 
-def solve_backward_lcp(instance: Instance) -> OfflineResult:
-    """Optimal schedule via Lemma 11's backward recursion."""
+def solve_backward_lcp(instance: Instance, *, bounds=None) -> OfflineResult:
+    """Optimal schedule via Lemma 11's backward recursion.
+
+    ``bounds`` may pass a precomputed :class:`repro.kernels.SweepResult`
+    (the engine's shared per-instance sweep); otherwise one sweep is
+    run here through the selected kernel.
+    """
     T = instance.T
     if T == 0:
         return OfflineResult(schedule=np.zeros(0, dtype=np.int64), cost=0.0,
                              method="backward_lcp")
-    lo, hi = prefix_bounds(instance)
-    x = np.empty(T, dtype=np.int64)
-    nxt = 0  # x-hat_{T+1} = 0
-    for t in range(T - 1, -1, -1):
-        nxt = max(int(lo[t]), min(int(hi[t]), nxt))
-        x[t] = nxt
+    if bounds is not None:
+        lo, hi = bounds.lo, bounds.hi
+    else:
+        lo, hi = prefix_bounds(instance)
+    x = kernels.backward_clamp(lo, hi)
     return OfflineResult(schedule=x, cost=float(cost(instance, x)),
                          method="backward_lcp")

@@ -16,6 +16,7 @@ import dataclasses
 
 import numpy as np
 
+from .. import kernels
 from ..core.instance import Instance
 from ..core.schedule import cost as schedule_cost
 
@@ -66,6 +67,38 @@ class OnlineAlgorithm:
         raise NotImplementedError(
             f"{self.name} does not consume work-function bounds")
 
+    def run_bounds(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Commit a whole trajectory from precomputed per-step bounds.
+
+        Used by the replay harness when the vectorized kernel supplies
+        the full ``(x^L_t, x^U_t)`` trajectory at once (only for
+        algorithms with :attr:`consumes_bounds`).  The default simply
+        loops :meth:`step_bounds`, so any consumer is automatically
+        bit-identical to its per-step replay; subclasses may override
+        with a tighter loop.
+        """
+        out = np.empty(len(lo),
+                       dtype=np.float64 if self.fractional else np.int64)
+        for t, (b_lo, b_hi) in enumerate(zip(np.asarray(lo).tolist(),
+                                             np.asarray(hi).tolist())):
+            out[t] = self.step_bounds(b_lo, b_hi)
+        return out
+
+    def run_table(self, F: np.ndarray):
+        """Optional whole-trajectory fast path over the full cost table.
+
+        Called by the replay harness (after :meth:`reset`, instead of
+        the per-step loop) when the vectorized kernel is active.
+        Implementations must return the full state trajectory as an
+        array **bit-identical** to stepping :meth:`step` row by row, or
+        ``None`` to decline — the harness then falls back to the
+        per-step loop (a declining implementation must return before
+        mutating any internal state).  Algorithms whose decisions depend on unrevealed
+        rows must not implement this (the harness never passes future
+        information the per-step protocol would not have revealed).
+        """
+        return None
+
     @property
     def state(self):
         """Most recent state (``x_{t-1}``); defined after :meth:`reset`."""
@@ -115,63 +148,74 @@ def _priced(instance: Instance, algorithm: OnlineAlgorithm,
                         fractional=algorithm.fractional)
 
 
-def run_online(instance: Instance, algorithm: OnlineAlgorithm) -> OnlineResult:
-    """Replay an instance through an online algorithm.
+def _checked_schedule(algorithm: OnlineAlgorithm, xs, m: int) -> np.ndarray:
+    """Validate and clip a whole fast-path trajectory at once.
 
-    The algorithm sees rows of ``instance.F`` one at a time (plus its
-    prediction window, if any) and the resulting schedule is priced with
-    eq. (1) — via the continuous extension for fractional algorithms.
+    Vectorized twin of :func:`_checked_state`: same tolerance, same
+    clipping, and the same error message (anchored at the first
+    offending step) when an algorithm leaves ``[0, m]``.
     """
-    T, m = instance.T, instance.m
-    algorithm.reset(m, instance.beta)
-    dtype = np.float64 if algorithm.fractional else np.int64
-    xs = np.empty(T, dtype=dtype)
-    w = algorithm.lookahead
-    for t in range(T):
-        future = instance.F[t + 1:t + 1 + w] if w > 0 else None
-        xs[t] = _checked_state(algorithm,
-                               algorithm.step(instance.F[t], future), t, m)
-    return _priced(instance, algorithm, xs)
+    if algorithm.fractional:
+        xs = np.asarray(xs, dtype=np.float64)
+        bad = (xs < -1e-9) | (xs > m + 1e-9) | np.isnan(xs)
+        if bad.any():
+            t = int(bad.argmax())
+            raise ValueError(
+                f"{algorithm.name} left [0, m] at t={t + 1}: {float(xs[t])}")
+        return np.clip(xs, 0.0, float(m))
+    xs = np.asarray(xs, dtype=np.int64)
+    bad = (xs < 0) | (xs > m)
+    if bad.any():
+        t = int(bad.argmax())
+        raise ValueError(
+            f"{algorithm.name} left [0, m] at t={t + 1}: {int(xs[t])}")
+    return xs
 
 
-def run_online_many(instance: Instance,
-                    algorithms) -> list[OnlineResult]:
-    """Replay several online algorithms over one instance in one pass.
+def _fast_trajectory(instance: Instance, algorithm: OnlineAlgorithm,
+                     bounds) -> np.ndarray | None:
+    """One algorithm's whole-trajectory fast path, or ``None``.
 
-    Algorithms with :attr:`OnlineAlgorithm.consumes_bounds` (the LCP
-    family) share a single work-function sweep: the ``O(T m)``
-    maintenance of ``hat-C^L_tau`` — the dominant kernel of the
-    Section 3 discrete algorithms — is paid once per *instance* instead
-    of once per *job*, and each consumer commits its step through
-    :meth:`~OnlineAlgorithm.step_bounds` from the same ``(x^L, x^U)``
-    pair.  Algorithms with a prediction window get the window-extended
-    bounds, computed once per distinct window length per step.
-    Non-consumers are stepped normally inside the same pass.
-
-    Results are bit-identical to replaying each algorithm through
-    :func:`run_online` separately: the bounds are deterministic
-    functions of the revealed prefix, and validation and pricing are
-    shared code paths.
+    Active only under the vectorized kernel (``REPRO_KERNEL=scalar``
+    restores the per-step reference loops end to end).  Consumers of
+    work-function bounds replay from a shared kernel sweep (``bounds``,
+    computed here when the caller has none); other algorithms may offer
+    :meth:`OnlineAlgorithm.run_table`.  The algorithm must already be
+    reset.
     """
-    algorithms = list(algorithms)
-    if not algorithms:
-        return []
+    if algorithm.consumes_bounds and algorithm.lookahead == 0:
+        if bounds is None:
+            bounds = kernels.sweep_workfunction(instance.F, instance.beta)
+        return _checked_schedule(
+            algorithm, algorithm.run_bounds(bounds.lo, bounds.hi),
+            instance.m)
+    xs = algorithm.run_table(instance.F)
+    if xs is None:
+        return None
+    return _checked_schedule(algorithm, xs, instance.m)
+
+
+def _replay_loop(instance: Instance, algorithms, outs) -> None:
+    """The per-step reference replay (shared work-function sweep).
+
+    Fills one preallocated schedule array per algorithm.  Algorithms
+    must already be reset; consumers share a single
+    :class:`~repro.online.workfunction.WorkFunctions` maintenance, with
+    window-extended bounds computed once per distinct window length per
+    step.
+    """
     T, m = instance.T, instance.m
     wf = None
     if any(a.consumes_bounds for a in algorithms):
         from .lcp import lookahead_bounds
         from .workfunction import WorkFunctions
         wf = WorkFunctions(m, instance.beta)
-    for algorithm in algorithms:
-        algorithm.reset(m, instance.beta)
-    xs = [np.empty(T, dtype=np.float64 if a.fractional else np.int64)
-          for a in algorithms]
     for t in range(T):
         f_row = instance.F[t]
         if wf is not None:
             wf.update(f_row)
         bounds: dict[int, tuple[int, int]] = {}
-        for algorithm, out in zip(algorithms, xs):
+        for algorithm, out in zip(algorithms, outs):
             w = algorithm.lookahead
             future = instance.F[t + 1:t + 1 + w] if w > 0 else None
             if algorithm.consumes_bounds:
@@ -184,5 +228,83 @@ def run_online_many(instance: Instance,
             else:
                 x = algorithm.step(f_row, future)
             out[t] = _checked_state(algorithm, x, t, m)
+
+
+def run_online(instance: Instance, algorithm: OnlineAlgorithm, *,
+               bounds=None) -> OnlineResult:
+    """Replay an instance through an online algorithm.
+
+    The algorithm sees rows of ``instance.F`` one at a time (plus its
+    prediction window, if any) and the resulting schedule is priced with
+    eq. (1) — via the continuous extension for fractional algorithms.
+
+    Under the vectorized kernel (:func:`repro.kernels.active` ==
+    ``"vector"``, the default) algorithms that consume work-function
+    bounds replay from one whole-table kernel sweep — ``bounds`` may
+    pass a precomputed :class:`repro.kernels.SweepResult` (e.g. the
+    engine's per-instance memo) — and algorithms offering
+    :meth:`OnlineAlgorithm.run_table` commit their whole trajectory in
+    one call.  Both fast paths are bit-identical to the per-step loop
+    (enforced by ``tests/test_kernels.py``); ``REPRO_KERNEL=scalar``
+    disables them.
+    """
+    T, m = instance.T, instance.m
+    algorithm.reset(m, instance.beta)
+    if kernels.active() == "vector":
+        xs = _fast_trajectory(instance, algorithm, bounds)
+        if xs is not None:
+            return _priced(instance, algorithm, xs)
+    xs = np.empty(T, dtype=np.float64 if algorithm.fractional else np.int64)
+    _replay_loop(instance, [algorithm], [xs])
+    return _priced(instance, algorithm, xs)
+
+
+def run_online_many(instance: Instance, algorithms, *,
+                    bounds=None) -> list[OnlineResult]:
+    """Replay several online algorithms over one instance in one pass.
+
+    Algorithms with :attr:`OnlineAlgorithm.consumes_bounds` (the LCP
+    family) share a single work-function sweep: the ``O(T m)``
+    maintenance of ``hat-C^L_tau`` — the dominant kernel of the
+    Section 3 discrete algorithms — is paid once per *instance* instead
+    of once per *job*, and each consumer commits its steps from the
+    same ``(x^L, x^U)`` trajectory.  Under the vectorized kernel the
+    sweep is one whole-table kernel call (or the precomputed ``bounds``
+    handed in by the engine) and other algorithms may take their
+    :meth:`OnlineAlgorithm.run_table` fast path; everything else —
+    including every algorithm when ``REPRO_KERNEL=scalar`` — is stepped
+    in the per-step reference loop.  Algorithms with a prediction
+    window get the window-extended bounds, computed once per distinct
+    window length per step.
+
+    Results are bit-identical to replaying each algorithm through
+    :func:`run_online` separately: the bounds are deterministic
+    functions of the revealed prefix, and validation and pricing are
+    shared code paths.
+    """
+    algorithms = list(algorithms)
+    if not algorithms:
+        return []
+    T, m = instance.T, instance.m
+    for algorithm in algorithms:
+        algorithm.reset(m, instance.beta)
+    xs = [np.empty(T, dtype=np.float64 if a.fractional else np.int64)
+          for a in algorithms]
+    slow_idx = list(range(len(algorithms)))
+    if kernels.active() == "vector":
+        slow_idx = []
+        for i, algorithm in enumerate(algorithms):
+            if (bounds is None and algorithm.consumes_bounds
+                    and algorithm.lookahead == 0):
+                bounds = kernels.sweep_workfunction(instance.F,
+                                                    instance.beta)
+            fast = _fast_trajectory(instance, algorithm, bounds)
+            if fast is None:
+                slow_idx.append(i)
+            else:
+                xs[i] = fast
+    if slow_idx:
+        _replay_loop(instance, [algorithms[i] for i in slow_idx],
+                     [xs[i] for i in slow_idx])
     return [_priced(instance, algorithm, x)
             for algorithm, x in zip(algorithms, xs)]

@@ -39,6 +39,16 @@ class FollowTheMinimizer(OnlineAlgorithm):
         self._set_state(x)
         return x
 
+    def run_table(self, F: np.ndarray):
+        """Whole-trajectory minimizer chase: one table-wide ``argmin``
+        (NumPy's row argmin picks the first minimizer, exactly
+        :func:`~repro._util.argmin_first`)."""
+        F = np.asarray(F, dtype=np.float64)
+        xs = F.argmin(axis=1).astype(np.int64, copy=False)
+        if xs.size:
+            self._set_state(int(xs[-1]))
+        return xs
+
 
 class NeverSwitchOn(OnlineAlgorithm):
     """Power everything up at t=1 and never resize (peak provisioning)."""
@@ -53,6 +63,13 @@ class NeverSwitchOn(OnlineAlgorithm):
     def step(self, f_row: np.ndarray, future: np.ndarray | None = None) -> int:
         self._set_state(self._m)
         return self._m
+
+    def run_table(self, F: np.ndarray):
+        """Whole-trajectory peak provisioning: the constant ``m``."""
+        xs = np.full(np.asarray(F).shape[0], self._m, dtype=np.int64)
+        if xs.size:
+            self._set_state(self._m)
+        return xs
 
 
 def solve_static(instance: Instance) -> OfflineResult:

@@ -120,6 +120,29 @@ class LCP(OnlineAlgorithm):
         self._set_state(x)
         return x
 
+    def run_bounds(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Whole-trajectory eq. (13) projection from a kernel sweep.
+
+        A tight scalar scan over the precomputed bound trajectories —
+        trivially the same integers :meth:`step_bounds` commits one at
+        a time (including the :attr:`bounds_log` entries when
+        ``record_bounds`` is set).
+        """
+        out = np.empty(len(lo), dtype=np.int64)
+        x = self.state
+        log = self.bounds_log if self._record else None
+        for t, (b_lo, b_hi) in enumerate(zip(np.asarray(lo).tolist(),
+                                             np.asarray(hi).tolist())):
+            if log is not None:
+                log.append((b_lo, b_hi))
+            if x < b_lo:
+                x = b_lo
+            elif x > b_hi:
+                x = b_hi
+            out[t] = x
+        self._set_state(x)
+        return out
+
 
 class EagerLCP(OnlineAlgorithm):
     """Anti-laziness ablation of LCP: always jump to the nearer bound.
@@ -144,6 +167,18 @@ class EagerLCP(OnlineAlgorithm):
         return self.step_bounds(*self._wf.bounds())
 
     def step_bounds(self, lo: int, hi: int) -> int:
+        """Jump to the bound nearer the previous state (ties go low)."""
         x = lo if abs(lo - self.state) <= abs(hi - self.state) else hi
         self._set_state(x)
         return x
+
+    def run_bounds(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Whole-trajectory nearest-bound scan from a kernel sweep."""
+        out = np.empty(len(lo), dtype=np.int64)
+        x = self.state
+        for t, (b_lo, b_hi) in enumerate(zip(np.asarray(lo).tolist(),
+                                             np.asarray(hi).tolist())):
+            x = b_lo if abs(b_lo - x) <= abs(b_hi - x) else b_hi
+            out[t] = x
+        self._set_state(x)
+        return out

@@ -38,19 +38,52 @@ class MemorylessBalance(OnlineAlgorithm):
     name = "memoryless"
 
     def reset(self, m: int, beta: float) -> None:
+        """Prepare for a fresh instance with states ``0..m``."""
         self.m = m
         self.beta = beta
-        self._grid = np.arange(m + 1, dtype=np.float64)
         self._set_state(0.0)
 
     def _fbar(self, f_row: np.ndarray, x: float) -> float:
-        return float(np.interp(x, self._grid, f_row))
+        """Piecewise-linear extension ``f-bar_t(x)`` on the integer grid.
+
+        A scalar two-point interpolation shared by the per-step and the
+        whole-trajectory paths — sharing one implementation is what
+        makes the two paths bit-identical by construction.
+        """
+        i = int(x)
+        if i >= self.m:
+            return float(f_row[self.m])
+        y0 = float(f_row[i])
+        return y0 + (x - i) * (float(f_row[i + 1]) - y0)
 
     def step(self, f_row: np.ndarray, future: np.ndarray | None = None) -> float:
         f_row = np.asarray(f_row, dtype=np.float64)
+        return self._step_core(f_row, argmin_first(f_row),
+                               argmin_last(f_row))
+
+    def run_table(self, F: np.ndarray):
+        """Whole-trajectory balance walk.
+
+        Hoists the per-row minimizer-plateau ends (two table-wide
+        ``argmin`` passes) out of the loop; the balance-point scan
+        itself stays per step but touches only the cells between the
+        previous state and the plateau.
+        """
+        F = np.asarray(F, dtype=np.float64)
+        T, last = F.shape[0], F.shape[1] - 1
+        lo_all = F.argmin(axis=1).tolist()
+        hi_all = (last - F[:, ::-1].argmin(axis=1)).tolist()
+        rows = list(F)
+        out = np.empty(T, dtype=np.float64)
+        core = self._step_core
+        for t in range(T):
+            out[t] = core(rows[t], lo_all[t], hi_all[t])
+        return out
+
+    def _step_core(self, f_row: np.ndarray, lo_min: int,
+                   hi_min: int) -> float:
+        """One balance step given the row's minimizer-plateau ends."""
         x = float(self.state)
-        lo_min = argmin_first(f_row)
-        hi_min = argmin_last(f_row)
         if lo_min <= x <= hi_min:
             # Already on the minimizer plateau: both movement and excess
             # hitting cost are zero-slope; stay.

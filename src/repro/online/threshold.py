@@ -64,3 +64,31 @@ class ThresholdFractional(OnlineAlgorithm):
         x = float(self._q.sum())
         self._set_state(x)
         return x
+
+    def run_table(self, F: np.ndarray):
+        """Whole-trajectory threshold rule.
+
+        The per-threshold drifts ``g_s / beta`` are one table-wide
+        ``diff`` + divide; the clamped accumulation across time is
+        inherently sequential, but shrinks to three in-place array
+        calls per step — elementwise the same operations (and so the
+        same floats) as :meth:`step`.  Declines under ``validate=True``
+        to keep the per-step monotonicity assertion.
+        """
+        if self._validate:
+            return None
+        F = np.asarray(F, dtype=np.float64)
+        T = F.shape[0]
+        G = np.diff(F, axis=1)
+        np.divide(G, self.beta, out=G)
+        drifts = list(G)
+        q = self._q
+        out = np.empty(T, dtype=np.float64)
+        subtract, clip = np.subtract, np.clip
+        for t in range(T):
+            subtract(q, drifts[t], out=q)
+            clip(q, 0.0, 1.0, out=q)
+            out[t] = q.sum()
+        if T:
+            self._set_state(float(out[-1]))
+        return out

@@ -84,6 +84,7 @@ import zlib
 from concurrent.futures import (FIRST_COMPLETED, Future,
                                 ProcessPoolExecutor, wait)
 
+from .. import kernels
 from . import instancestore
 from .instancestore import InstanceStore, get_instance
 from .jobcache import JobCache, content_key
@@ -101,7 +102,9 @@ __all__ = [
 ]
 
 #: bump when row contents / seeding change, to invalidate stale caches
-ENGINE_VERSION = 4
+#: (v5: memoryless f-bar evaluation shared between the per-step and the
+#: vectorized-kernel paths, which may shift cached costs by ulps)
+ENGINE_VERSION = 5
 
 #: how many batches the pipelined core keeps in flight at once
 DEFAULT_PIPELINE_DEPTH = 2
@@ -148,6 +151,7 @@ class GridSpec:
     params: tuple = ("{}",)
 
     def __post_init__(self):
+        """Canonicalize the axes and validate that none is empty."""
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
@@ -197,6 +201,7 @@ class GridSpec:
         return list(self.iter_jobs())
 
     def __len__(self) -> int:
+        """Number of jobs the spec expands to (product of the axes)."""
         return (len(self.scenarios) * len(self.algorithms)
                 * len(self.seeds) * len(self.sizes) * len(self.params))
 
@@ -249,8 +254,17 @@ def _solve_instance(task: tuple) -> dict:
     if pipeline == "game":
         return inst.baseline()
     if pipeline == "general":
-        from ..analysis import optimal_cost
-        opt, m, beta = optimal_cost(inst), inst.m, inst.beta
+        if kernels.active() == "vector":
+            # One memoized kernel sweep serves this optimum *and* the
+            # phase-2 shared replay / backward solver on the same
+            # instance (the final work-function row's minimum is the
+            # Section 2 DP optimum, bit-identically — the recurrences
+            # are the same ufunc sequence; see docs/KERNELS.md).
+            opt = kernels.cached_sweep(coords, inst.F, inst.beta).opt
+        else:
+            from ..analysis import optimal_cost
+            opt = optimal_cost(inst)
+        m, beta = inst.m, inst.beta
     elif pipeline == "restricted":
         from ..offline import solve_restricted
         opt, m, beta = solve_restricted(inst).cost, inst.m, inst.beta
@@ -283,8 +297,9 @@ def _base_row(job: tuple, spec, inst_record: dict) -> dict:
 
 
 def _online_row(job: tuple, spec, inst_record: dict, cost: float) -> dict:
-    """Assemble one online job's result row (shared by the per-job and
-    the shared-replay paths, so both produce byte-identical rows)."""
+    """Assemble one cost-vs-optimum result row (shared by the per-job
+    and the shared-replay paths — online jobs and extras-free offline
+    sharers alike — so both produce byte-identical rows)."""
     opt = inst_record["opt"]
     return {
         **_base_row(job, spec, inst_record),
@@ -331,10 +346,22 @@ def _run_job(task: tuple) -> dict:
         cost, opt = spec.make()(inst)[2], inst_record["opt"]
     elif spec.kind == "online":
         from ..online.base import run_online
+        alg = spec.make(lookahead=lookahead, seed=_job_seed(job))
+        bounds = None
+        if (spec.shares_workfunction and alg.consumes_bounds
+                and alg.lookahead == 0 and kernels.active() == "vector"):
+            # reuse (or seed) the per-process sweep memo phase 1 filled
+            bounds = kernels.cached_sweep(_instance_coords(job),
+                                          inst.F, inst.beta)
         return _online_row(job, spec, inst_record,
-                           run_online(inst, spec.make(
-                               lookahead=lookahead,
-                               seed=_job_seed(job))).cost)
+                           run_online(inst, alg, bounds=bounds).cost)
+    elif spec.shares_workfunction and kernels.active() == "vector":
+        # offline sweep sharer (backward_lcp): hand it the memoized
+        # per-instance bound trajectory instead of a fresh sweep
+        bounds = kernels.cached_sweep(_instance_coords(job),
+                                      inst.F, inst.beta)
+        cost, opt = (spec.make()(inst, bounds=bounds).cost,
+                     inst_record["opt"])
     else:
         cost, opt = spec.make()(inst).cost, inst_record["opt"]
     return {
@@ -362,29 +389,58 @@ def _solve_chunk(task: tuple) -> list[dict]:
 
 def _sharing_coords(job: tuple):
     """The instance coordinates a job can share a work-function sweep
-    on, or ``None`` when its algorithm keeps per-job state."""
+    on, or ``None`` when its algorithm keeps per-job state.
+
+    Sharers are the general-pipeline entries flagged
+    ``shares_workfunction`` in the registry: the online LCP family
+    (bound consumers) and the offline ``backward_lcp`` solver, whose
+    Lemma 11 forward pass is the same sweep.
+    """
     from .registry import get_spec
     spec = get_spec(job[1])
-    if (spec.kind == "online" and spec.pipeline == "general"
-            and spec.shares_workfunction):
+    if spec.pipeline == "general" and spec.shares_workfunction:
         return _instance_coords(job)
     return None
 
 
 def _run_shared(tasks: list[tuple]) -> list[dict]:
-    """Replay several LCP-family jobs on one instance from a single
-    shared ``O(T m)`` work-function sweep — bit-identical to running
-    each through :func:`_run_job` (asserted by the test suite)."""
+    """Serve several sweep-sharing jobs on one instance from a single
+    ``O(T m)`` work-function sweep — bit-identical to running each
+    through :func:`_run_job` (asserted by the test suite).
+
+    Online consumers replay through
+    :func:`~repro.online.base.run_online_many`; offline sharers (the
+    ``backward_lcp`` solver) receive the same bound trajectory via
+    their ``bounds=`` parameter.  Under the vectorized kernel the
+    trajectory comes from the per-process memo phase 1 already filled;
+    under the scalar reference each path keeps its own per-step sweep.
+    """
     from .registry import get_spec
     from ..online.base import run_online_many
     job0, _rec0, store_root = tasks[0]
-    inst = get_instance(_instance_coords(job0), store_root)
-    algorithms = [get_spec(job[1]).make(lookahead=job[5],
-                                        seed=_job_seed(job))
-                  for job, _rec, _root in tasks]
-    results = run_online_many(inst, algorithms)
-    return [_online_row(job, get_spec(job[1]), rec, res.cost)
-            for (job, rec, _root), res in zip(tasks, results)]
+    coords = _instance_coords(job0)
+    inst = get_instance(coords, store_root)
+    bounds = (kernels.cached_sweep(coords, inst.F, inst.beta)
+              if kernels.active() == "vector" else None)
+    rows: list = [None] * len(tasks)
+    online_idx = [i for i, (job, _rec, _root) in enumerate(tasks)
+                  if get_spec(job[1]).kind == "online"]
+    if online_idx:
+        algorithms = [get_spec(tasks[i][0][1]).make(
+            lookahead=tasks[i][0][5], seed=_job_seed(tasks[i][0]))
+            for i in online_idx]
+        results = run_online_many(inst, algorithms, bounds=bounds)
+        for i, res in zip(online_idx, results):
+            job, rec, _root = tasks[i]
+            rows[i] = _online_row(job, get_spec(job[1]), rec, res.cost)
+    for i, (job, rec, _root) in enumerate(tasks):
+        if rows[i] is not None:
+            continue
+        solver = get_spec(job[1]).make()
+        out = (solver(inst, bounds=bounds) if bounds is not None
+               else solver(inst))
+        rows[i] = _online_row(job, get_spec(job[1]), rec, out.cost)
+    return rows
 
 
 def _run_chunk(tasks: list[tuple]) -> list[dict]:

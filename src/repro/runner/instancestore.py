@@ -105,6 +105,7 @@ class StoredRestrictedInstance:
 
     @property
     def T(self) -> int:
+        """Horizon length (number of time steps)."""
         return self.loads.shape[0]
 
 
@@ -155,6 +156,7 @@ class InstanceStore:
     """
 
     def __init__(self, root):
+        """Anchor the store at directory ``root`` (created lazily)."""
         self.root = pathlib.Path(root)
 
     def dir(self, coords: tuple) -> pathlib.Path:

@@ -439,6 +439,7 @@ class JobCache:
     """
 
     def __init__(self, root, backend: str | None = None):
+        """Open (or create) the cache at ``root`` with ``backend``."""
         self.root = pathlib.Path(root)
         if backend is None:
             backend = ("sqlite" if self.root.suffix == ".db"

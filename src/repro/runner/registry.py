@@ -76,11 +76,14 @@ class AlgorithmSpec:
     supports_seed: bool = False
     pipeline: str = "general"       # key into PIPELINES
     summary: str = ""
-    #: the algorithm's step decision factors through the LCP bounds
-    #: ``(x^L, x^U)`` (:attr:`repro.online.OnlineAlgorithm.consumes_bounds`),
-    #: so the engine may replay several such jobs on one instance from a
-    #: single shared work-function sweep — the ``threshold``/
-    #: ``memoryless`` rules keep their own state and stay per-job
+    #: the entry's decisions factor through the work-function bounds
+    #: ``(x^L, x^U)``: online consumers set
+    #: :attr:`repro.online.OnlineAlgorithm.consumes_bounds`, and the
+    #: offline ``backward_lcp`` solver accepts a precomputed bound
+    #: trajectory — so the engine may serve several such jobs on one
+    #: instance from a single shared work-function sweep.  The
+    #: ``threshold``/``memoryless`` rules keep their own state and stay
+    #: per-job.
     shares_workfunction: bool = False
 
     def make(self, *, lookahead: int = 0, seed=None):
@@ -113,11 +116,12 @@ def _register(spec: AlgorithmSpec) -> AlgorithmSpec:
     if (spec.kind == "game") != (spec.pipeline == "game"):
         raise ValueError(f"entry {spec.name!r}: game players and the "
                          "game pipeline go together")
-    if spec.shares_workfunction and (spec.kind != "online"
-                                     or spec.pipeline != "general"):
+    if spec.shares_workfunction and (spec.pipeline != "general"
+                                     or spec.kind == "game"):
         raise ValueError(f"entry {spec.name!r}: only general-pipeline "
-                         "online algorithms can share a work-function "
-                         "sweep")
+                         "entries (online bound consumers or the "
+                         "backward work-function solver) can share a "
+                         "work-function sweep")
     _REGISTRY[spec.name] = spec
     return spec
 
@@ -351,8 +355,9 @@ for _spec in (
     AlgorithmSpec("lp", "offline", _make_lp, "4", 1, False, None, True,
                   summary="LP over the fractional relaxation (HiGHS)"),
     AlgorithmSpec("backward_lcp", "offline", _make_backward_lcp, "3", 1,
-                  True, None, True,
-                  summary="backward work-function optimum"),
+                  True, None, True, shares_workfunction=True,
+                  summary="backward work-function optimum (shares the "
+                          "engine's per-instance sweep)"),
     AlgorithmSpec("fractional", "offline", _make_fractional, "4", 1,
                   False, None, True,
                   summary="optimal fractional schedule (Lemma 4)"),

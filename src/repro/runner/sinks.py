@@ -61,6 +61,7 @@ class ResultSink:
         """Prepare for a new row stream; ``meta`` describes the grid."""
 
     def write(self, row: dict) -> None:
+        """Persist one finished result row (subclasses must override)."""
         raise NotImplementedError
 
     def write_many(self, rows) -> None:
@@ -86,15 +87,19 @@ class ListSink(ResultSink):
     """Accumulate rows in memory — the historical ``list[dict]`` API."""
 
     def __init__(self):
+        """Start with an empty row list."""
         self.rows: list[dict] = []
 
     def open(self, meta: dict | None = None) -> None:
+        """Reset the accumulated rows for a fresh stream."""
         self.rows = []
 
     def write(self, row: dict) -> None:
+        """Append ``row`` to the in-memory list."""
         self.rows.append(row)
 
     def result(self) -> list[dict]:
+        """Return the accumulated rows (the historical API)."""
         return self.rows
 
 
@@ -102,28 +107,33 @@ class JsonlSink(ResultSink):
     """Append each row as one canonical-JSON line to ``path``."""
 
     def __init__(self, path, append: bool = False):
+        """Write to ``path``; ``append=True`` keeps existing lines."""
         self.path = pathlib.Path(path)
         self.append = append
         self._fh = None
         self.rows_written = 0
 
     def open(self, meta: dict | None = None) -> None:
+        """Open (and by default truncate) the output file."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a" if self.append else "w")
         self.rows_written = 0
 
     def write(self, row: dict) -> None:
+        """Append ``row`` as one canonical-JSON line."""
         if self._fh is None:  # usable standalone, outside run_grid
             self.open()
         self._fh.write(json.dumps(jsonify(row), sort_keys=True) + "\n")
         self.rows_written += 1
 
     def close(self) -> None:
+        """Close the file handle (idempotent)."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None
 
     def result(self) -> pathlib.Path:
+        """Return the path of the written JSONL table."""
         return self.path
 
 
@@ -138,6 +148,7 @@ class SqliteSink(ResultSink):
     DB_NAME = "rows.db"
 
     def __init__(self, path, append: bool = False):
+        """Write to the database at ``path`` (a ``.db`` file or dir)."""
         root = pathlib.Path(path)
         self.path = root if root.suffix == ".db" else root / self.DB_NAME
         self.append = append
@@ -153,12 +164,14 @@ class SqliteSink(ResultSink):
         return self._conn
 
     def open(self, meta: dict | None = None) -> None:
+        """Create the ``rows`` table; truncate unless appending."""
         conn = self._connection()
         if not self.append:
             conn.execute("DELETE FROM rows")
         self.rows_written = 0
 
     def write(self, row: dict) -> None:
+        """Insert one row, letting SQLite assign the next ``seq``."""
         blob = json.dumps(jsonify(row), sort_keys=True)
         # seq is the INTEGER PRIMARY KEY: SQLite assigns max+1 itself
         self._connection().execute(
@@ -166,6 +179,7 @@ class SqliteSink(ResultSink):
         self.rows_written += 1
 
     def write_many(self, rows) -> None:
+        """Insert a whole batch with one ``executemany`` round-trip."""
         blobs = [(json.dumps(jsonify(row), sort_keys=True),)
                  for row in rows]
         self._connection().executemany(
@@ -173,6 +187,7 @@ class SqliteSink(ResultSink):
         self.rows_written += len(blobs)
 
     def close(self) -> None:
+        """Close the database connection (idempotent)."""
         if self._conn is not None:
             try:
                 self._conn.close()
@@ -181,6 +196,7 @@ class SqliteSink(ResultSink):
             self._conn = None
 
     def result(self) -> pathlib.Path:
+        """Return the path of the written database."""
         return self.path
 
 

@@ -1,0 +1,277 @@
+"""Scalar vs vectorized kernel equivalence (the PR 6 acceptance suite).
+
+The contract (docs/KERNELS.md): the vectorized whole-table kernels are
+**bit-identical** to the per-step scalar reference — same bound
+trajectories, same optimum float, same replayed schedules and costs —
+for every sweep-sharing algorithm, the backward solver, and whole
+engine grids across pipelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import scalar as scalar_kernel
+from repro.kernels import vectorized as vector_kernel
+from repro.offline import solve_backward_lcp, solve_dp
+from repro.offline.backward import prefix_bounds
+from repro.online import run_online, run_online_many
+from repro.online.workfunction import WorkFunctions
+from repro.runner import GridSpec, run_grid
+from repro.runner.registry import _REGISTRY, get_spec
+from repro.runner.scenarios import build_instance
+
+
+def _random_instances():
+    """A spread of shapes: tiny horizons, flat ties, real scenarios."""
+    rng = np.random.default_rng(7)
+    for trial in range(8):
+        T = int(rng.integers(1, 40))
+        m = int(rng.integers(0, 9))
+        beta = float(rng.uniform(0.2, 6.0))
+        yield rng.uniform(0.0, 10.0, size=(T, m + 1)), beta
+    # plateaus: many exact argmin ties exercise first/last tie-breaking
+    yield np.zeros((12, 6)), 1.5
+    yield np.tile([3.0, 1.0, 1.0, 1.0, 5.0], (9, 1)), 2.0
+    for scenario, T, seed in (("diurnal", 96, 0), ("sawtooth", 64, 1),
+                              ("bursty", 128, 2)):
+        inst = build_instance(scenario, T, seed)
+        yield np.asarray(inst.F), float(inst.beta)
+
+
+class TestSweepEquivalence:
+    def test_sweep_bit_identical(self):
+        """lo/hi/opt agree exactly between kernels on every shape."""
+        for F, beta in _random_instances():
+            s = scalar_kernel.sweep_workfunction(F, beta)
+            v = vector_kernel.sweep_workfunction(F, beta)
+            assert np.array_equal(s.lo, v.lo)
+            assert np.array_equal(s.hi, v.hi)
+            assert s.opt == v.opt  # bitwise, no tolerance
+
+    def test_sweep_matches_per_step_workfunctions(self):
+        """Protocol-level bound equality: the whole-table trajectories
+        equal the per-step ``WorkFunctions.bounds()`` stream."""
+        for F, beta in _random_instances():
+            v = vector_kernel.sweep_workfunction(F, beta)
+            wf = WorkFunctions(F.shape[1] - 1, beta)
+            for t in range(F.shape[0]):
+                wf.update(F[t])
+                lo, hi = wf.bounds()
+                assert (v.lo[t], v.hi[t]) == (lo, hi), f"t={t}"
+
+    def test_opt_is_dp_optimum_bitwise(self):
+        """The final work-function row's minimum *is* the Section 2 DP
+        optimum — the identity the engine's phase 1 relies on."""
+        for scenario, T, seed in (("diurnal", 96, 0), ("onoff", 200, 4)):
+            inst = build_instance(scenario, T, seed)
+            dp = solve_dp(inst, return_schedule=False).cost
+            for name in kernels.KERNELS:
+                with kernels.use(name):
+                    sweep = kernels.sweep_workfunction(inst.F, inst.beta)
+                assert sweep.opt == dp
+
+    def test_empty_table(self):
+        for name in kernels.KERNELS:
+            with kernels.use(name):
+                sweep = kernels.sweep_workfunction(
+                    np.zeros((0, 4)), 1.0)
+            assert sweep.lo.size == 0 and sweep.hi.size == 0
+            assert sweep.opt == 0.0
+
+
+class TestDispatch:
+    def test_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        assert kernels.active() == "vector"
+
+    def test_env_selects_scalar(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "scalar")
+        assert kernels.active() == "scalar"
+
+    def test_unknown_kernel_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "cuda")
+        with pytest.raises(ValueError):
+            kernels.active()
+        with pytest.raises(ValueError):
+            kernels.set_kernel("cuda")
+
+    def test_use_restores_prior_selection(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "scalar")
+        with kernels.use("vector"):
+            assert kernels.active() == "vector"
+        assert kernels.active() == "scalar"
+
+    def test_cached_sweep_memoizes_per_kernel(self):
+        kernels.clear_sweep_cache()
+        inst = build_instance("diurnal", 24, 0)
+        with kernels.use("vector"):
+            first = kernels.cached_sweep("k", inst.F, inst.beta)
+            again = kernels.cached_sweep("k", inst.F, inst.beta)
+        assert again is first  # memo hit
+        with kernels.use("scalar"):
+            other = kernels.cached_sweep("k", inst.F, inst.beta)
+        assert other is not first  # keyed by active kernel too
+        assert np.array_equal(other.lo, first.lo)
+        kernels.clear_sweep_cache()
+
+
+def _sharing_online_names():
+    return [name for name, spec in _REGISTRY.items()
+            if spec.shares_workfunction and spec.kind == "online"]
+
+
+class TestReplayEquivalence:
+    """Every sweep-sharing algorithm and every fast-path baseline
+    replays bit-identically under both kernels."""
+
+    FAST_PATH_BASELINES = ("threshold", "memoryless", "followmin",
+                          "never-off")
+
+    def _replay(self, name, inst, kernel):
+        with kernels.use(kernel):
+            return run_online(inst, get_spec(name).make())
+
+    @pytest.mark.parametrize("scenario,T,seed",
+                             [("diurnal", 96, 0), ("sawtooth", 64, 1),
+                              ("onoff", 200, 2)])
+    def test_sharers_and_baselines_bit_identical(self, scenario, T, seed):
+        inst = build_instance(scenario, T, seed)
+        names = _sharing_online_names() + list(self.FAST_PATH_BASELINES)
+        for name in names:
+            s = self._replay(name, inst, "scalar")
+            v = self._replay(name, inst, "vector")
+            assert v.cost == s.cost, name
+            assert np.array_equal(v.schedule, s.schedule), name
+
+    def test_run_online_many_bit_identical(self):
+        inst = build_instance("bursty", 128, 3)
+        names = _sharing_online_names() + list(self.FAST_PATH_BASELINES)
+        results = {}
+        for kernel in kernels.KERNELS:
+            with kernels.use(kernel):
+                results[kernel] = run_online_many(
+                    inst, [get_spec(n).make() for n in names])
+        for name, s, v in zip(names, results["scalar"],
+                              results["vector"]):
+            assert v.cost == s.cost, name
+            assert np.array_equal(v.schedule, s.schedule), name
+
+    def test_lookahead_consumer_falls_back_identically(self):
+        from repro.online import LCP
+        inst = build_instance("diurnal", 48, 1)
+        outs = {}
+        for kernel in kernels.KERNELS:
+            with kernels.use(kernel):
+                outs[kernel] = run_online_many(
+                    inst, [LCP(lookahead=3), LCP()])
+        for s, v in zip(outs["scalar"], outs["vector"]):
+            assert v.cost == s.cost
+            assert np.array_equal(v.schedule, s.schedule)
+
+    def test_lcp_bounds_log_matches_kernel_trajectory(self):
+        """Protocol-level equality at the replay seam: the per-step
+        ``bounds_log`` equals the kernel's whole-table trajectory."""
+        from repro.online import LCP
+        inst = build_instance("sawtooth", 64, 0)
+        logs = {}
+        for kernel in kernels.KERNELS:
+            alg = LCP(record_bounds=True)
+            with kernels.use(kernel):
+                run_online(inst, alg)
+            logs[kernel] = alg.bounds_log
+        sweep = kernels.sweep_workfunction(inst.F, inst.beta)
+        expected = list(zip(sweep.lo.tolist(), sweep.hi.tolist()))
+        assert logs["scalar"] == expected
+        assert logs["vector"] == expected
+
+
+class TestBackwardSolver:
+    def test_backward_lcp_bit_identical(self):
+        for scenario, T, seed in (("diurnal", 96, 0), ("onoff", 200, 4)):
+            inst = build_instance(scenario, T, seed)
+            outs = {}
+            for kernel in kernels.KERNELS:
+                with kernels.use(kernel):
+                    outs[kernel] = solve_backward_lcp(inst)
+            assert outs["vector"].cost == outs["scalar"].cost
+            assert np.array_equal(outs["vector"].schedule,
+                                  outs["scalar"].schedule)
+
+    def test_precomputed_bounds_short_circuit(self):
+        inst = build_instance("diurnal", 48, 0)
+        sweep = kernels.sweep_workfunction(inst.F, inst.beta)
+        direct = solve_backward_lcp(inst)
+        handed = solve_backward_lcp(inst, bounds=sweep)
+        assert handed.cost == direct.cost
+        assert np.array_equal(handed.schedule, direct.schedule)
+
+    def test_prefix_bounds_roundtrip(self):
+        inst = build_instance("sawtooth", 32, 2)
+        lo, hi = prefix_bounds(inst)
+        sweep = kernels.sweep_workfunction(inst.F, inst.beta)
+        assert np.array_equal(lo, sweep.lo)
+        assert np.array_equal(hi, sweep.hi)
+        assert (lo <= hi).all()  # Lemma 6
+
+
+class TestEngineGrids:
+    """Whole grids — every pipeline, sharers + backward solver mixed —
+    produce bit-identical rows under both kernels."""
+
+    GRIDS = {
+        "general": GridSpec(
+            scenarios=("diurnal", "sawtooth"),
+            algorithms=("lcp", "eager-lcp", "threshold", "memoryless",
+                        "followmin", "never-off", "backward_lcp", "dp"),
+            seeds=(0, 1), sizes=(24,)),
+        "restricted": GridSpec(
+            scenarios=("restricted-diurnal",),
+            algorithms=("restricted", "lcp", "eager-lcp"),
+            seeds=(0,), sizes=(16,)),
+        "hetero": GridSpec(
+            scenarios=("hetero-fleet",),
+            algorithms=("dp_hetero", "greedy_hetero"),
+            seeds=(0,), sizes=(16,)),
+        "lookahead": GridSpec(
+            scenarios=("diurnal",),
+            algorithms=("lcp", "eager-lcp", "backward_lcp"),
+            seeds=(0,), sizes=(32,), lookahead=2),
+    }
+
+    @pytest.mark.parametrize("grid", sorted(GRIDS), ids=sorted(GRIDS))
+    def test_grid_rows_bit_identical(self, grid):
+        spec = self.GRIDS[grid]
+        rows = {}
+        for kernel in kernels.KERNELS:
+            kernels.clear_sweep_cache()
+            with kernels.use(kernel):
+                rows[kernel] = run_grid(spec)
+        kernels.clear_sweep_cache()
+        assert rows["vector"] == rows["scalar"]
+
+    def test_fused_chunks_share_one_sweep_with_backward(self):
+        """With the vectorized kernel, a fused chunk serves the LCP
+        family, the backward solver *and* the phase-1 optimum from a
+        single memoized sweep per instance."""
+        calls = 0
+        real = vector_kernel.sweep_workfunction
+
+        def counting(costs, beta):
+            nonlocal calls
+            calls += 1
+            return real(costs, beta)
+
+        spec = GridSpec(scenarios=("diurnal",),
+                        algorithms=("lcp", "eager-lcp", "backward_lcp"),
+                        seeds=(0,), sizes=(24,))
+        kernels.clear_sweep_cache()
+        vector_kernel.sweep_workfunction = counting
+        try:
+            with kernels.use("vector"):
+                rows = run_grid(spec)
+        finally:
+            vector_kernel.sweep_workfunction = real
+            kernels.clear_sweep_cache()
+        assert len(rows) == 3
+        assert calls == 1  # one instance -> one sweep, shared by all

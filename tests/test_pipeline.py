@@ -149,25 +149,31 @@ class TestMidPipelineKill:
         shutdown_pool()
 
 
-def _lcp_family():
+def _lcp_family(kind=None):
     return [name for name, spec in _REGISTRY.items()
-            if spec.shares_workfunction]
+            if spec.shares_workfunction
+            and (kind is None or spec.kind == kind)]
 
 
 class TestSharedReplay:
     def test_lcp_family_is_registered_for_sharing(self):
         family = _lcp_family()
         assert "lcp" in family and "eager-lcp" in family
+        assert "backward_lcp" in family  # offline sweep sharer
         for name in family:
             spec = get_spec(name)
-            assert spec.kind == "online" and spec.pipeline == "general"
-            assert spec.make().consumes_bounds
+            assert spec.pipeline == "general"
+            if spec.kind == "online":
+                assert spec.make().consumes_bounds
+            else:
+                # offline sharers take the precomputed sweep directly
+                assert spec.kind == "offline"
 
     def test_shared_replay_matches_per_algorithm_replay(self):
         """Satellite acceptance: one shared work-function sweep
         reproduces every LCP-family entry's solo replay bit for bit."""
         inst = build_instance("sawtooth", 64, 0)
-        family = _lcp_family()
+        family = _lcp_family("online")
         algorithms = [get_spec(name).make() for name in family]
         shared = run_online_many(inst, algorithms)
         for name, res in zip(family, shared):
