@@ -67,7 +67,7 @@ def _run_variant(spec, variant: str, workdir: pathlib.Path,
                  n_jobs: int) -> dict:
     """Time one run_grid execution under one variant; returns a row."""
     from repro import kernels
-    from repro.runner import run_grid, shutdown_pool
+    from repro.runner import EngineConfig, run_grid, shutdown_pool
     from repro.runner import instancestore
     store_dir = workdir / "store"
     cache_dir = workdir / "cache"
@@ -104,7 +104,9 @@ def _run_variant(spec, variant: str, workdir: pathlib.Path,
                 shutdown_pool()
                 stats: dict = {}
                 start = time.perf_counter()
-                rows = run_grid(spec, n_jobs=n_jobs, stats=stats, **kwargs)
+                rows = run_grid(spec,
+                                EngineConfig(n_jobs=n_jobs, **kwargs),
+                                stats=stats)
                 elapsed = time.perf_counter() - start
                 row = {"variant": variant, "jobs": len(rows),
                        "seconds": round(elapsed, 6),
@@ -127,15 +129,16 @@ def bench_engine(sizes=DEFAULT_SIZES, algorithms=DEFAULT_ALGORITHMS,
                  scenario: str = "diurnal", n_jobs: int = 1,
                  workdir=None) -> dict:
     """Run the three variants at every horizon; returns the report."""
-    from repro.runner import GridSpec, aggregate_rows, run_grid
+    from repro.runner import EngineConfig, GridSpec, aggregate_rows, run_grid
 
     def measure(T: int, workdir: pathlib.Path) -> list[dict]:
         spec = GridSpec(scenarios=(scenario,), algorithms=tuple(algorithms),
                         seeds=(0,), sizes=(int(T),))
         # warm the store and the result cache first (phase 0 / first run
         # are what 'cold' pays; the variants measure the steady state)
-        run_grid(spec, n_jobs=n_jobs, store_dir=workdir / "store",
-                 cache_dir=workdir / "cache")
+        run_grid(spec, EngineConfig(n_jobs=n_jobs,
+                                    store_dir=workdir / "store",
+                                    cache_dir=workdir / "cache"))
         out = []
         reference = None
         for variant in VARIANTS:

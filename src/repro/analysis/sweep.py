@@ -5,12 +5,14 @@ evaluated by a user function returning a dict of measurements, and the
 results are collected as a list of flat row dicts ready for
 :mod:`repro.analysis.tables`.
 
-Evaluation rides the batch engine's pipelined dispatch: passing
+Evaluation rides the batch engine's shared pipelined executor
+(:func:`repro.runner.executor.run_pipeline` — the same
+double-buffer / in-order-drain loop ``run_grid`` runs on): passing
 ``n_jobs > 1`` fans grid points out over the engine's *persistent*
 process pool (the function must then be picklable, i.e. module-level)
 in fused chunks — several points per worker round-trip — and up to
 ``pipeline_depth`` batches stay in flight, so the pool keeps working
-while the parent flushes the previous batch's rows to the sink.  The
+while the parent flushes finished batches' rows to the sink.  The
 pool is shared with ``run_grid`` and ``repro lowerbound`` and survives
 across sweeps, so many small sweeps don't pay a pool fork each.
 Passing ``cache_dir``
@@ -27,17 +29,24 @@ For named (scenario x algorithm) grids with ratio aggregation, prefer
 
 from __future__ import annotations
 
-import collections
 import itertools
+from concurrent.futures import Future
 from typing import Callable, Mapping, Sequence
 
-from ..runner.engine import _batches, _chunk_list, _submit_task
+from ..runner.executor import (EngineConfig, PipelineBatch, RunStats,
+                               chunk_list, resolve_config, run_pipeline,
+                               submit_task)
+from ..runner.engine import _batches
 from ..runner.jobcache import JobCache, content_key, jsonify
 
 __all__ = ["sweep"]
 
 #: bump when the sweep cache record shape changes
 _SWEEP_CACHE_VERSION = 1
+
+#: keyword arguments the pre-``EngineConfig`` ``sweep`` accepted
+_SWEEP_KWARGS = frozenset({"n_jobs", "cache_dir", "sink", "batch_size",
+                           "pipeline_depth", "chunk_points"})
 
 
 class _EvalChunk:
@@ -65,126 +74,154 @@ def _point_key(fn: Callable, point: dict) -> str:
                         "fn": fn_id, "point": point})
 
 
-def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence], *,
-          n_jobs: int = 1, cache_dir=None,
-          stats: dict | None = None, sink=None,
-          batch_size: int | None = None, pipeline_depth: int = 2,
-          chunk_points: int | None = None):
+class _SweepBatch(PipelineBatch):
+    """One admitted batch of sweep points on the shared executor.
+
+    ``advance`` harvests finished chunk futures — canonicalizing each
+    measurement through the JSON form when caching, so hit and miss
+    rows are indistinguishable, and writing the per-point cache the
+    moment a chunk lands (a killed sweep must not recompute points it
+    already paid for).  ``flush`` merges points with measurements and
+    writes the sink in grid-product order; ``salvage`` persists
+    completed-but-unharvested chunks on abort.
+    """
+
+    __slots__ = ("cache", "sink", "batch", "size", "results", "futures")
+
+    def __init__(self, cache, sink, batch: list,
+                 futures: list[tuple[list, Future]]):
+        self.cache = cache
+        self.sink = sink
+        self.batch = batch
+        self.size = len(batch)
+        self.results: list = [None] * len(batch)
+        self.futures = futures
+
+    def _harvest(self, chunk, future) -> None:
+        for (i, _point, key), result in zip(chunk, future.result()):
+            self.results[i] = (jsonify(result) if self.cache is not None
+                               else result)
+            if self.cache is not None:
+                self.cache.put("sweep", key, result)
+
+    def advance(self) -> bool:
+        progressed = False
+        remaining = []
+        for chunk, future in self.futures:
+            if not future.done():
+                remaining.append((chunk, future))
+                continue
+            self._harvest(chunk, future)
+            progressed = True
+        self.futures = remaining
+        return progressed
+
+    def done(self) -> bool:
+        return not self.futures
+
+    def unfinished_futures(self) -> list[Future]:
+        return [f for _c, f in self.futures if not f.done()]
+
+    def flush(self) -> int:
+        for point, result in zip(self.batch, self.results):
+            clash = set(point) & set(result)
+            if clash:
+                raise ValueError(
+                    f"measurement keys collide with grid: {clash}")
+            self.sink.write({**point, **result})
+        return len(self.batch)
+
+    def flushable(self) -> bool:
+        return all(r is not None for r in self.results)
+
+    def salvage(self) -> None:
+        remaining = []
+        for chunk, future in self.futures:
+            if not (future.done() and not future.cancelled()):
+                remaining.append((chunk, future))
+                continue
+            try:
+                self._harvest(chunk, future)
+            except Exception:
+                remaining.append((chunk, future))
+        self.futures = remaining
+
+
+def sweep(fn: Callable[..., Mapping], grid: Mapping[str, Sequence],
+          config: EngineConfig | None = None, *, stats=None, **legacy):
     """Evaluate ``fn(**point)`` on every point of the parameter grid.
 
     ``grid`` maps parameter names to value lists; the returned rows merge
     the grid point with ``fn``'s measurement dict (measurements win on
-    key collisions being forbidden).  ``n_jobs > 1`` evaluates points on
-    a process pool; row order is always the grid-product order.  With
-    ``cache_dir``, previously evaluated points are read back from the
-    per-point cache; pass a dict as ``stats`` to receive ``hits`` and
-    ``misses`` counters.
+    key collisions being forbidden).  Execution is configured by an
+    :class:`~repro.runner.executor.EngineConfig` (the legacy keyword
+    arguments — ``n_jobs``, ``cache_dir``, ``sink``, ``batch_size``,
+    ``pipeline_depth``, ``chunk_points`` — still work through a
+    deprecation shim; ``chunk_points`` is the config's ``chunk_jobs``).
+    ``n_jobs > 1`` evaluates points on the persistent process pool; row
+    order is always the grid-product order.  With ``cache_dir``,
+    previously evaluated points are read back from the per-point cache.
+    ``stats`` may be a :class:`~repro.runner.executor.RunStats` (typed
+    counters, accumulated in place) or a plain dict, which receives the
+    historical ``hits`` and ``misses`` keys.
 
     Like :func:`repro.runner.run_grid`, a sweep streams *and
-    pipelines*: points run in bounded batches of ``batch_size``
-    (``None`` = one batch) dispatched as fused chunks of
-    ``chunk_points`` (``None`` auto-sizes), up to ``pipeline_depth``
-    batches stay in flight on the pool, and rows flow into a
-    :mod:`repro.runner.sinks` ``sink`` — always in grid-product order —
-    as each batch finishes.  The default ``sink=None`` collects and
-    returns the historical ``list[dict]``; a file-backed sink keeps
-    parent memory at O(depth x batch) and ``sweep`` returns
-    ``sink.result()``.
+    pipelines* — on the same shared scheduling loop
+    (:func:`repro.runner.executor.run_pipeline`): points run in bounded
+    batches of ``batch_size`` (``None`` = one batch) dispatched as
+    fused chunks of ``chunk_points`` (``None`` auto-sizes), up to
+    ``pipeline_depth`` batches stay in flight on the pool, and rows
+    flow into a :mod:`repro.runner.sinks` ``sink`` — always in
+    grid-product order — as each batch finishes.  The default
+    ``sink=None`` collects and returns the historical ``list[dict]``;
+    a file-backed sink keeps parent memory at O(depth x batch) and
+    ``sweep`` returns ``sink.result()``.
     """
     from ..runner.sinks import ListSink
-    if pipeline_depth < 1:
+    config = resolve_config(config, legacy, what="sweep",
+                            allowed=_SWEEP_KWARGS)
+    if config.pipeline_depth < 1:
         raise ValueError("pipeline_depth must be >= 1")
     names = list(grid.keys())
     points = (dict(zip(names, values))
               for values in itertools.product(*(grid[n] for n in names)))
-    cache = (cache_dir if isinstance(cache_dir, JobCache)
-             else JobCache(cache_dir) if cache_dir is not None else None)
-    sink = ListSink() if sink is None else sink
-    flush_ok = [True]   # False once a flush failed (row prefix is torn)
-    hits = misses = 0
-    inflight: collections.deque = collections.deque()
+    cache = (config.cache_dir if isinstance(config.cache_dir, JobCache)
+             else JobCache(config.cache_dir)
+             if config.cache_dir is not None else None)
+    sink = ListSink() if config.sink is None else config.sink
+    run_stats = stats if isinstance(stats, RunStats) else RunStats()
 
-    def flush(entry) -> None:
-        batch, results, futures = entry
-        try:
-            for chunk, future in futures:
-                for (i, _point, key), result in zip(chunk,
-                                                    future.result()):
-                    # canonicalize through the JSON form so hit and
-                    # miss rows are indistinguishable (numpy scalars ->
-                    # float, tuples -> lists)
-                    results[i] = (jsonify(result) if cache is not None
-                                  else result)
-                    if cache is not None:
-                        cache.put("sweep", key, result)
-            for point, result in zip(batch, results):
-                clash = set(point) & set(result)
-                if clash:
-                    raise ValueError(
-                        f"measurement keys collide with grid: {clash}")
-                sink.write({**point, **result})
-        except BaseException:
-            # once a flush tears, the abort drain must not keep
-            # writing later batches — killed sinks keep a clean prefix
-            flush_ok[0] = False
-            raise
+    def plan(batch: list) -> _SweepBatch:
+        pending: list[tuple[int, dict, str]] = []
+        results_known: list[tuple[int, dict]] = []
+        for i, point in enumerate(batch):
+            key = _point_key(fn, point) if cache is not None else ""
+            cached = (cache.get("sweep", key)
+                      if cache is not None else None)
+            if cached is not None:
+                results_known.append((i, cached))
+                run_stats.hits += 1
+            else:
+                pending.append((i, point, key))
+        run_stats.misses += len(pending)
+        futures = [
+            (chunk, submit_task(_EvalChunk(fn),
+                                [p for _, p, _ in chunk], config.n_jobs))
+            for chunk in chunk_list(pending, config.n_jobs,
+                                    config.chunk_jobs)]
+        st = _SweepBatch(cache, sink, batch, futures)
+        for i, cached in results_known:
+            st.results[i] = cached
+        return st
 
     sink.open()
     try:
-        for batch in _batches(points, batch_size):
-            results: list = [None] * len(batch)
-            pending: list[tuple[int, dict, str]] = []
-            for i, point in enumerate(batch):
-                key = _point_key(fn, point) if cache is not None else ""
-                cached = (cache.get("sweep", key)
-                          if cache is not None else None)
-                if cached is not None:
-                    results[i] = cached
-                    hits += 1
-                else:
-                    pending.append((i, point, key))
-            misses += len(pending)
-            futures = [
-                (chunk, _submit_task(_EvalChunk(fn),
-                                     [p for _, p, _ in chunk], n_jobs))
-                for chunk in _chunk_list(pending, n_jobs, chunk_points)]
-            inflight.append((batch, results, futures))
-            # double-buffer: flush the oldest batch only once the pool
-            # holds pipeline_depth batches, so workers chew on batch
-            # N+1 while the parent writes batch N's rows
-            while len(inflight) >= pipeline_depth:
-                flush(inflight.popleft())
-        while inflight:
-            flush(inflight.popleft())
+        run_pipeline(_batches(points, config.batch_size), plan,
+                     pipeline_depth=config.pipeline_depth,
+                     stats=run_stats)
     finally:
-        # abort path: completed head batches still flush to the sink
-        # in order (the pre-pipeline sweep always wrote batch N before
-        # starting N+1; double-buffering must not lose that) — unless
-        # a flush itself is what failed
-        while (flush_ok[0] and inflight
-               and all(f.done() and not f.cancelled()
-                       for _c, f in inflight[0][2])):
-            try:
-                flush(inflight[0])
-            except BaseException:
-                break
-            inflight.popleft()
-        # then cancel what never started, persisting the measurements
-        # of chunks that did complete — a killed sweep must not
-        # recompute points it already paid for
-        for _batch, _results, futures in inflight:
-            for chunk, future in futures:
-                future.cancel()
-                if cache is None or not future.done() or \
-                        future.cancelled():
-                    continue
-                try:
-                    for (_i, _point, key), result in zip(chunk,
-                                                         future.result()):
-                        cache.put("sweep", key, result)
-                except Exception:
-                    pass
         sink.close()
-    if stats is not None:
-        stats.update({"hits": hits, "misses": misses})
+    if isinstance(stats, dict):
+        stats.update({"hits": run_stats.hits,
+                      "misses": run_stats.misses})
     return sink.result()

@@ -18,6 +18,11 @@ Subcommands, mirroring the library's pillars:
 * ``repro cache``     — administer the per-job result cache: stats,
   prune by age and/or LRU size bound, clear, and JSON-dir → SQLite
   migration.
+* ``repro work``      — multi-worker execution on a shared lease
+  queue: ``enqueue`` splits a grid into contiguous job leases,
+  ``run`` drains them (any number of concurrent workers, crash-safe
+  via heartbeat + reclaim), ``merge`` reassembles the per-worker rows
+  into one bit-identical result set, ``status`` shows lease counts.
 
 Examples::
 
@@ -37,6 +42,11 @@ Examples::
     repro cache migrate --cache-dir /tmp/cache
     repro cache prune --cache-dir /tmp/cache --older-than 30d
     repro cache prune --cache-dir /tmp/cache --max-bytes 100m
+    repro work enqueue --queue /tmp/q --scenarios diurnal,bursty \
+        --algorithms lcp,threshold --seeds 0,1 -T 96 --lease-jobs 4
+    repro work run --queue /tmp/q --cache-dir /tmp/cache  # xN workers
+    repro work merge --queue /tmp/q --out merged.jsonl
+    repro work status --queue /tmp/q
 """
 
 from __future__ import annotations
@@ -54,6 +64,11 @@ _WORKLOADS = ("diurnal", "msr", "hotmail", "bursty", "onoff", "sawtooth",
 _SOLVERS = ("binary_search", "dp", "graph", "lp")
 _ALGORITHMS = ("lcp", "threshold", "randomized", "memoryless", "followmin",
                "rhc", "afhc")
+
+#: mirrors of :mod:`repro.runner.leasequeue` defaults, repeated here so
+#: help text renders without importing the runner at module load
+_DEFAULT_LEASE_JOBS = 8
+_DEFAULT_TTL = 60.0
 
 #: predefined engine grids for ``repro bench``
 _BENCH_GRIDS = {
@@ -121,7 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--lookahead", type=int, default=0,
                     help="prediction window w for lcp/rhc/afhc")
 
-    def add_engine_args(sp):
+    def add_grid_args(sp):
+        sp.add_argument("--scenarios",
+                        default="diurnal,msr-like,hotmail-like,bursty,onoff",
+                        help="comma list of scenario names (see --list)")
+        sp.add_argument("--algorithms",
+                        default="lcp,threshold,randomized,memoryless",
+                        help="comma list of registry names (see --list)")
+        sp.add_argument("--seeds", default="0,1,2",
+                        help="comma list of integer seeds")
+        sp.add_argument("-T", default="168",
+                        help="comma list of horizon lengths")
+        sp.add_argument("--lookahead", type=int, default=0,
+                        help="prediction window for lookahead algorithms")
+        sp.add_argument("--params", default=None, metavar="JSON",
+                        help="semicolon list of scenario-parameter JSON "
+                             "dicts crossed with the grid, e.g. "
+                             "'{\"beta\": 2.0};{\"beta\": 8.0}'")
+
+    def add_engine_args(sp, sink: bool = True):
         sp.add_argument("--n-jobs", type=int, default=1,
                         help="worker processes (1 = in-process); the "
                              "pool persists across phases and grids")
@@ -157,6 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "(amortizes IPC; LCP-family jobs on one "
                              "instance share a work-function sweep); "
                              "default auto-sizes, 1 disables fusion")
+        if not sink:
+            return
         sp.add_argument("--sink", choices=("list", "jsonl", "sqlite"),
                         default="list",
                         help="where result rows stream to: an in-memory "
@@ -169,22 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("sweep",
                         help="batch a (scenario x algorithm x seed x size) "
                              "grid through the parallel engine")
-    sp.add_argument("--scenarios",
-                    default="diurnal,msr-like,hotmail-like,bursty,onoff",
-                    help="comma list of scenario names (see --list)")
-    sp.add_argument("--algorithms",
-                    default="lcp,threshold,randomized,memoryless",
-                    help="comma list of registry names (see --list)")
-    sp.add_argument("--seeds", default="0,1,2",
-                    help="comma list of integer seeds")
-    sp.add_argument("-T", default="168",
-                    help="comma list of horizon lengths")
-    sp.add_argument("--lookahead", type=int, default=0,
-                    help="prediction window for lookahead algorithms")
-    sp.add_argument("--params", default=None, metavar="JSON",
-                    help="semicolon list of scenario-parameter JSON "
-                         "dicts crossed with the grid, e.g. "
-                         "'{\"beta\": 2.0};{\"beta\": 8.0}'")
+    add_grid_args(sp)
     sp.add_argument("--group-by", default=None, metavar="COLS",
                     help="comma list of row columns to aggregate on "
                          "(default scenario,algorithm,T); params-axis "
@@ -254,6 +274,51 @@ def build_parser() -> argparse.ArgumentParser:
                                   "accessed records until the cache "
                                   "holds at most SIZE bytes (suffixes "
                                   "k/m/g), e.g. 100m")
+
+    sp = sub.add_parser("work",
+                        help="multi-worker grid execution on a shared "
+                             "lease queue")
+    work_sub = sp.add_subparsers(dest="work_command", required=True)
+
+    wsp = work_sub.add_parser(
+        "enqueue", help="split a grid into contiguous job leases")
+    wsp.add_argument("--queue", metavar="DIR", required=True,
+                     help="queue directory shared by every worker")
+    wsp.add_argument("--lease-jobs", type=int, default=None, metavar="N",
+                     help="contiguous jobs per lease (default %d)"
+                          % _DEFAULT_LEASE_JOBS)
+    add_grid_args(wsp)
+
+    wsp = work_sub.add_parser(
+        "run", help="claim and run leases until the queue drains")
+    wsp.add_argument("--queue", metavar="DIR", required=True)
+    wsp.add_argument("--worker", default=None, metavar="ID",
+                     help="worker identity (default host-pid); names "
+                          "this worker's results file and leases")
+    wsp.add_argument("--ttl", type=float, default=None, metavar="SECS",
+                     help="lease time-to-live; heartbeats ride each "
+                          "batch flush, so pick well above one batch's "
+                          "wall time (default %.0fs)" % _DEFAULT_TTL)
+    wsp.add_argument("--poll", type=float, default=None, metavar="SECS",
+                     help="idle poll interval while waiting for "
+                          "reclaimable leases")
+    wsp.add_argument("--max-leases", type=int, default=None, metavar="N",
+                     help="stop after N leases (default: drain the "
+                          "queue)")
+    add_engine_args(wsp, sink=False)
+
+    wsp = work_sub.add_parser(
+        "merge", help="reassemble per-worker rows into one result set")
+    wsp.add_argument("--queue", metavar="DIR", required=True)
+    wsp.add_argument("--grid-id", default=None,
+                     help="grid to merge (default: the queue's only "
+                          "grid)")
+    wsp.add_argument("--out", metavar="PATH", default=None,
+                     help="write merged rows to a JSONL file instead "
+                          "of printing aggregate ratios")
+
+    wsp = work_sub.add_parser("status", help="lease counts per grid")
+    wsp.add_argument("--queue", metavar="DIR", required=True)
     return p
 
 
@@ -434,6 +499,17 @@ def _open_cache(args):
                     backend=None if backend == "auto" else backend)
 
 
+def _make_cli_config(args, sink=None):
+    """The EngineConfig selected by the shared engine flags."""
+    from .runner import EngineConfig
+    return EngineConfig(n_jobs=args.n_jobs, cache_dir=_open_cache(args),
+                        store_dir=getattr(args, "store_dir", None),
+                        force=args.force, sink=sink,
+                        batch_size=args.batch_size,
+                        pipeline_depth=args.pipeline_depth,
+                        chunk_jobs=args.chunk_jobs)
+
+
 def _cmd_sweep(args) -> int:
     if args.list:
         from .runner import algorithm_table, get_scenario, scenario_names
@@ -458,12 +534,8 @@ def _cmd_sweep(args) -> int:
                        _split(args.seeds, int), _split(args.T, int),
                        lookahead=args.lookahead, params=params)
     stats: dict = {}
-    result = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
-                      store_dir=args.store_dir, force=args.force,
-                      stats=stats, sink=_make_cli_sink(args),
-                      batch_size=args.batch_size,
-                      pipeline_depth=args.pipeline_depth,
-                      chunk_jobs=args.chunk_jobs)
+    result = run_grid(spec, _make_cli_config(args, _make_cli_sink(args)),
+                      stats=stats)
     title = f"sweep {len(spec)} jobs (key {spec.cache_key()})"
     if args.sink == "list":
         _print_grid_results(result, args.per_row, title,
@@ -483,12 +555,8 @@ def _cmd_bench(args) -> int:
     spec = GridSpec(**_BENCH_GRIDS[args.grid])
     stats: dict = {}
     start = time.perf_counter()
-    result = run_grid(spec, n_jobs=args.n_jobs, cache_dir=_open_cache(args),
-                      store_dir=args.store_dir, force=args.force,
-                      stats=stats, sink=_make_cli_sink(args),
-                      batch_size=args.batch_size,
-                      pipeline_depth=args.pipeline_depth,
-                      chunk_jobs=args.chunk_jobs)
+    result = run_grid(spec, _make_cli_config(args, _make_cli_sink(args)),
+                      stats=stats)
     elapsed = time.perf_counter() - start
     if args.sink == "list":
         _print_grid_results(result, per_row=False,
@@ -595,16 +663,81 @@ def _cmd_lowerbound(args) -> int:
     (kind, eps) point is one grid job, so the eps sweep inherits the
     engine's process pool, per-job cache and deterministic seeding."""
     from .analysis import format_table
-    from .runner import run_grid
+    from .runner import EngineConfig, run_grid
     scenario, algorithm = _LOWERBOUND_GRIDS[args.kind]
     spec = _build_spec((scenario,), (algorithm,), (0,), (args.max_steps,),
                        params=tuple({"eps": float(e)}
                                     for e in args.eps.split(",")))
-    rows = run_grid(spec, n_jobs=args.n_jobs,
-                    cache_dir=_open_cache(args))
+    rows = run_grid(spec, EngineConfig(n_jobs=args.n_jobs,
+                                       cache_dir=_open_cache(args)))
     table = [{"eps": r["eps"], "T": r["game_T"], "ratio": r["ratio"],
               "limit": r["limit"]} for r in rows]
     print(format_table(table, title=f"{args.kind} lower-bound game"))
+    return 0
+
+
+def _cmd_work(args) -> int:
+    """Multi-worker lease-queue execution (enqueue/run/merge/status)."""
+    from .runner import LeaseQueue, merge_results, work
+    if args.work_command == "enqueue":
+        import json as _json
+        params = None
+        if args.params:
+            try:
+                params = tuple(_json.loads(part)
+                               for part in args.params.split(";") if part)
+            except ValueError:
+                raise SystemExit(
+                    f"could not parse --params {args.params!r}; use "
+                    "semicolon-separated JSON dicts") from None
+        spec = _build_spec(_split(args.scenarios), _split(args.algorithms),
+                           _split(args.seeds, int), _split(args.T, int),
+                           lookahead=args.lookahead, params=params)
+        queue = LeaseQueue(args.queue)
+        kwargs = ({} if args.lease_jobs is None
+                  else {"lease_jobs": args.lease_jobs})
+        grid_id = queue.enqueue(spec, **kwargs)
+        counts = queue.counts(grid_id)
+        print(f"enqueued grid {grid_id}: {len(spec)} jobs in "
+              f"{sum(counts.values())} leases -> {args.queue}")
+        return 0
+    if args.work_command == "run":
+        from .runner.leasequeue import default_worker_id
+        worker = args.worker or default_worker_id()
+        kwargs = {k: v for k, v in
+                  (("ttl", args.ttl), ("poll", args.poll),
+                   ("max_leases", args.max_leases)) if v is not None}
+        stats = work(args.queue, worker=worker,
+                     config=_make_cli_config(args), **kwargs)
+        print(f"worker {worker} done: {stats.leases_claimed} leases "
+              f"claimed, {stats.leases_completed} completed, "
+              f"{stats.leases_lost} lost, {stats.leases_reclaimed} "
+              f"reclaimed, {stats.rows_written} rows")
+        return 0
+    if args.work_command == "merge":
+        sink = None
+        if args.out:
+            from .runner import JsonlSink
+            sink = JsonlSink(args.out)
+        result = merge_results(args.queue, grid_id=args.grid_id, sink=sink)
+        if args.out:
+            print(f"merged {sink.rows_written} rows -> {result}")
+        else:
+            _print_grid_results(result, per_row=False,
+                                title=f"merged grid ({len(result)} rows)")
+        return 0
+    # status: lease counts per grid
+    queue = LeaseQueue(args.queue)
+    grids = queue.grids()
+    if not grids:
+        print(f"queue {args.queue}: no grids enqueued")
+        return 0
+    for grid_id in grids:
+        counts = queue.counts(grid_id)
+        state = "drained" if queue.finished(grid_id) else "in progress"
+        print(f"grid {grid_id}: {queue.total(grid_id)} jobs — "
+              f"{counts['pending']} pending, {counts['leased']} leased, "
+              f"{counts['done']} done leases ({state})")
     return 0
 
 
@@ -625,7 +758,7 @@ def main(argv=None) -> int:
     return {"solve": _cmd_solve, "simulate": _cmd_simulate,
             "sweep": _cmd_sweep, "bench": _cmd_bench,
             "lowerbound": _cmd_lowerbound, "report": _cmd_report,
-            "cache": _cmd_cache,
+            "cache": _cmd_cache, "work": _cmd_work,
             }[args.command](args)
 
 

@@ -8,12 +8,21 @@ The runner is the substrate every large-scale experiment stands on:
 * :mod:`repro.runner.scenarios` — one named catalog of workload
   scenarios: the trace families of the experimental evaluation plus
   adversarial, random-convex and heterogeneous-cost instances.
+* :mod:`repro.runner.executor` — the shared pipelined batch executor:
+  the persistent process pool, the :class:`EngineConfig` /
+  :class:`RunStats` value objects and the one double-buffer /
+  in-order-drain scheduling loop (:func:`run_pipeline`) the engine,
+  ``analysis/sweep`` and the lease-queue worker all run on.
 * :mod:`repro.runner.engine` — expands a :class:`GridSpec` of
   (scenario x algorithm x seed x size) into jobs, materializes each
   distinct instance once (phase 0), solves each instance's offline
   optimum once (phase 1), fans the algorithm jobs out on a persistent
   process pool with deterministic per-job seeding (phase 2) and
   aggregates competitive ratios.
+* :mod:`repro.runner.leasequeue` — multi-host execution: a WAL-mode
+  SQLite lease queue workers claim contiguous job ranges from
+  (heartbeat, expiry, reclaim), plus the :func:`merge_results` step
+  that reassembles per-worker rows into one bit-identical result set.
 * :mod:`repro.runner.instancestore` — the shared mmap-backed store of
   materialized instance payloads plus the per-process build memo, so no
   process ever tabulates the same cost matrix twice.
@@ -24,9 +33,13 @@ The runner is the substrate every large-scale experiment stands on:
 """
 
 from .engine import (GridSpec, aggregate_rows, instance_key, job_key,
-                     parallel_map, run_grid, shutdown_pool)
+                     run_grid)
+from .executor import (EngineConfig, PipelineBatch, RunStats,
+                       parallel_map, run_pipeline, shutdown_pool)
 from .instancestore import InstanceStore, get_instance
 from .jobcache import JobCache, migrate_cache
+from .leasequeue import (Lease, LeaseLost, LeaseQueue, merge_results,
+                         work)
 from .registry import (PIPELINES, AlgorithmSpec, algorithm_names,
                        algorithm_table, game_names, get_spec,
                        make_algorithm, make_solver, pipeline_optimum,
@@ -44,7 +57,10 @@ __all__ = [
     "trace_suite",
     "GridSpec", "InstanceStore", "JobCache", "aggregate_rows",
     "get_instance", "instance_key", "job_key", "migrate_cache",
-    "parallel_map", "run_grid", "shutdown_pool",
+    "run_grid",
+    "EngineConfig", "PipelineBatch", "RunStats", "parallel_map",
+    "run_pipeline", "shutdown_pool",
+    "Lease", "LeaseLost", "LeaseQueue", "merge_results", "work",
     "JsonlSink", "ListSink", "ResultSink", "SqliteSink", "make_sink",
     "read_jsonl_rows", "read_sqlite_rows",
 ]

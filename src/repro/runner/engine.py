@@ -31,7 +31,12 @@ in-process or on a persistent process pool with fused chunking:
   to the per-job cache the moment its chunk finishes — so a killed grid
   resumes from the cache paying only the jobs it never finished.
 
-Batches themselves are *pipelined* on the persistent pool: up to
+The double-buffer / in-order-drain scheduling itself lives in
+:mod:`repro.runner.executor` (:func:`~repro.runner.executor.\
+run_pipeline`), shared with :func:`repro.analysis.sweep.sweep` and the
+multi-host lease-queue worker loop: this module contributes the grid
+*consumer* — the three-phase stage machine each admitted batch runs
+(:class:`_BatchState` driven by :class:`_GridRun`).  Up to
 ``pipeline_depth`` batches are in flight at once, so while batch N's
 phase-2 chunks run, the parent is already generating batch N+1 and
 submitting its phase-0 materializations and phase-1 solves — workers
@@ -47,13 +52,17 @@ Three properties make this the substrate for every large experiment:
   algorithm randomness from a stable hash of the full coordinates, so
   ``n_jobs=1`` and ``n_jobs=8`` produce bit-identical rows — with or
   without the instance store (``np.save`` round-trips float64 exactly).
+  The ``job_slice`` parameter hands a *contiguous sub-range* of the
+  grid to one caller — the seam multi-host lease workers split a grid
+  on — and slicing never changes a row's contents or order.
 * **Caching** — results persist per *job* in a content-addressed store
   (:class:`~repro.runner.jobcache.JobCache`, JSON-dir or SQLite
   backend): one record per job key, plus one per instance optimum.
   Overlapping grids share work, and extending a grid by one seed
   executes only the new seed's jobs.
-* **Pool reuse** — the engine keeps one module-level
-  ``ProcessPoolExecutor`` alive across phases, grids and callers
+* **Pool reuse** — all phases share the executor's persistent
+  module-level ``ProcessPoolExecutor`` (fork-else-spawn, grown never
+  shrunk), reused across phases, grids and callers
   (``analysis/sweep``, ``repro lowerbound``, :func:`parallel_map`), so
   the many small grids the benches run don't pay a pool fork each;
   :func:`shutdown_pool` tears it down explicitly (and at interpreter
@@ -73,25 +82,27 @@ tables — as the general-model algorithms.
 
 from __future__ import annotations
 
-import atexit
 import collections
 import dataclasses
 import hashlib
 import itertools
 import json
-import multiprocessing
 import zlib
-from concurrent.futures import (FIRST_COMPLETED, Future,
-                                ProcessPoolExecutor, wait)
+from concurrent.futures import Future
 
 from .. import kernels
 from . import instancestore
+from .executor import (EngineConfig, PipelineBatch, RunStats, chunk_list,
+                       iter_batches, parallel_map, resolve_config,
+                       run_pipeline, shutdown_pool, submit_task)
 from .instancestore import InstanceStore, get_instance
 from .jobcache import JobCache, content_key
-from .sinks import ListSink, ResultSink
+from .sinks import ListSink
 
 __all__ = [
     "GridSpec",
+    "EngineConfig",
+    "RunStats",
     "run_grid",
     "aggregate_rows",
     "job_key",
@@ -106,8 +117,12 @@ __all__ = [
 #: vectorized-kernel paths, which may shift cached costs by ulps)
 ENGINE_VERSION = 5
 
-#: how many batches the pipelined core keeps in flight at once
-DEFAULT_PIPELINE_DEPTH = 2
+# Historical names for the executor helpers.  The engine calls them
+# through its own globals, so tests monkeypatching
+# ``engine._submit_task`` / ``engine._batches`` keep intercepting.
+_submit_task = submit_task
+_chunk_list = chunk_list
+_batches = iter_batches
 
 _JOB_FIELDS = ("scenario", "algorithm", "T", "inst_seed", "seed",
                "lookahead", "params")
@@ -173,6 +188,17 @@ class GridSpec:
              for k, v in dataclasses.asdict(self).items()}
         d["engine_version"] = ENGINE_VERSION
         return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> GridSpec:
+        """Rebuild a spec from :meth:`to_dict` output (the form the
+        lease queue and the sinks persist).  Keys that are not spec
+        fields — e.g. the embedded ``engine_version`` — are ignored;
+        validating the version against the running engine is the
+        caller's job (:meth:`repro.runner.leasequeue.LeaseQueue.spec`
+        does)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in names})
 
     def cache_key(self) -> str:
         """Stable content hash of the spec (used as a display id; the
@@ -467,107 +493,6 @@ def _run_chunk(tasks: list[tuple]) -> list[dict]:
     return rows
 
 
-def _chunk_list(items, n_jobs: int, chunk_jobs: int | None) -> list[list]:
-    """Split ``items`` into contiguous chunks for fused dispatch.
-
-    ``chunk_jobs=None`` auto-sizes: in-process everything fuses into
-    one chunk (maximal sharing, no IPC to amortize anyway); on the pool
-    roughly two chunks per worker balance round-trip amortization
-    against load balancing.  ``chunk_jobs=1`` disables fusion (the
-    pre-pipeline per-job dispatch).
-    """
-    items = list(items)
-    if not items:
-        return []
-    if chunk_jobs is not None:
-        size = max(1, int(chunk_jobs))
-    elif n_jobs <= 1:
-        size = len(items)
-    else:
-        size = max(1, -(-len(items) // (2 * n_jobs)))
-    return [items[i:i + size] for i in range(0, len(items), size)]
-
-
-# ----------------------------------------------------------------------
-# Persistent worker pool.
-# ----------------------------------------------------------------------
-
-_POOL: ProcessPoolExecutor | None = None
-_POOL_WORKERS = 0
-
-
-def _get_pool(n_jobs: int) -> ProcessPoolExecutor:
-    """The module-level executor, grown (never shrunk) to ``n_jobs``."""
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None and _POOL_WORKERS < n_jobs:
-        _POOL.shutdown(wait=True, cancel_futures=True)
-        _POOL = None
-    if _POOL is None:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
-        _POOL = ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx)
-        _POOL_WORKERS = n_jobs
-    return _POOL
-
-
-def shutdown_pool() -> None:
-    """Tear down the persistent worker pool (idempotent; also runs at
-    interpreter exit).  The next parallel call starts a fresh pool.
-
-    In-flight pipelined futures are drained cleanly: queued-but-
-    unstarted tasks are cancelled (``cancel_futures=True``) and running
-    ones are awaited, so a Ctrl-C mid-pipeline never leaves orphaned
-    tasks executing against a torn-down parent.
-    """
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None:
-        _POOL.shutdown(wait=True, cancel_futures=True)
-        _POOL = None
-        _POOL_WORKERS = 0
-
-
-def _submit_task(fn, arg, n_jobs: int) -> Future:
-    """Run ``fn(arg)`` — inline (returning an already-completed future)
-    for ``n_jobs <= 1``, else on the persistent pool.  The inline path
-    raises synchronously, like the historical serial engine, and keeps
-    module-level ``fn`` internals monkeypatchable by tests."""
-    if n_jobs <= 1:
-        future: Future = Future()
-        future.set_result(fn(arg))
-        return future
-    return _get_pool(n_jobs).submit(fn, arg)
-
-
-atexit.register(shutdown_pool)
-
-
-def parallel_map(fn, items, n_jobs: int = 1, chunksize: int | None = None):
-    """Order-preserving map, in-process or on the persistent pool.
-
-    ``fn`` and the items must be picklable for ``n_jobs > 1`` (module
-    -level functions and plain data).  The pool outlives the call — it
-    is reused by both engine phases, by every subsequent grid, and by
-    ``analysis/sweep`` and ``repro lowerbound`` — so pool startup is
-    amortized across the many small grids the benches run.  The
-    in-process path is a plain ``map`` so tests can monkeypatch ``fn``'s
-    module-level dependencies.
-    """
-    items = list(items)
-    if n_jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    n_jobs = min(n_jobs, len(items))
-    if chunksize is None:
-        chunksize = max(1, len(items) // (4 * n_jobs))
-    try:
-        return list(_get_pool(n_jobs).map(fn, items, chunksize=chunksize))
-    except Exception:
-        # a dead/broken pool must not poison later calls — drop it so
-        # the next parallel_map starts fresh, then surface the error
-        shutdown_pool()
-        raise
-
-
 def _validate_pipelines(spec: GridSpec) -> None:
     """Fail fast (in the parent) when the grid pairs an algorithm with a
     scenario that cannot build its pipeline's instance representation."""
@@ -582,33 +507,6 @@ def _validate_pipelines(spec: GridSpec) -> None:
                     f"algorithm {algorithm!r} needs the {pipeline!r} "
                     f"pipeline but scenario {scenario!r} only builds "
                     f"{supported}")
-
-
-def _batches(iterable, size: int | None):
-    """Iterate lists of up to ``size`` items (everything when ``None``).
-
-    ``size`` is validated *eagerly*, before the first item of
-    ``iterable`` is consumed — a bad ``batch_size`` surfaces at the
-    call site (before any sink is opened or job generated), not at the
-    first ``next()`` of a lazily-evaluated generator.
-    """
-    if size is not None and size < 1:
-        raise ValueError("batch_size must be positive")
-    return _iter_batches(iterable, size)
-
-
-def _iter_batches(iterable, size: int | None):
-    if size is None:
-        batch = list(iterable)
-        if batch:
-            yield batch
-        return
-    it = iter(iterable)
-    while True:
-        batch = list(itertools.islice(it, size))
-        if not batch:
-            return
-        yield batch
 
 
 class _RecordWindow:
@@ -670,15 +568,24 @@ class _Promise:
 _MAT, _SOLVE, _RUN, _DONE = range(4)
 
 
-class _BatchState:
-    """One in-flight batch's progress through the three phases."""
+class _BatchState(PipelineBatch):
+    """One in-flight batch's progress through the three phases.
 
-    __slots__ = ("batch", "rows", "pending", "stage", "mat_futures",
-                 "mat_borrowed", "to_solve", "own_promises", "borrowed",
-                 "records", "run_futures")
+    The stage machine itself (cache lookups, phase submissions,
+    harvests) lives on the owning :class:`_GridRun`; this object holds
+    the per-batch bookkeeping and satisfies the
+    :class:`~repro.runner.executor.PipelineBatch` contract the shared
+    scheduler drives.
+    """
 
-    def __init__(self, batch: list):
+    __slots__ = ("run", "batch", "size", "rows", "pending", "stage",
+                 "mat_futures", "mat_borrowed", "to_solve",
+                 "own_promises", "borrowed", "records", "run_futures")
+
+    def __init__(self, run: "_GridRun", batch: list):
+        self.run = run
         self.batch = batch
+        self.size = len(batch)
         self.rows: list = [None] * len(batch)
         self.pending: list[tuple[int, tuple, str]] = []
         self.stage = _MAT
@@ -689,6 +596,12 @@ class _BatchState:
         self.borrowed: dict[tuple, _Promise] = {}
         self.records: dict[tuple, dict] = {}
         self.run_futures: list[tuple[list, Future]] = []
+
+    def advance(self) -> bool:
+        return self.run.advance(self)
+
+    def done(self) -> bool:
+        return self.stage == _DONE
 
     def unfinished_futures(self) -> list[Future]:
         """Futures the scheduler may need to block on."""
@@ -706,176 +619,145 @@ class _BatchState:
         futures += [f for _chunk, f in self.run_futures]
         return futures
 
+    def flush(self) -> int:
+        self.run.sink.write_many(self.rows)
+        return len(self.rows)
 
-def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
-             store_dir=None, force: bool = False,
-             stats: dict | None = None, sink: ResultSink | None = None,
-             batch_size: int | None = None,
-             pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
-             chunk_jobs: int | None = None):
-    """Stream every job of a grid through the pipelined three-phase
-    engine.
+    def flushable(self) -> bool:
+        return all(r is not None for r in self.rows)
 
-    Jobs are generated lazily and executed in bounded batches of
-    ``batch_size`` (``None`` = one batch); each batch's finished rows
-    are flushed — in job order — to the result ``sink``
-    (:mod:`repro.runner.sinks`).  With the default ``sink=None`` an
-    in-memory :class:`~repro.runner.sinks.ListSink` collects the rows
-    and ``run_grid`` returns the historical ``list[dict]``; with a
-    file-backed sink the parent holds at most
-    O(``pipeline_depth`` x ``batch_size``) pending rows (the
-    ``max_pending`` stat reports the observed peak) and ``run_grid``
-    returns ``sink.result()``.
+    def salvage(self) -> None:
+        self.run.salvage(self)
 
-    With ``n_jobs > 1`` batches are *double-buffered* on the persistent
-    pool: up to ``pipeline_depth`` batches are in flight, so batch
-    N+1's phase-0 materializations and phase-1 solves are submitted
-    while batch N's phase-2 chunks still run — the pool stays saturated
-    end to end instead of idling at three serial barriers per batch.
-    Phase dispatch is *fused*: ``chunk_jobs`` jobs ride one worker
-    round-trip (``None`` auto-sizes, ``1`` disables fusion), and
-    LCP-family jobs sharing an instance are replayed from one shared
-    work-function sweep.  Rows are bit-identical for every
-    ``(n_jobs, batch_size, pipeline_depth, chunk_jobs)`` combination.
 
-    With ``cache_dir``, each job's row (and each instance's optimum) is
-    read from the per-job content-addressed cache when present (unless
-    ``force``) and written back the moment its chunk completes — so
-    re-running any overlapping grid only executes the jobs it has not
-    seen before, and a grid killed mid-run resumes paying only the
-    unfinished jobs.  ``cache_dir`` may also be a ready-made
-    :class:`JobCache` (e.g. one opened on the SQLite backend).  With
-    ``store_dir``, phase 0 materializes each distinct pending instance
-    into the shared :class:`~repro.runner.instancestore.InstanceStore`
-    exactly once; phases 1 and 2 then mmap the payloads instead of
-    rebuilding.
+class _GridRun:
+    """Shared context of one :func:`run_grid` call.
 
-    Pass a dict as ``stats`` to receive counters: ``job_hits``,
-    ``job_misses``, ``opt_hits``, ``opt_solved``, ``batches``,
-    ``max_pending`` (peak result rows held in the parent at once —
-    bounded by ``pipeline_depth x batch_size``), ``rows_written``,
-    ``overlapped_batches`` (batches admitted while an earlier batch
-    still had unfinished worker tasks — 0 on the serial path, > 0
-    proves pipeline overlap), ``inflight_max`` (peak simultaneously
-    admitted batches), ``inst_materialized`` (instances newly written
-    to the store this call, wherever the build ran), plus this
-    process's instance-resolution deltas ``inst_builds`` (scenario
-    builds — with a store, at most one per distinct instance
-    end-to-end), ``inst_loads`` (store mmap loads) and
-    ``inst_memo_hits``.
+    The grid *consumer* of :func:`~repro.runner.executor.run_pipeline`:
+    plans each admitted batch (cache lookups, phase-0 submission) and
+    moves its :class:`_BatchState` through the three-phase stage
+    machine, sharing the optimum window, cross-batch solve promises and
+    in-flight materialization dedupe across the whole run.
     """
-    cache = (cache_dir if isinstance(cache_dir, JobCache)
-             else JobCache(cache_dir) if cache_dir is not None else None)
-    store_root = None if store_dir is None else str(store_dir)
-    _validate_pipelines(spec)
-    if pipeline_depth < 1:
-        raise ValueError("pipeline_depth must be >= 1")
-    batches_iter = _batches(spec.iter_jobs(), batch_size)
-    counters = {"job_hits": 0, "job_misses": 0, "opt_hits": 0,
-                "opt_solved": 0, "inst_materialized": 0, "batches": 0,
-                "max_pending": 0, "rows_written": 0,
-                "overlapped_batches": 0, "inflight_max": 0}
-    inst_stats_before = instancestore.build_stats()
-    sink = ListSink() if sink is None else sink
-    sink_ok = [True]   # False once the sink itself refused a write
-    window = _RecordWindow()
-    promises: dict[tuple, _Promise] = {}
-    materializing: dict[tuple, Future] = {}
-    inflight: collections.deque[_BatchState] = collections.deque()
-    from .scenarios import get_scenario
-    storable = {name: get_scenario(name).storable
-                for name in spec.scenarios}
 
-    def plan(batch: list) -> _BatchState:
+    def __init__(self, spec: GridSpec, config: EngineConfig, cache,
+                 sink, stats: RunStats, store_root):
+        """Bind one run's spec, config, cache, sink and counters."""
+        self.spec = spec
+        self.config = config
+        self.cache = cache
+        self.sink = sink
+        self.stats = stats
+        self.store_root = store_root
+        self.n_jobs = config.n_jobs
+        self.chunk_jobs = config.chunk_jobs
+        self.force = config.force
+        self.window = _RecordWindow()
+        self.promises: dict[tuple, _Promise] = {}
+        self.materializing: dict[tuple, Future] = {}
+        from .scenarios import get_scenario
+        self.storable = {name: get_scenario(name).storable
+                         for name in spec.scenarios}
+
+    def plan(self, batch: list) -> _BatchState:
         """Admit one batch: cache lookups, then submit phase 0 (and,
-        via :func:`advance`, everything that is already unblocked)."""
-        counters["batches"] += 1
-        st = _BatchState(batch)
+        via :meth:`advance`, everything that is already unblocked)."""
+        st = _BatchState(self, batch)
+        cache, force = self.cache, self.force
         for i, job in enumerate(batch):
             key = job_key(job)
             row = (cache.get("jobs", key)
                    if cache is not None and not force else None)
             if row is not None:
                 st.rows[i] = row
-                counters["job_hits"] += 1
+                self.stats.job_hits += 1
             else:
                 st.pending.append((i, job, key))
-        counters["job_misses"] += len(st.pending)
+        self.stats.job_misses += len(st.pending)
         if not st.pending:
             st.stage = _DONE
             return st
         need = dict.fromkeys(_instance_coords(job)
                              for _, job, _ in st.pending)
-        window.fit(len(need) * pipeline_depth)
+        self.window.fit(len(need) * self.config.pipeline_depth)
         for coords in need:
-            promise = promises.get(coords)
+            promise = self.promises.get(coords)
             if promise is not None:   # an earlier batch is solving it
                 st.borrowed[coords] = promise
                 continue
-            rec = window.get(coords)
+            rec = self.window.get(coords)
             if rec is None and cache is not None and not force:
                 rec = cache.get("instances", instance_key(coords))
                 if rec is not None:
-                    window.put(coords, rec)
-                    counters["opt_hits"] += 1
+                    self.window.put(coords, rec)
+                    self.stats.opt_hits += 1
             if rec is not None:
                 st.records[coords] = rec
             else:
                 st.to_solve.append(coords)
-                promises[coords] = st.own_promises[coords] = _Promise()
+                self.promises[coords] = st.own_promises[coords] = \
+                    _Promise()
         # Phase 0: materialize each distinct pending instance once
         # (scenarios with dense payloads only).  Borrowed instances are
         # the previous batch's responsibility, and a materialization an
         # earlier in-flight batch already submitted is *waited on*, not
         # re-submitted — overlap must not duplicate instance builds.
-        if store_root is not None:
-            store = InstanceStore(store_root)
+        if self.store_root is not None:
+            store = InstanceStore(self.store_root)
             missing = []
             for coords in need:
-                if coords in st.borrowed or not storable[coords[0]]:
+                if coords in st.borrowed or not self.storable[coords[0]]:
                     continue
-                shared = materializing.get(coords)
+                shared = self.materializing.get(coords)
                 if shared is not None:
                     st.mat_borrowed.append(shared)
                 elif not store.has(coords):
                     missing.append(coords)
-            for chunk in _chunk_list(missing, n_jobs, chunk_jobs):
+            for chunk in _chunk_list(missing, self.n_jobs,
+                                     self.chunk_jobs):
                 future = _submit_task(instancestore._materialize_chunk,
-                                      (chunk, store_root), n_jobs)
+                                      (chunk, self.store_root),
+                                      self.n_jobs)
                 st.mat_futures.append((chunk, future))
                 for coords in chunk:
-                    materializing[coords] = future
+                    self.materializing[coords] = future
         return st
 
-    def submit_solves(st: _BatchState) -> None:
-        for chunk in _chunk_list(st.to_solve, n_jobs, chunk_jobs):
-            future = _submit_task(_solve_chunk, (chunk, store_root),
-                                  n_jobs)
+    def submit_solves(self, st: _BatchState) -> None:
+        """Submit the batch's phase-1 optimum solves as fused chunks."""
+        for chunk in _chunk_list(st.to_solve, self.n_jobs,
+                                 self.chunk_jobs):
+            future = _submit_task(_solve_chunk, (chunk, self.store_root),
+                                  self.n_jobs)
             for pos, coords in enumerate(chunk):
                 promise = st.own_promises[coords]
                 promise.future, promise.pos = future, pos
 
-    def submit_runs(st: _BatchState) -> None:
-        for chunk in _chunk_list(st.pending, n_jobs, chunk_jobs):
-            tasks = [(job, st.records[_instance_coords(job)], store_root)
+    def submit_runs(self, st: _BatchState) -> None:
+        """Submit the batch's phase-2 algorithm jobs as fused chunks."""
+        for chunk in _chunk_list(st.pending, self.n_jobs,
+                                 self.chunk_jobs):
+            tasks = [(job, st.records[_instance_coords(job)],
+                      self.store_root)
                      for _i, job, _key in chunk]
             st.run_futures.append(
-                (chunk, _submit_task(_run_chunk, tasks, n_jobs)))
+                (chunk, _submit_task(_run_chunk, tasks, self.n_jobs)))
 
-    def advance(st: _BatchState) -> bool:
+    def advance(self, st: _BatchState) -> bool:
         """Move one batch through its stage machine; True on progress."""
+        cache = self.cache
         progressed = False
         if st.stage == _MAT and all(
                 f.done() for _c, f in st.mat_futures) and all(
                 f.done() for f in st.mat_borrowed):
             for chunk_coords, future in st.mat_futures:
-                counters["inst_materialized"] += sum(
+                self.stats.inst_materialized += sum(
                     map(bool, future.result()))
                 for coords in chunk_coords:
-                    materializing.pop(coords, None)
+                    self.materializing.pop(coords, None)
             st.mat_futures = []
             st.mat_borrowed = []
-            submit_solves(st)
+            self.submit_solves(st)
             st.stage = _SOLVE
             progressed = True
         if st.stage == _SOLVE:
@@ -888,18 +770,18 @@ def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
                     continue
                 rec = promise.result()
                 st.records[coords] = rec
-                window.put(coords, rec)
-                counters["opt_solved"] += 1
+                self.window.put(coords, rec)
+                self.stats.opt_solved += 1
                 if cache is not None:
                     cache.put("instances", instance_key(coords), rec)
-                promises.pop(coords, None)
+                self.promises.pop(coords, None)
                 progressed = True
             if (all(coords in st.records
                     for coords in st.own_promises)
                     and all(p.ready() for p in st.borrowed.values())):
                 for coords, promise in st.borrowed.items():
                     st.records[coords] = promise.result()
-                submit_runs(st)
+                self.submit_runs(st)
                 st.stage = _RUN
                 progressed = True
         if st.stage == _RUN:
@@ -919,108 +801,151 @@ def run_grid(spec: GridSpec, *, n_jobs: int = 1, cache_dir=None,
                 progressed = True
         return progressed
 
-    def pump() -> bool:
-        """Advance every in-flight batch; flush completed heads in
-        admission order (the sink sees rows in job order)."""
-        progressed = False
-        for st in list(inflight):
-            while advance(st):
-                progressed = True
-        while inflight and inflight[0].stage == _DONE:
-            st = inflight.popleft()
-            try:
-                sink.write_many(st.rows)
-            except BaseException:
-                # a sink that refuses rows must stop ALL flushing —
-                # the abort drain must not write later batches after a
-                # torn one (kill+resume relies on a clean row prefix)
-                sink_ok[0] = False
-                raise
-            counters["rows_written"] += len(st.rows)
-            progressed = True
-        return progressed
+    def salvage(self, st: _BatchState) -> None:
+        """Abort path: harvest completed-but-unflushed phase-2 chunks.
 
-    def drain() -> None:
-        """Abort path: cancel outstanding work, persist what finished.
-
-        Completed-but-unharvested chunk rows are written to the job
-        cache, and fully completed head batches are still flushed to
-        the sink in order (the serial engine always flushed batch N-1
-        before starting batch N; pipelining must not lose that) —
-        unless the abort came from the sink itself.
+        Rows land in the batch (so completed head batches still flush)
+        and — best-effort — in the job cache: a killed grid must not
+        recompute chunks it already paid for.
         """
-        for st in inflight:
-            for future in st.all_futures():
-                future.cancel()
-        for st in inflight:   # best-effort: completed chunks still count
-            remaining = []
-            for chunk, future in st.run_futures:
-                if not (future.done() and not future.cancelled()):
-                    remaining.append((chunk, future))
-                    continue
-                try:
-                    harvested = future.result()
-                except Exception:
-                    remaining.append((chunk, future))
-                    continue
-                for (i, _job, key), row in zip(chunk, harvested):
-                    st.rows[i] = row
-                    if cache is not None:
-                        try:
-                            cache.put("jobs", key, row)
-                        except Exception:
-                            pass
-            st.run_futures = remaining
-        while (sink_ok[0] and inflight
-               and all(r is not None for r in inflight[0].rows)):
-            st = inflight.popleft()
-            try:
-                sink.write_many(st.rows)
-            except BaseException:
-                break
-            counters["rows_written"] += len(st.rows)
-
-    sink.open(spec.to_dict())
-    exhausted = False
-    try:
-        while True:
-            while not exhausted and len(inflight) < pipeline_depth:
-                batch = next(batches_iter, None)
-                if batch is None:
-                    exhausted = True
-                    break
-                if any(b.unfinished_futures() for b in inflight):
-                    counters["overlapped_batches"] += 1
-                inflight.append(plan(batch))
-                counters["inflight_max"] = max(counters["inflight_max"],
-                                               len(inflight))
-                counters["max_pending"] = max(
-                    counters["max_pending"],
-                    sum(len(b.batch) for b in inflight))
-                pump()
-            if not inflight:
-                if exhausted:
-                    break
+        remaining = []
+        for chunk, future in st.run_futures:
+            if not (future.done() and not future.cancelled()):
+                remaining.append((chunk, future))
                 continue
-            if not pump():
-                futures = [f for st in inflight
-                           for f in st.unfinished_futures()]
-                if not futures:  # pragma: no cover - defensive
-                    raise RuntimeError("pipeline stalled without "
-                                       "outstanding work")
-                wait(futures, return_when=FIRST_COMPLETED)
-    except BaseException:
-        drain()
-        raise
+            try:
+                harvested = future.result()
+            except Exception:
+                remaining.append((chunk, future))
+                continue
+            for (i, _job, key), row in zip(chunk, harvested):
+                st.rows[i] = row
+                if self.cache is not None:
+                    try:
+                        self.cache.put("jobs", key, row)
+                    except Exception:
+                        pass
+        st.run_futures = remaining
+
+
+#: the stats-dict keys ``run_grid`` historically reported
+_GRID_STAT_KEYS = (
+    "job_hits", "job_misses", "opt_hits", "opt_solved",
+    "inst_materialized", "batches", "max_pending", "rows_written",
+    "overlapped_batches", "inflight_max", "inst_builds", "inst_loads",
+    "inst_memo_hits")
+
+#: keyword arguments the pre-``EngineConfig`` ``run_grid`` accepted
+_RUN_GRID_KWARGS = frozenset(
+    {"n_jobs", "cache_dir", "store_dir", "force", "sink", "batch_size",
+     "pipeline_depth", "chunk_jobs"})
+
+
+def run_grid(spec: GridSpec, config: EngineConfig | None = None, *,
+             stats=None, job_slice: tuple[int, int] | None = None,
+             **legacy):
+    """Stream every job of a grid through the pipelined three-phase
+    engine.
+
+    Execution is configured by an :class:`EngineConfig` (the legacy
+    keyword arguments — ``n_jobs``, ``cache_dir``, ``store_dir``,
+    ``force``, ``sink``, ``batch_size``, ``pipeline_depth``,
+    ``chunk_jobs`` — still work through a deprecation shim that folds
+    them into the config).  Jobs are generated lazily and executed in
+    bounded batches of ``batch_size`` (``None`` = one batch); each
+    batch's finished rows are flushed — in job order — to the result
+    ``sink`` (:mod:`repro.runner.sinks`).  With the default
+    ``sink=None`` an in-memory :class:`~repro.runner.sinks.ListSink`
+    collects the rows and ``run_grid`` returns the historical
+    ``list[dict]``; with a file-backed sink the parent holds at most
+    O(``pipeline_depth`` x ``batch_size``) pending rows (the
+    ``max_pending`` stat reports the observed peak) and ``run_grid``
+    returns ``sink.result()``.
+
+    With ``n_jobs > 1`` batches are *double-buffered* on the persistent
+    pool (:func:`~repro.runner.executor.run_pipeline` — the scheduling
+    loop shared with ``analysis/sweep`` and the lease-queue worker):
+    up to ``pipeline_depth`` batches are in flight, so batch N+1's
+    phase-0 materializations and phase-1 solves are submitted while
+    batch N's phase-2 chunks still run — the pool stays saturated end
+    to end instead of idling at three serial barriers per batch.  Phase
+    dispatch is *fused*: ``chunk_jobs`` jobs ride one worker round-trip
+    (``None`` auto-sizes, ``1`` disables fusion), and LCP-family jobs
+    sharing an instance are replayed from one shared work-function
+    sweep.  Rows are bit-identical for every
+    ``(n_jobs, batch_size, pipeline_depth, chunk_jobs)`` combination.
+
+    With ``cache_dir``, each job's row (and each instance's optimum) is
+    read from the per-job content-addressed cache when present (unless
+    ``force``) and written back the moment its chunk completes — so
+    re-running any overlapping grid only executes the jobs it has not
+    seen before, and a grid killed mid-run resumes paying only the
+    unfinished jobs.  ``cache_dir`` may also be a ready-made
+    :class:`JobCache` (e.g. one opened on the SQLite backend).  With
+    ``store_dir``, phase 0 materializes each distinct pending instance
+    into the shared :class:`~repro.runner.instancestore.InstanceStore`
+    exactly once; phases 1 and 2 then mmap the payloads instead of
+    rebuilding.
+
+    ``job_slice=(start, stop)`` runs only that contiguous sub-range of
+    the grid's job order — the seam the multi-host lease queue splits
+    a grid on.  Slicing never changes a row's contents: every job is
+    still seeded from its coordinates alone, so the concatenation of
+    disjoint slices is bit-identical to the unsliced run.
+
+    ``stats`` may be a :class:`RunStats` (typed counters, accumulated
+    in place — pass the same object across calls to total a worker's
+    leases) or a plain dict, which receives the historical key set:
+    ``job_hits``, ``job_misses``, ``opt_hits``, ``opt_solved``,
+    ``batches``, ``max_pending`` (peak result rows held in the parent
+    at once — bounded by ``pipeline_depth x batch_size``),
+    ``rows_written``, ``overlapped_batches`` (batches admitted while an
+    earlier batch still had unfinished worker tasks — 0 on the serial
+    path, > 0 proves pipeline overlap), ``inflight_max`` (peak
+    simultaneously admitted batches), ``inst_materialized`` (instances
+    newly written to the store this call, wherever the build ran), plus
+    this process's instance-resolution deltas ``inst_builds`` (scenario
+    builds — with a store, at most one per distinct instance
+    end-to-end), ``inst_loads`` (store mmap loads) and
+    ``inst_memo_hits``.
+    """
+    config = resolve_config(config, legacy, what="run_grid",
+                            allowed=_RUN_GRID_KWARGS)
+    cache = (config.cache_dir if isinstance(config.cache_dir, JobCache)
+             else JobCache(config.cache_dir)
+             if config.cache_dir is not None else None)
+    store_root = (None if config.store_dir is None
+                  else str(config.store_dir))
+    _validate_pipelines(spec)
+    if config.pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be >= 1")
+    jobs = spec.iter_jobs()
+    if job_slice is not None:
+        start, stop = job_slice
+        if not 0 <= start <= stop <= len(spec):
+            raise ValueError(f"job_slice {job_slice!r} out of range "
+                             f"for a {len(spec)}-job grid")
+        jobs = itertools.islice(jobs, start, stop)
+    batches_iter = _batches(jobs, config.batch_size)
+    run_stats = stats if isinstance(stats, RunStats) else RunStats()
+    inst_stats_before = instancestore.build_stats()
+    sink = ListSink() if config.sink is None else config.sink
+    run = _GridRun(spec, config, cache, sink, run_stats, store_root)
+    sink.open(spec.to_dict())
+    try:
+        run_pipeline(batches_iter, run.plan,
+                     pipeline_depth=config.pipeline_depth,
+                     stats=run_stats)
     finally:
-        promises.clear()
-        materializing.clear()
+        run.promises.clear()
+        run.materializing.clear()
         sink.close()
-    if stats is not None:
-        inst_stats = instancestore.build_stats()
-        counters.update({k: inst_stats[k] - inst_stats_before[k]
-                         for k in inst_stats})
-        stats.update(counters)
+    inst_stats = instancestore.build_stats()
+    for key in inst_stats:
+        setattr(run_stats, key, getattr(run_stats, key)
+                + inst_stats[key] - inst_stats_before[key])
+    if isinstance(stats, dict):
+        stats.update({k: getattr(run_stats, k) for k in _GRID_STAT_KEYS})
     return sink.result()
 
 

@@ -219,14 +219,27 @@ def make_sink(kind: str, path=None, append: bool = False) -> ResultSink:
                      f"{SINK_KINDS}")
 
 
-def read_jsonl_rows(path) -> list[dict]:
-    """Load the rows a :class:`JsonlSink` wrote, in stream order."""
+def read_jsonl_rows(path, tolerant: bool = False) -> list[dict]:
+    """Load the rows a :class:`JsonlSink` wrote, in stream order.
+
+    ``tolerant=True`` skips lines that do not parse as JSON — the torn
+    final line a SIGKILL'd writer can leave behind.  Callers that
+    verify completeness separately (the lease-queue ``merge``, which
+    dedupes by sequence number and asserts full grid coverage) use it
+    to read crash-prone per-worker files; everyone else keeps the
+    fail-fast default.
+    """
     rows = []
     with pathlib.Path(path).open() as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 rows.append(json.loads(line))
+            except ValueError:
+                if not tolerant:
+                    raise
     return rows
 
 

@@ -14,6 +14,7 @@ MODULES = [
     "repro.simulator",
     "repro.extensions",
     "repro.analysis",
+    "repro.runner",
 ]
 
 
@@ -32,6 +33,16 @@ def test_top_level_reexports_cover_core_workflow():
                  "solve_dp", "LCP", "ThresholdFractional",
                  "RandomizedRounding", "run_online", "cost"):
         assert name in repro.__all__
+
+
+def test_runner_exports_cover_executor_and_leasequeue():
+    import repro.runner as runner
+    for name in ("run_grid", "GridSpec", "EngineConfig", "RunStats",
+                 "PipelineBatch", "run_pipeline", "parallel_map",
+                 "shutdown_pool", "Lease", "LeaseLost", "LeaseQueue",
+                 "merge_results", "work", "JsonlSink", "ListSink",
+                 "ResultSink", "SqliteSink", "make_sink"):
+        assert name in runner.__all__, name
 
 
 def test_version_string():

@@ -9,7 +9,7 @@ import pytest
 from repro.offline.restricted import restricted_cost_matrix
 from repro.runner import (GridSpec, InstanceStore, build_instance,
                           get_instance, run_grid, shutdown_pool)
-from repro.runner import engine as engine_mod
+from repro.runner import executor as executor_mod
 from repro.runner import instancestore
 from repro.runner.instancestore import StoredRestrictedInstance, store_key
 
@@ -204,10 +204,10 @@ class TestPersistentPool:
         from repro.runner.engine import parallel_map
         shutdown_pool()
         pids1 = set(parallel_map(_worker_pid, range(8), n_jobs=2))
-        pool1 = engine_mod._POOL
+        pool1 = executor_mod._POOL
         workers1 = set(pool1._processes)
         pids2 = set(parallel_map(_worker_pid, range(8), n_jobs=2))
-        assert engine_mod._POOL is pool1            # same executor object
+        assert executor_mod._POOL is pool1          # same executor object
         assert set(pool1._processes) == workers1    # same worker processes
         assert (pids1 | pids2) <= workers1          # jobs ran on them
         shutdown_pool()
@@ -215,22 +215,23 @@ class TestPersistentPool:
     def test_pool_reused_across_run_grid_calls(self, tmp_path):
         shutdown_pool()
         run_grid(SMALL_POOL, n_jobs=2)
-        pool1 = engine_mod._POOL
+        pool1 = executor_mod._POOL
         run_grid(SMALL_POOL, n_jobs=2, store_dir=tmp_path, force=True)
-        assert engine_mod._POOL is pool1
+        assert executor_mod._POOL is pool1
         shutdown_pool()
 
     def test_pool_grows_never_shrinks(self):
         from repro.runner.engine import parallel_map
         shutdown_pool()
         parallel_map(_worker_pid, range(4), n_jobs=2)
-        assert engine_mod._POOL_WORKERS == 2
+        assert executor_mod._POOL_WORKERS == 2
         parallel_map(_worker_pid, range(8), n_jobs=4)
-        assert engine_mod._POOL_WORKERS == 4
+        assert executor_mod._POOL_WORKERS == 4
         parallel_map(_worker_pid, range(4), n_jobs=2)
-        assert engine_mod._POOL_WORKERS == 4  # kept, not shrunk
+        assert executor_mod._POOL_WORKERS == 4  # kept, not shrunk
         shutdown_pool()
-        assert engine_mod._POOL is None and engine_mod._POOL_WORKERS == 0
+        assert (executor_mod._POOL is None
+                and executor_mod._POOL_WORKERS == 0)
 
     def test_shutdown_then_fresh_pool(self):
         from repro.runner.engine import parallel_map

@@ -440,9 +440,9 @@ class TestSweepPipelined:
             sweep(_measure, {"T": [2], "m": [3]}, pipeline_depth=0)
 
     def test_killed_sweep_caches_completed_chunks(self, tmp_path):
-        """A sweep interrupted while a later batch computes persists
-        the finished-but-unflushed batch's measurements, so the resume
-        serves them as hits instead of recomputing."""
+        """A killed sweep persists every measurement it computed —
+        chunks are cached at harvest, before the sink sees the rows —
+        so the resume serves them as hits instead of recomputing."""
         from repro.analysis import sweep
         from repro.runner.sinks import ListSink
         from tests.test_runner import _measure
@@ -461,10 +461,10 @@ class TestSweepPipelined:
         rows = sweep(_measure, grid, cache_dir=tmp_path, batch_size=2,
                      pipeline_depth=2, stats=stats)
         assert len(rows) == 6
-        # every computed point was cached before the kill propagated:
-        # the flushed batches on their way out, the completed-but-
-        # unflushed batch by the abort drain
-        assert stats == {"hits": 6, "misses": 0}
+        # both admitted batches were cached before the kill propagated
+        # (the second one at harvest, even though its flush is what the
+        # sink killed); only the never-admitted batch recomputes
+        assert stats == {"hits": 4, "misses": 2}
 
     def test_killed_sweep_flushes_completed_batches_to_sink(self,
                                                             tmp_path):
