@@ -190,6 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(amortizes IPC; LCP-family jobs on one "
                              "instance share a work-function sweep); "
                              "default auto-sizes, 1 disables fusion")
+        sp.add_argument("--max-retries", type=int, default=2,
+                        metavar="R",
+                        help="per-job retries (exponential backoff) "
+                             "before the job is quarantined as a "
+                             "status=failed row; the rest of the grid "
+                             "always completes (0 disables retries)")
         if not sink:
             return
         sp.add_argument("--sink", choices=("list", "jsonl", "sqlite"),
@@ -317,7 +323,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write merged rows to a JSONL file instead "
                           "of printing aggregate ratios")
 
-    wsp = work_sub.add_parser("status", help="lease counts per grid")
+    wsp = work_sub.add_parser(
+        "retry-failed",
+        help="re-enqueue only the quarantined (status=failed) jobs")
+    wsp.add_argument("--queue", metavar="DIR", required=True)
+    wsp.add_argument("--grid-id", default=None,
+                     help="grid to retry (default: the only one)")
+
+    wsp = work_sub.add_parser("status",
+                              help="lease counts per grid, plus "
+                                   "quarantined jobs and stale workers")
     wsp.add_argument("--queue", metavar="DIR", required=True)
     return p
 
@@ -507,7 +522,8 @@ def _make_cli_config(args, sink=None):
                         force=args.force, sink=sink,
                         batch_size=args.batch_size,
                         pipeline_depth=args.pipeline_depth,
-                        chunk_jobs=args.chunk_jobs)
+                        chunk_jobs=args.chunk_jobs,
+                        max_retries=getattr(args, "max_retries", 2))
 
 
 def _cmd_sweep(args) -> int:
@@ -726,7 +742,19 @@ def _cmd_work(args) -> int:
             _print_grid_results(result, per_row=False,
                                 title=f"merged grid ({len(result)} rows)")
         return 0
-    # status: lease counts per grid
+    if args.work_command == "retry-failed":
+        from .runner import retry_failed
+        n_failed, n_leases = retry_failed(args.queue,
+                                          grid_id=args.grid_id)
+        if n_failed == 0:
+            print("no quarantined jobs — nothing to retry")
+        else:
+            print(f"re-enqueued {n_failed} quarantined jobs "
+                  f"({n_leases} leases reopened); run more workers "
+                  f"(repro work run) to retry them")
+        return 0
+    # status: lease counts per grid, plus failure/staleness visibility
+    from .runner import failed_jobs
     queue = LeaseQueue(args.queue)
     grids = queue.grids()
     if not grids:
@@ -738,6 +766,15 @@ def _cmd_work(args) -> int:
         print(f"grid {grid_id}: {queue.total(grid_id)} jobs — "
               f"{counts['pending']} pending, {counts['leased']} leased, "
               f"{counts['done']} done leases ({state})")
+        failed = failed_jobs(queue, grid_id)
+        stale = queue.stale(grid_id)
+        if failed:
+            print(f"  {len(failed)} quarantined jobs (first: "
+                  f"{sorted(failed)[:5]}) — repro work retry-failed "
+                  f"re-enqueues them")
+        if stale:
+            print(f"  {stale} stale workers (heartbeat expired; "
+                  f"reclaimed on the next worker loop)")
     return 0
 
 

@@ -30,24 +30,31 @@ The runner is the substrate every large-scale experiment stands on:
   store behind incremental grids (JSON-dir or single-file SQLite
   backend): one record per job / instance optimum, shared by every
   overlapping grid.
+* :mod:`repro.runner.faults` — the deterministic fault-injection
+  harness behind the chaos tests: a :class:`FaultPlan` names failures
+  by (site, match, nth) and the instrumented seams raise — or kill the
+  worker — exactly where a real failure would.
 """
 
 from .engine import (GridSpec, aggregate_rows, instance_key, job_key,
                      run_grid)
-from .executor import (EngineConfig, PipelineBatch, RunStats,
-                       parallel_map, run_pipeline, shutdown_pool)
+from .executor import (EngineConfig, PipelineBatch, RetryPolicy,
+                       RunStats, parallel_map, run_pipeline,
+                       shutdown_pool)
+from .faults import FaultPlan, FaultSpec, InjectedFault
 from .instancestore import InstanceStore, get_instance
 from .jobcache import JobCache, migrate_cache
-from .leasequeue import (Lease, LeaseLost, LeaseQueue, merge_results,
-                         work)
+from .leasequeue import (Lease, LeaseLost, LeaseQueue, failed_jobs,
+                         merge_results, retry_failed, work)
 from .registry import (PIPELINES, AlgorithmSpec, algorithm_names,
                        algorithm_table, game_names, get_spec,
                        make_algorithm, make_solver, pipeline_optimum,
                        solver_names)
 from .scenarios import (Scenario, build_instance, get_scenario,
                         scenario_names, trace_suite)
-from .sinks import (JsonlSink, ListSink, ResultSink, SqliteSink,
-                    make_sink, read_jsonl_rows, read_sqlite_rows)
+from .sinks import (JsonlSink, ListSink, MergeError, ResultSink,
+                    SqliteSink, make_sink, read_jsonl_rows,
+                    read_sqlite_rows)
 
 __all__ = [
     "AlgorithmSpec", "PIPELINES", "algorithm_names", "algorithm_table",
@@ -58,9 +65,11 @@ __all__ = [
     "GridSpec", "InstanceStore", "JobCache", "aggregate_rows",
     "get_instance", "instance_key", "job_key", "migrate_cache",
     "run_grid",
-    "EngineConfig", "PipelineBatch", "RunStats", "parallel_map",
-    "run_pipeline", "shutdown_pool",
-    "Lease", "LeaseLost", "LeaseQueue", "merge_results", "work",
-    "JsonlSink", "ListSink", "ResultSink", "SqliteSink", "make_sink",
-    "read_jsonl_rows", "read_sqlite_rows",
+    "EngineConfig", "PipelineBatch", "RetryPolicy", "RunStats",
+    "parallel_map", "run_pipeline", "shutdown_pool",
+    "FaultPlan", "FaultSpec", "InjectedFault",
+    "Lease", "LeaseLost", "LeaseQueue", "failed_jobs", "merge_results",
+    "retry_failed", "work",
+    "JsonlSink", "ListSink", "MergeError", "ResultSink", "SqliteSink",
+    "make_sink", "read_jsonl_rows", "read_sqlite_rows",
 ]

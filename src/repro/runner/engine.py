@@ -87,14 +87,19 @@ import dataclasses
 import hashlib
 import itertools
 import json
+import os
+import traceback
 import zlib
 from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
 
 from .. import kernels
-from . import instancestore
-from .executor import (EngineConfig, PipelineBatch, RunStats, chunk_list,
-                       iter_batches, parallel_map, resolve_config,
-                       run_pipeline, shutdown_pool, submit_task)
+from . import faults, instancestore
+from .executor import (EngineConfig, PipelineBatch, RetryPolicy, RunStats,
+                       chunk_list, iter_batches, parallel_map,
+                       pool_generation, resolve_config, respawn_pool,
+                       retry_sleep, run_pipeline, shutdown_pool,
+                       submit_task)
 from .instancestore import InstanceStore, get_instance
 from .jobcache import JobCache, content_key
 from .sinks import ListSink
@@ -493,6 +498,193 @@ def _run_chunk(tasks: list[tuple]) -> list[dict]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# Fault tolerance: per-job error capture, worker-side retry with
+# deterministic backoff, and quarantine rows for jobs that stay broken.
+# A failing job must never abort the grid — it becomes a structured
+# ``status="failed"`` row and the remaining jobs complete untouched.
+# ----------------------------------------------------------------------
+
+
+def _job_token(job: tuple) -> str:
+    """The fault-injection token of one job (``faults.fire`` matching)."""
+    return "|".join(str(part) for part in job)
+
+
+def _coords_token(coords: tuple) -> str:
+    """The fault-injection token of one instance's coordinates."""
+    return "|".join(str(part) for part in coords)
+
+
+#: the per-failure columns a quarantine row (or failed record) carries
+_FAILURE_KEYS = ("error", "error_message", "error_digest")
+
+
+def _failure_info(exc: BaseException) -> dict:
+    """Structured description of a captured exception: type name,
+    truncated message and a short traceback digest (full tracebacks do
+    not belong in result rows, but the digest identifies recurrences)."""
+    tb = "".join(traceback.format_exception(type(exc), exc,
+                                            exc.__traceback__))
+    return {"error": type(exc).__name__,
+            "error_message": str(exc)[:300],
+            "error_digest": hashlib.sha256(tb.encode()).hexdigest()[:12]}
+
+
+def _quarantine_row(job: tuple, phase: str, failure: dict,
+                    attempts: int) -> dict:
+    """The ``status="failed"`` row a quarantined job contributes.
+
+    Carries the job's identity columns (so sinks, merges and ``repro
+    work retry-failed`` can address it) with ``cost``/``opt``/``ratio``
+    nulled — :func:`aggregate_rows` skips failed rows entirely.
+    """
+    from .registry import get_spec
+    scenario, algorithm, T, _inst_seed, seed, _lookahead, params = job
+    row = {
+        "scenario": scenario, "algorithm": algorithm,
+        "pipeline": get_spec(algorithm).pipeline, "T": T,
+        "m": None, "beta": None, "seed": seed,
+        "cost": None, "opt": None, "ratio": None,
+        "status": "failed", "phase": phase, "attempts": int(attempts),
+    }
+    for key in _FAILURE_KEYS:
+        row[key] = failure.get(key)
+    if params != "{}":
+        for key, value in json.loads(params).items():
+            row.setdefault(key, value)
+    return row
+
+
+def _solve_with_retry(coords, store_root, policy: RetryPolicy):
+    """Solve one instance's optimum, retrying transient failures.
+
+    Returns ``(record, retries)``; a terminally failing solve yields a
+    ``{"status": "failed", ...}`` record that quarantines every
+    dependent job without running it (and is never cached, so the next
+    run retries the solve).
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            faults.fire("solve_instance", _coords_token(coords))
+            return _solve_instance((coords, store_root)), attempt - 1
+        except Exception as exc:
+            if attempt > policy.max_retries:
+                return {"status": "failed", **_failure_info(exc),
+                        "attempts": attempt}, attempt - 1
+            retry_sleep(policy, attempt)
+
+
+def _solve_chunk_retry(task: tuple) -> dict:
+    """Fused, fault-tolerant phase-1 chunk.  ``task`` is
+    ``(coords_list, store_root, policy)``; returns an envelope
+    ``{"records": [...], "retries": n}`` so the parent can account
+    retries without timestamps ever entering a record."""
+    coords_list, store_root, policy = task
+    records, retries = [], 0
+    for coords in coords_list:
+        rec, r = _solve_with_retry(coords, store_root, policy)
+        records.append(rec)
+        retries += r
+    return {"records": records, "retries": retries}
+
+
+def _attempt_items(tasks, idxs, rows, done, errors) -> None:
+    """Execute the chunk items ``idxs`` once, capturing per-item
+    failures.  Sweep-sharing groups still replay together; a failure
+    inside a shared replay degrades that group to per-item execution,
+    so one poison job cannot fail its co-batched siblings."""
+    groups: dict[tuple, list[int]] = {}
+    solo: list[int] = []
+    for i in idxs:
+        coords = _sharing_coords(tasks[i][0])
+        if coords is not None:
+            groups.setdefault(coords, []).append(i)
+        else:
+            solo.append(i)
+    fired: set[int] = set()
+    for gidxs in groups.values():
+        if len(gidxs) < 2:
+            solo.extend(gidxs)
+            continue
+        ok = []
+        for i in gidxs:
+            fired.add(i)
+            try:
+                faults.fire("run_job", _job_token(tasks[i][0]))
+                ok.append(i)
+            except Exception as exc:
+                errors[i] = exc
+        shared_rows = None
+        if len(ok) > 1:
+            try:
+                shared_rows = _run_shared([tasks[i] for i in ok])
+            except Exception:
+                shared_rows = None  # degrade to per-item execution
+        if shared_rows is not None:
+            for i, row in zip(ok, shared_rows):
+                rows[i], done[i] = row, True
+        else:
+            solo.extend(ok)
+    for i in solo:
+        try:
+            if i not in fired:
+                faults.fire("run_job", _job_token(tasks[i][0]))
+            rows[i] = _run_job(tasks[i])
+            done[i] = True
+        except Exception as exc:
+            errors[i] = exc
+
+
+def _run_chunk_retry(task: tuple) -> dict:
+    """Fused, fault-tolerant phase-2 chunk.  ``task`` is
+    ``(tasks, policy)`` with the same per-item tasks
+    :func:`_run_chunk` takes; returns ``{"rows": [...], "retries": n}``.
+
+    A failing item is retried (exponential backoff, in this worker so
+    per-process fault counters stay deterministic) up to
+    ``policy.max_retries`` times, then quarantined; successful rows —
+    including successful-after-retry ones — are byte-identical to a
+    fault-free run's, so retries never perturb the result set.  Items
+    whose phase-1 record already failed are quarantined immediately.
+    """
+    tasks, policy = task
+    if tasks:
+        faults.fire("worker_exit", _job_token(tasks[0][0]))
+    n = len(tasks)
+    rows: list = [None] * n
+    done = [False] * n
+    errors: list = [None] * n
+    attempts = [0] * n
+    retries = 0
+    pending = []
+    for i, (job, rec, _root) in enumerate(tasks):
+        if isinstance(rec, dict) and rec.get("status") == "failed":
+            rows[i] = _quarantine_row(job, "solve_instance", rec,
+                                      rec.get("attempts", 0))
+            done[i] = True
+        else:
+            pending.append(i)
+    attempt = 0
+    while pending:
+        attempt += 1
+        for i in pending:
+            attempts[i] = attempt
+        _attempt_items(tasks, pending, rows, done, errors)
+        failed = [i for i in pending if not done[i]]
+        pending = failed
+        if not failed or attempt > policy.max_retries:
+            break
+        retries += len(failed)
+        retry_sleep(policy, attempt)
+    for i in pending:
+        rows[i] = _quarantine_row(tasks[i][0], "run_job",
+                                  _failure_info(errors[i]), attempts[i])
+    return {"rows": rows, "retries": retries}
+
+
 def _validate_pipelines(spec: GridSpec) -> None:
     """Fail fast (in the parent) when the grid pairs an algorithm with a
     scenario that cannot build its pipeline's instance representation."""
@@ -507,6 +699,44 @@ def _validate_pipelines(spec: GridSpec) -> None:
                     f"algorithm {algorithm!r} needs the {pipeline!r} "
                     f"pipeline but scenario {scenario!r} only builds "
                     f"{supported}")
+    _validate_params(spec)
+
+
+def _validate_params(spec: GridSpec) -> None:
+    """Fail fast (in the parent) when a grid's ``params`` axis names a
+    keyword no builder of its scenarios accepts — a configuration
+    error, so it must raise up front instead of quarantining every job
+    at run time."""
+    import inspect
+    from .registry import get_spec
+    from .scenarios import get_scenario
+    param_keys = {key for blob in spec.params
+                  for key in json.loads(blob)}
+    if not param_keys:
+        return
+    pipelines = {get_spec(a).pipeline for a in spec.algorithms}
+    for scenario in spec.scenarios:
+        scn = get_scenario(scenario)
+        for pipeline in pipelines:
+            builder = {"general": scn.build,
+                       "restricted": scn.build_restricted,
+                       "hetero": scn.build_hetero,
+                       "game": scn.build_game}.get(pipeline)
+            if builder is None:
+                continue
+            try:
+                sig = inspect.signature(builder)
+            except (TypeError, ValueError):
+                continue  # unintrospectable builder: let it run
+            if any(p.kind == inspect.Parameter.VAR_KEYWORD
+                   for p in sig.parameters.values()):
+                continue
+            unknown = param_keys - set(sig.parameters)
+            if unknown:
+                raise ValueError(
+                    f"scenario {scenario!r} rejected params "
+                    f"{sorted(unknown)!r}: not accepted by its "
+                    f"{pipeline!r} builder")
 
 
 class _RecordWindow:
@@ -560,7 +790,10 @@ class _Promise:
 
     def result(self) -> dict:
         if self.record is None:
-            self.record = self.future.result()[self.pos]
+            out = self.future.result()
+            if isinstance(out, dict):  # _solve_chunk_retry envelope
+                out = out["records"]
+            self.record = out[self.pos]
         return self.record
 
 
@@ -580,7 +813,8 @@ class _BatchState(PipelineBatch):
 
     __slots__ = ("run", "batch", "size", "rows", "pending", "stage",
                  "mat_futures", "mat_borrowed", "to_solve",
-                 "own_promises", "borrowed", "records", "run_futures")
+                 "own_promises", "borrowed", "records", "run_futures",
+                 "solve_chunks")
 
     def __init__(self, run: "_GridRun", batch: list):
         self.run = run
@@ -596,6 +830,10 @@ class _BatchState(PipelineBatch):
         self.borrowed: dict[tuple, _Promise] = {}
         self.records: dict[tuple, dict] = {}
         self.run_futures: list[tuple[list, Future]] = []
+        #: mutable [coords_chunk, future] pairs — the future slot is
+        #: rewired when a broken pool forces a chunk resubmission, and
+        #: cleared (None) once the chunk's envelope is accounted
+        self.solve_chunks: list[list] = []
 
     def advance(self) -> bool:
         return self.run.advance(self)
@@ -655,9 +893,81 @@ class _GridRun:
         self.window = _RecordWindow()
         self.promises: dict[tuple, _Promise] = {}
         self.materializing: dict[tuple, Future] = {}
+        self.policy = RetryPolicy(max_retries=config.max_retries,
+                                  backoff=config.retry_backoff)
+        #: pool generation each in-flight future was submitted under
+        self.future_gen: dict[Future, int] = {}
+        #: pool respawns charged to THIS run (``stats`` may accumulate
+        #: across runs — the lease-queue worker reuses one RunStats —
+        #: so the per-run bound needs its own counter)
+        self.pool_restarts = 0
         from .scenarios import get_scenario
         self.storable = {name: get_scenario(name).storable
                          for name in spec.scenarios}
+
+    def _submit(self, fn, payload) -> Future:
+        """Submit one chunk, recording the pool generation so a later
+        ``BrokenProcessPool`` can be attributed to the right pool
+        incarnation (and the chunk resubmitted on a fresh one)."""
+        try:
+            future = _submit_task(fn, payload, self.n_jobs)
+        except BrokenProcessPool:
+            # the pool died between harvests: retire it and retry the
+            # submission once on the respawned pool
+            self._pool_failure(pool_generation())
+            future = _submit_task(fn, payload, self.n_jobs)
+        if self.n_jobs > 1:
+            self.future_gen[future] = pool_generation()
+        return future
+
+    def _pool_failure(self, gen: int | None) -> None:
+        """A worker died (``BrokenProcessPool``): retire the dead pool
+        incarnation so the next submission forks a fresh one.  Only the
+        first observer of a generation counts a restart; the per-run
+        bound turns a crash loop into a hard error instead of hanging."""
+        if respawn_pool(pool_generation() if gen is None else gen):
+            self.pool_restarts += 1
+            self.stats.pool_restarts += 1
+        if self.pool_restarts > self.config.max_pool_restarts:
+            raise RuntimeError(
+                f"worker pool died {self.pool_restarts} times in one "
+                f"run (max_pool_restarts="
+                f"{self.config.max_pool_restarts}); giving up")
+
+    def _cache_put(self, kind: str, key: str, record) -> None:
+        """Best-effort cache write: quarantined records are never
+        cached (re-runs must retry them) and a failing cache write —
+        real or injected — is absorbed and counted, never fatal (the
+        record is already in hand; only re-runs pay for the loss)."""
+        if self.cache is None or (isinstance(record, dict)
+                                  and record.get("status") == "failed"):
+            return
+        try:
+            faults.fire("cache_put", key)
+            self.cache.put(kind, key, record)
+        except Exception:
+            self.stats.cache_put_failures += 1
+
+    def _resubmit_solve(self, st: "_BatchState", broken: Future) -> bool:
+        """Resubmit the phase-1 chunk whose future ``broken`` was lost
+        to a dead pool, rewiring the chunk's unresolved promises to the
+        new future (borrowing batches observe the rewire for free)."""
+        for entry in st.solve_chunks:
+            chunk_coords, future = entry
+            if future is not broken:
+                continue
+            gen = self.future_gen.pop(broken, None)
+            self._pool_failure(gen)
+            fresh = self._submit(_solve_chunk_retry,
+                                 (chunk_coords, self.store_root,
+                                  self.policy))
+            entry[1] = fresh
+            for pos, coords in enumerate(chunk_coords):
+                promise = st.own_promises[coords]
+                if promise.record is None:
+                    promise.future, promise.pos = fresh, pos
+            return True
+        return False
 
     def plan(self, batch: list) -> _BatchState:
         """Admit one batch: cache lookups, then submit phase 0 (and,
@@ -715,9 +1025,8 @@ class _GridRun:
                     missing.append(coords)
             for chunk in _chunk_list(missing, self.n_jobs,
                                      self.chunk_jobs):
-                future = _submit_task(instancestore._materialize_chunk,
-                                      (chunk, self.store_root),
-                                      self.n_jobs)
+                future = self._submit(instancestore._materialize_chunk,
+                                      (chunk, self.store_root))
                 st.mat_futures.append((chunk, future))
                 for coords in chunk:
                     self.materializing[coords] = future
@@ -727,8 +1036,9 @@ class _GridRun:
         """Submit the batch's phase-1 optimum solves as fused chunks."""
         for chunk in _chunk_list(st.to_solve, self.n_jobs,
                                  self.chunk_jobs):
-            future = _submit_task(_solve_chunk, (chunk, self.store_root),
-                                  self.n_jobs)
+            future = self._submit(_solve_chunk_retry,
+                                  (chunk, self.store_root, self.policy))
+            st.solve_chunks.append([chunk, future])
             for pos, coords in enumerate(chunk):
                 promise = st.own_promises[coords]
                 promise.future, promise.pos = future, pos
@@ -741,18 +1051,27 @@ class _GridRun:
                       self.store_root)
                      for _i, job, _key in chunk]
             st.run_futures.append(
-                (chunk, _submit_task(_run_chunk, tasks, self.n_jobs)))
+                (chunk, self._submit(_run_chunk_retry,
+                                     (tasks, self.policy))))
 
     def advance(self, st: _BatchState) -> bool:
         """Move one batch through its stage machine; True on progress."""
-        cache = self.cache
         progressed = False
         if st.stage == _MAT and all(
                 f.done() for _c, f in st.mat_futures) and all(
                 f.done() for f in st.mat_borrowed):
             for chunk_coords, future in st.mat_futures:
-                self.stats.inst_materialized += sum(
-                    map(bool, future.result()))
+                try:
+                    self.stats.inst_materialized += sum(
+                        map(bool, future.result()))
+                except BrokenProcessPool:
+                    self._pool_failure(self.future_gen.get(future))
+                except Exception:
+                    # phase 0 is best-effort: a failed (or injected)
+                    # materialization only costs the mmap shortcut —
+                    # phases 1/2 rebuild the instance in-process
+                    pass
+                self.future_gen.pop(future, None)
                 for coords in chunk_coords:
                     self.materializing.pop(coords, None)
             st.mat_futures = []
@@ -761,6 +1080,23 @@ class _GridRun:
             st.stage = _SOLVE
             progressed = True
         if st.stage == _SOLVE:
+            # account each solve chunk's envelope once (and resubmit
+            # chunks a dead pool lost) before touching any promise
+            for entry in st.solve_chunks:
+                _chunk_coords, future = entry
+                if future is None or not future.done():
+                    continue
+                try:
+                    env = future.result()
+                except BrokenProcessPool:
+                    self._resubmit_solve(st, future)
+                    progressed = True
+                    continue
+                self.future_gen.pop(future, None)
+                if isinstance(env, dict):
+                    self.stats.retries += env.get("retries", 0)
+                entry[1] = None  # accounted; promises keep their ref
+                progressed = True
             for coords, promise in st.own_promises.items():
                 # harvest is keyed on THIS batch's bookkeeping, not on
                 # promise.record: a borrowing batch may have resolved
@@ -768,32 +1104,65 @@ class _GridRun:
                 # window/cache writes and opt_solved count
                 if coords in st.records or not promise.ready():
                     continue
-                rec = promise.result()
+                try:
+                    rec = promise.result()
+                except BrokenProcessPool:
+                    # the pool broke after the chunk loop above ran:
+                    # resubmit now; the rewired future finishes later
+                    self._resubmit_solve(st, promise.future)
+                    progressed = True
+                    continue
                 st.records[coords] = rec
                 self.window.put(coords, rec)
                 self.stats.opt_solved += 1
-                if cache is not None:
-                    cache.put("instances", instance_key(coords), rec)
+                self._cache_put("instances", instance_key(coords), rec)
                 self.promises.pop(coords, None)
                 progressed = True
             if (all(coords in st.records
                     for coords in st.own_promises)
                     and all(p.ready() for p in st.borrowed.values())):
-                for coords, promise in st.borrowed.items():
-                    st.records[coords] = promise.result()
-                self.submit_runs(st)
-                st.stage = _RUN
-                progressed = True
+                try:
+                    for coords, promise in st.borrowed.items():
+                        st.records[coords] = promise.result()
+                except BrokenProcessPool:
+                    # the owning batch (always earlier in pump order)
+                    # resubmits and rewires; wait for the fresh future
+                    pass
+                else:
+                    self.submit_runs(st)
+                    st.stage = _RUN
+                    progressed = True
         if st.stage == _RUN:
             remaining = []
             for chunk, future in st.run_futures:
                 if not future.done():
                     remaining.append((chunk, future))
                     continue
-                for (i, _job, key), row in zip(chunk, future.result()):
+                try:
+                    env = future.result()
+                except BrokenProcessPool:
+                    # the chunk was in flight on a pool that died:
+                    # respawn (bounded) and resubmit only this chunk
+                    self._pool_failure(self.future_gen.pop(future, None))
+                    tasks = [(job, st.records[_instance_coords(job)],
+                              self.store_root)
+                             for _i, job, _key in chunk]
+                    remaining.append(
+                        (chunk, self._submit(_run_chunk_retry,
+                                             (tasks, self.policy))))
+                    progressed = True
+                    continue
+                self.future_gen.pop(future, None)
+                rows = env["rows"] if isinstance(env, dict) else env
+                if isinstance(env, dict):
+                    self.stats.retries += env.get("retries", 0)
+                for (i, _job, key), row in zip(chunk, rows):
                     st.rows[i] = row
-                    if cache is not None:
-                        cache.put("jobs", key, row)
+                    if isinstance(row, dict) and \
+                            row.get("status") == "failed":
+                        self.stats.quarantined += 1
+                    else:
+                        self._cache_put("jobs", key, row)
                 progressed = True
             st.run_futures = remaining
             if not remaining:
@@ -818,8 +1187,13 @@ class _GridRun:
             except Exception:
                 remaining.append((chunk, future))
                 continue
-            for (i, _job, key), row in zip(chunk, harvested):
+            rows = (harvested["rows"] if isinstance(harvested, dict)
+                    else harvested)
+            for (i, _job, key), row in zip(chunk, rows):
                 st.rows[i] = row
+                if isinstance(row, dict) and \
+                        row.get("status") == "failed":
+                    continue
                 if self.cache is not None:
                     try:
                         self.cache.put("jobs", key, row)
@@ -833,7 +1207,8 @@ _GRID_STAT_KEYS = (
     "job_hits", "job_misses", "opt_hits", "opt_solved",
     "inst_materialized", "batches", "max_pending", "rows_written",
     "overlapped_batches", "inflight_max", "inst_builds", "inst_loads",
-    "inst_memo_hits")
+    "inst_memo_hits", "retries", "quarantined", "pool_restarts",
+    "cache_put_failures")
 
 #: keyword arguments the pre-``EngineConfig`` ``run_grid`` accepted
 _RUN_GRID_KWARGS = frozenset(
@@ -931,6 +1306,17 @@ def run_grid(spec: GridSpec, config: EngineConfig | None = None, *,
     inst_stats_before = instancestore.build_stats()
     sink = ListSink() if config.sink is None else config.sink
     run = _GridRun(spec, config, cache, sink, run_stats, store_root)
+    fault_plan = (None if config.fault_plan is None
+                  else faults.as_plan(config.fault_plan))
+    prev_fault_env = os.environ.get(faults.ENV_VAR)
+    if fault_plan is not None:
+        # workers inherit the plan through the environment: tear the
+        # pool down so faulted runs get freshly forked workers, and
+        # again afterwards so no fault-injecting worker outlives us
+        os.environ[faults.ENV_VAR] = fault_plan.to_json()
+        faults.reset()   # fresh counters, like the freshly forked workers
+        faults.activate(fault_plan)
+        shutdown_pool()
     sink.open(spec.to_dict())
     try:
         run_pipeline(batches_iter, run.plan,
@@ -940,6 +1326,13 @@ def run_grid(spec: GridSpec, config: EngineConfig | None = None, *,
         run.promises.clear()
         run.materializing.clear()
         sink.close()
+        if fault_plan is not None:
+            faults.deactivate()
+            if prev_fault_env is None:
+                os.environ.pop(faults.ENV_VAR, None)
+            else:
+                os.environ[faults.ENV_VAR] = prev_fault_env
+            shutdown_pool()
     inst_stats = instancestore.build_stats()
     for key in inst_stats:
         setattr(run_stats, key, getattr(run_stats, key)
@@ -965,10 +1358,15 @@ def aggregate_rows(rows, by=("scenario", "algorithm", "T")) -> list[dict]:
     this as ``--group-by``).  A key missing from a row groups under
     ``None`` rather than failing, so heterogeneous tables (e.g. game
     rows next to general rows) still aggregate.
+
+    Quarantined rows (``status="failed"``) carry no cost/ratio and are
+    skipped, so a grid with failures still aggregates its survivors.
     """
     by = tuple(by)
     groups: dict[tuple, list[dict]] = {}
     for row in rows:
+        if row.get("status") == "failed":
+            continue
         groups.setdefault(tuple(row.get(k) for k in by), []).append(row)
     out = []
     for key, members in groups.items():

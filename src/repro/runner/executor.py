@@ -41,19 +41,25 @@ import collections
 import dataclasses
 import itertools
 import multiprocessing
+import time
 import warnings
 from concurrent.futures import (FIRST_COMPLETED, Future,
                                 ProcessPoolExecutor, wait)
+
+from . import faults
 
 __all__ = [
     "DEFAULT_PIPELINE_DEPTH",
     "EngineConfig",
     "PipelineBatch",
+    "RetryPolicy",
     "RunStats",
     "chunk_list",
     "iter_batches",
     "parallel_map",
+    "pool_generation",
     "resolve_config",
+    "respawn_pool",
     "run_pipeline",
     "shutdown_pool",
     "submit_task",
@@ -85,6 +91,14 @@ class EngineConfig:
     :class:`~repro.runner.sinks.ResultSink` (``None`` collects rows in
     memory); ``batch_size=None`` runs one batch; ``chunk_jobs=None``
     auto-sizes fused dispatch (``sweep`` spells it ``chunk_points``).
+
+    The fault-tolerance knobs: a failing job is retried up to
+    ``max_retries`` times (deterministic exponential backoff starting
+    at ``retry_backoff`` seconds) before it is quarantined as a
+    ``status="failed"`` row; a dead worker pool is respawned up to
+    ``max_pool_restarts`` times per run; ``fault_plan`` installs a
+    :class:`~repro.runner.faults.FaultPlan` (or its dict/JSON form)
+    for the run — the chaos-testing seam.
     """
 
     n_jobs: int = 1
@@ -95,6 +109,10 @@ class EngineConfig:
     batch_size: int | None = None
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH
     chunk_jobs: int | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    max_pool_restarts: int = 3
+    fault_plan: object = None
 
 
 #: legacy keyword spellings that map onto a differently named field
@@ -171,6 +189,13 @@ class RunStats:
     leases_reclaimed: int = 0
     leases_completed: int = 0
     leases_lost: int = 0
+    #: fault-tolerance counters: job attempts retried after a failure,
+    #: jobs quarantined as ``status="failed"`` rows, dead worker pools
+    #: respawned, and best-effort cache writes that were dropped
+    retries: int = 0
+    quarantined: int = 0
+    pool_restarts: int = 0
+    cache_put_failures: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view of every counter (legacy ``stats`` shape)."""
@@ -189,16 +214,63 @@ class RunStats:
 
 
 # ----------------------------------------------------------------------
+# Retry policy (worker-side backoff for failing jobs).
+# ----------------------------------------------------------------------
+
+#: injectable sleeper — tests replace it to assert backoff schedules
+#: without paying wall-clock time (and results never embed a timestamp,
+#: so retries cannot perturb row contents)
+_SLEEP = time.sleep
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How a failing job is retried before quarantine.
+
+    Picklable and carried inside the fused chunk payloads, so retries
+    run *in the worker process that failed* — which keeps the
+    per-process fault-injection counters (and therefore transient-fault
+    chaos tests) deterministic.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.05
+    backoff_max: float = 2.0
+
+
+def backoff_delay(policy: RetryPolicy, attempt: int) -> float:
+    """Deterministic exponential backoff before retry ``attempt + 1``:
+    ``backoff * 2**(attempt-1)``, capped at ``backoff_max``."""
+    return min(policy.backoff * (2.0 ** (attempt - 1)),
+               policy.backoff_max)
+
+
+def retry_sleep(policy: RetryPolicy, attempt: int) -> None:
+    """Sleep the backoff delay through the injectable ``_SLEEP``."""
+    delay = backoff_delay(policy, attempt)
+    if delay > 0:
+        _SLEEP(delay)
+
+
+# ----------------------------------------------------------------------
 # Persistent worker pool.
 # ----------------------------------------------------------------------
 
 _POOL: ProcessPoolExecutor | None = None
 _POOL_WORKERS = 0
+_POOL_GENERATION = 0
+
+
+def _pool_worker_init() -> None:
+    """Runs in every pool worker at fork/spawn: mark the process so
+    ``exit``-kind injected faults may SIGKILL it (the parent and the
+    inline path never honor them)."""
+    faults.mark_worker()
 
 
 def _get_pool(n_jobs: int) -> ProcessPoolExecutor:
     """The module-level executor, grown (never shrunk) to ``n_jobs``."""
-    global _POOL, _POOL_WORKERS
+    global _POOL, _POOL_WORKERS, _POOL_GENERATION
     if _POOL is not None and _POOL_WORKERS < n_jobs:
         _POOL.shutdown(wait=True, cancel_futures=True)
         _POOL = None
@@ -206,9 +278,34 @@ def _get_pool(n_jobs: int) -> ProcessPoolExecutor:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        _POOL = ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx)
+        _POOL = ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx,
+                                    initializer=_pool_worker_init)
         _POOL_WORKERS = n_jobs
+        _POOL_GENERATION += 1
     return _POOL
+
+
+def pool_generation() -> int:
+    """Identity of the current pool incarnation.  A consumer records
+    the generation next to each submitted future; on
+    ``BrokenProcessPool`` it hands that generation to
+    :func:`respawn_pool` so only the *first* observer of a given dead
+    pool retires it (and counts one restart)."""
+    return _POOL_GENERATION
+
+
+def respawn_pool(generation: int) -> bool:
+    """Retire the pool incarnation ``generation`` so the next
+    submission forks a fresh one.  Returns ``True`` for the first
+    caller to observe that generation's death; later callers (other
+    in-flight chunks of the same dead pool) get ``False`` and must not
+    count another restart."""
+    global _POOL_GENERATION
+    if generation != _POOL_GENERATION:
+        return False
+    _POOL_GENERATION += 1  # later observers of the dead pool mismatch
+    shutdown_pool()
+    return True
 
 
 def shutdown_pool() -> None:

@@ -41,6 +41,7 @@ import shutil
 
 import numpy as np
 
+from . import faults
 from .jobcache import content_key
 
 __all__ = [
@@ -218,6 +219,7 @@ class InstanceStore:
         payload-free instances, e.g. adaptive games)."""
         if self.has(coords):
             return False
+        faults.fire("materialize", "|".join(str(c) for c in coords))
         _STATS["inst_builds"] += 1
         return self.put(coords, _build_coords(coords))
 
@@ -251,10 +253,21 @@ def _materialize_job(task: tuple) -> bool:
 def _materialize_chunk(task: tuple) -> list[bool]:
     """Fused phase-0 job: materialize several instances in one worker
     round-trip, reusing one :class:`InstanceStore` handle (the engine's
-    chunked dispatch amortizes pickle/IPC across the chunk)."""
+    chunked dispatch amortizes pickle/IPC across the chunk).
+
+    Materialization is best-effort by contract — phases 1/2 rebuild any
+    instance the store lacks — so a failing (or fault-injected) item is
+    absorbed as ``False`` instead of aborting the chunk or, on the
+    ``n_jobs=1`` inline path, the grid."""
     coords_list, root = task
     store = InstanceStore(root)
-    return [store.materialize(coords) for coords in coords_list]
+    written = []
+    for coords in coords_list:
+        try:
+            written.append(store.materialize(coords))
+        except Exception:
+            written.append(False)
+    return written
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,8 @@ import time
 
 import numpy as np
 
+from . import faults
+
 __all__ = ["JobCache", "connect_wal", "content_key", "jsonify",
            "migrate_cache"]
 
@@ -289,6 +291,7 @@ class _SqliteBackend:
         created = time.time() if created is None else float(created)
         values = (kind, key, blob, created, created)
         try:
+            faults.fire("sqlite_lock", key)
             self._connection().execute(self._INSERT, values)
         except sqlite3.OperationalError:
             # transient (lock timeout, disk full, ...): the database is

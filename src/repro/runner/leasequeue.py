@@ -48,7 +48,7 @@ import time
 from .engine import ENGINE_VERSION, GridSpec, run_grid
 from .executor import EngineConfig, RunStats
 from .jobcache import connect_wal
-from .sinks import JsonlSink, ListSink
+from .sinks import JsonlSink, ListSink, MergeError
 
 __all__ = [
     "DEFAULT_LEASE_JOBS",
@@ -56,7 +56,10 @@ __all__ = [
     "Lease",
     "LeaseLost",
     "LeaseQueue",
+    "MergeError",
+    "failed_jobs",
     "merge_results",
+    "retry_failed",
     "work",
 ]
 
@@ -341,6 +344,50 @@ class LeaseQueue:
             args.append(grid_id)
         return self._conn.execute(sql, args).rowcount
 
+    def stale(self, grid_id: str | None = None) -> int:
+        """Leased ranges whose heartbeat deadline has already passed —
+        workers presumed dead but not yet reclaimed (``repro work
+        status`` surfaces this; :meth:`reclaim_expired` clears it)."""
+        sql = ("SELECT COUNT(*) FROM leases WHERE state = 'leased'"
+               " AND deadline < ?")
+        args: list = [self._clock()]
+        if grid_id is not None:
+            sql += " AND grid_id = ?"
+            args.append(grid_id)
+        return int(self._conn.execute(sql, args).fetchone()[0])
+
+    def reset_covering(self, grid_id: str, seqs) -> int:
+        """Flip the *done* leases covering the job indexes ``seqs``
+        back to pending (the ``repro work retry-failed`` seam); return
+        how many leases were re-opened.
+
+        Lease granularity means sibling jobs in a re-opened range run
+        again too — harmlessly: their rows come straight from the job
+        cache and the merge dedupes the duplicate envelopes.
+        """
+        seqs = sorted(set(seqs))
+        if not seqs:
+            return 0
+        conn = self._txn()
+        try:
+            starts = {
+                row[0] for seq in seqs
+                for row in conn.execute(
+                    "SELECT start FROM leases WHERE grid_id = ?"
+                    " AND start <= ? AND stop > ?",
+                    (grid_id, seq, seq)).fetchall()}
+            cur = conn.executemany(
+                "UPDATE leases SET state = 'pending', worker = NULL,"
+                " deadline = NULL WHERE grid_id = ? AND start = ?"
+                " AND state = 'done'",
+                [(grid_id, start) for start in sorted(starts)])
+            reopened = cur.rowcount
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        return reopened
+
 
 class _LeaseSink(JsonlSink):
     """Per-worker results sink: envelope rows, heartbeat per flush.
@@ -434,26 +481,86 @@ def work(root, *, worker: str | None = None,
 def _iter_envelopes(path: pathlib.Path):
     """Yield well-formed result envelopes from one worker file.
 
-    Tolerant by design: unparseable lines (a SIGKILL mid-write leaves
-    a torn tail) and non-envelope objects are skipped — the merge's
-    coverage check catches anything that actually went missing.
+    A SIGKILL mid-write leaves at most one torn **final** line, which
+    is tolerated (the merge's coverage check catches anything that
+    actually went missing), and well-formed JSON that is not a result
+    envelope is skipped.  Unparseable lines in the *middle* of the file
+    are a different beast — appends are sequential, so mid-file damage
+    means the log itself is corrupt — and raise :class:`MergeError`
+    naming the worker file and line rather than silently dropping rows.
     """
     try:
         fh = path.open()
     except OSError:
         return
     with fh:
-        for line in fh:
+        torn: int | None = None
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
+            if torn is not None:
+                raise MergeError(
+                    f"worker log {path.name}: corrupt JSON on line "
+                    f"{torn} (not a torn tail — line {lineno} follows "
+                    f"it); refusing to merge a damaged result stream")
             try:
                 env = json.loads(line)
             except ValueError:
+                torn = lineno
                 continue
             if (isinstance(env, dict) and "row" in env
                     and isinstance(env.get("seq"), int)):
                 yield env
+
+
+def _is_failed(row) -> bool:
+    """Whether a merged row is a quarantine (``status="failed"``) row."""
+    return isinstance(row, dict) and row.get("status") == "failed"
+
+
+def _collect_rows(queue: LeaseQueue, grid_id: str) -> dict[int, dict]:
+    """First-wins merge of every worker's envelopes for one grid.
+
+    Duplicates (re-run ranges) must agree — determinism means an
+    ok/ok mismatch is a real bug — with one deliberate asymmetry: a
+    successful row always replaces a quarantined one for the same job
+    (a retried worker healed it; the stale failure envelope stays in
+    the old worker log), and two quarantine rows never conflict (their
+    attempt counts and messages legitimately differ across workers).
+    """
+    rows: dict[int, dict] = {}
+    for path in sorted(queue.results_dir.glob("*.jsonl")):
+        for env in _iter_envelopes(path):
+            if env.get("grid") != grid_id:
+                continue
+            seq, row = env["seq"], env["row"]
+            prev = rows.get(seq)
+            if prev is None:
+                rows[seq] = row
+            elif prev == row:
+                continue
+            elif _is_failed(prev) and not _is_failed(row):
+                rows[seq] = row       # a retry healed the job
+            elif _is_failed(row) or _is_failed(prev):
+                continue              # keep the healthier / first row
+            else:
+                raise MergeError(
+                    f"conflicting results for job {seq} of grid "
+                    f"{grid_id}: determinism violated (were the "
+                    f"workers running different code versions?)")
+    return rows
+
+
+def _resolve_grid(queue: LeaseQueue, grid_id: str | None) -> str:
+    """Default ``grid_id`` to the queue's only grid, or fail clearly."""
+    if grid_id is not None:
+        return grid_id
+    grids = queue.grids()
+    if len(grids) != 1:
+        raise ValueError(f"queue holds {len(grids)} grids; "
+                         f"pass grid_id to pick one")
+    return grids[0]
 
 
 def merge_results(root, grid_id: str | None = None, sink=None):
@@ -471,12 +578,7 @@ def merge_results(root, grid_id: str | None = None, sink=None):
     ``grid_id`` may be omitted when the queue holds exactly one grid.
     """
     queue = root if isinstance(root, LeaseQueue) else LeaseQueue(root)
-    if grid_id is None:
-        grids = queue.grids()
-        if len(grids) != 1:
-            raise ValueError(f"queue holds {len(grids)} grids; "
-                             f"pass grid_id to pick one")
-        grid_id = grids[0]
+    grid_id = _resolve_grid(queue, grid_id)
     if not queue.finished(grid_id):
         counts = queue.counts(grid_id)
         raise ValueError(
@@ -484,20 +586,7 @@ def merge_results(root, grid_id: str | None = None, sink=None):
             f"pending, {counts['leased']} leased leases) — run more "
             f"workers (repro work run) before merging")
     total = queue.total(grid_id)
-    rows: dict[int, dict] = {}
-    for path in sorted(queue.results_dir.glob("*.jsonl")):
-        for env in _iter_envelopes(path):
-            if env.get("grid") != grid_id:
-                continue
-            seq, row = env["seq"], env["row"]
-            if seq in rows:
-                if rows[seq] != row:
-                    raise ValueError(
-                        f"conflicting results for job {seq} of grid "
-                        f"{grid_id}: determinism violated (were the "
-                        f"workers running different code versions?)")
-                continue
-            rows[seq] = row
+    rows = _collect_rows(queue, grid_id)
     missing = [seq for seq in range(total) if seq not in rows]
     stray = sorted(seq for seq in rows if not 0 <= seq < total)
     if missing or stray:
@@ -513,3 +602,35 @@ def merge_results(root, grid_id: str | None = None, sink=None):
     finally:
         sink.close()
     return sink.result()
+
+
+def failed_jobs(root, grid_id: str | None = None) -> dict[int, dict]:
+    """The quarantined jobs of a grid after the prefer-ok merge:
+    ``{seq: quarantine_row}`` for every job whose best merged row is
+    still ``status="failed"`` (a job healed by a retried lease does not
+    appear).  Works on partially drained queues — ``repro work
+    status`` calls this while workers are still running."""
+    queue = root if isinstance(root, LeaseQueue) else LeaseQueue(root)
+    grid_id = _resolve_grid(queue, grid_id)
+    return {seq: row
+            for seq, row in _collect_rows(queue, grid_id).items()
+            if _is_failed(row)}
+
+
+def retry_failed(root, grid_id: str | None = None) -> tuple[int, int]:
+    """Re-enqueue only the quarantined jobs of a drained grid.
+
+    Finds every job whose merged result is still ``status="failed"``
+    and flips the done leases covering them back to pending — the
+    ``repro work retry-failed`` subcommand.  Returns
+    ``(failed_jobs, reopened_leases)``.  The next ``work`` loop re-runs
+    those ranges: healthy sibling jobs replay from the job cache,
+    quarantined ones execute for real, and the merge's prefer-ok rule
+    lets fresh successes supersede the stale failure envelopes.
+    """
+    queue = root if isinstance(root, LeaseQueue) else LeaseQueue(root)
+    grid_id = _resolve_grid(queue, grid_id)
+    failed = failed_jobs(queue, grid_id)
+    if not failed:
+        return 0, 0
+    return len(failed), queue.reset_covering(grid_id, failed)

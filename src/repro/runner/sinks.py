@@ -30,9 +30,11 @@ import json
 import pathlib
 import sqlite3
 
+from . import faults
 from .jobcache import connect_wal, jsonify
 
 __all__ = [
+    "MergeError",
     "ResultSink",
     "ListSink",
     "JsonlSink",
@@ -44,6 +46,18 @@ __all__ = [
 
 #: CLI names of the registered sink kinds
 SINK_KINDS = ("list", "jsonl", "sqlite")
+
+
+class MergeError(ValueError):
+    """A worker's result stream is unusably corrupt.
+
+    Raised when tolerant readers / the lease-queue merge find damage
+    they must *not* paper over: JSON corruption in the **middle** of a
+    worker's log (a torn *final* line is the expected SIGKILL artifact
+    and stays tolerated) or two workers claiming the same sequence
+    number with different rows.  Subclasses :class:`ValueError` so
+    existing ``except ValueError`` callers keep working.
+    """
 
 
 class ResultSink:
@@ -71,7 +85,13 @@ class ResultSink:
         (and test doubles) that only override ``write`` keep their
         behavior; backends with a cheaper bulk path (SQLite
         ``executemany``) override this instead.
+
+        Sink failures are deliberately *fatal* to the run: the engine
+        aborts the drain on the first failed flush so a file-backed
+        table always holds a clean row prefix (kill+resume semantics) —
+        which is why the fault harness instruments this seam.
         """
+        faults.fire("sink_write", type(self).__name__)
         for row in rows:
             self.write(row)
 
@@ -180,6 +200,7 @@ class SqliteSink(ResultSink):
 
     def write_many(self, rows) -> None:
         """Insert a whole batch with one ``executemany`` round-trip."""
+        faults.fire("sink_write", type(self).__name__)
         blobs = [(json.dumps(jsonify(row), sort_keys=True),)
                  for row in rows]
         self._connection().executemany(
@@ -222,24 +243,35 @@ def make_sink(kind: str, path=None, append: bool = False) -> ResultSink:
 def read_jsonl_rows(path, tolerant: bool = False) -> list[dict]:
     """Load the rows a :class:`JsonlSink` wrote, in stream order.
 
-    ``tolerant=True`` skips lines that do not parse as JSON — the torn
-    final line a SIGKILL'd writer can leave behind.  Callers that
-    verify completeness separately (the lease-queue ``merge``, which
-    dedupes by sequence number and asserts full grid coverage) use it
-    to read crash-prone per-worker files; everyone else keeps the
+    ``tolerant=True`` tolerates exactly one unparseable **final** line —
+    the torn tail a SIGKILL'd writer can leave behind.  Corruption in
+    the *middle* of the file is never a crash artifact (appends are
+    sequential), so it raises :class:`MergeError` naming the file and
+    line instead of being silently dropped.  Callers that verify
+    completeness separately (the lease-queue ``merge``, which dedupes by
+    sequence number and asserts full grid coverage) use the tolerant
+    mode to read crash-prone per-worker files; everyone else keeps the
     fail-fast default.
     """
+    path = pathlib.Path(path)
     rows = []
-    with pathlib.Path(path).open() as fh:
-        for line in fh:
+    torn: int | None = None  # line number of a pending unparseable line
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
+            if torn is not None:
+                # the bad line was NOT the final one: real corruption
+                raise MergeError(
+                    f"{path}: corrupt JSON on line {torn} (not a torn "
+                    f"tail — line {lineno} follows it)")
             try:
                 rows.append(json.loads(line))
             except ValueError:
                 if not tolerant:
                     raise
+                torn = lineno
     return rows
 
 

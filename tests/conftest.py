@@ -32,6 +32,25 @@ def trace_instance(seed: int = 0, T: int = 96, peak: float = 12.0,
     return instance_from_loads(loads, m=m, beta=beta)
 
 
+@pytest.fixture(autouse=True)
+def _isolate_executor_state():
+    """Shield tests from each other's executor/fault-harness state.
+
+    The worker pool is module-global and persists across tests; a test
+    that grows it (or leaves fault-injecting workers behind) changes
+    how later tests schedule chunks — the full-suite-only flake in
+    ``test_parallel_rows_bit_identical_under_both_backends``.  Tear
+    down any pool a test created and always clear fault-plan state.
+    """
+    from repro.runner import executor, faults
+    pool_before = executor._POOL
+    yield
+    faults.deactivate()
+    faults.reset()
+    if executor._POOL is not None and executor._POOL is not pool_before:
+        executor.shutdown_pool()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -41,7 +41,10 @@ def test_runner_exports_cover_executor_and_leasequeue():
                  "PipelineBatch", "run_pipeline", "parallel_map",
                  "shutdown_pool", "Lease", "LeaseLost", "LeaseQueue",
                  "merge_results", "work", "JsonlSink", "ListSink",
-                 "ResultSink", "SqliteSink", "make_sink"):
+                 "ResultSink", "SqliteSink", "make_sink",
+                 "RetryPolicy", "FaultPlan", "FaultSpec",
+                 "InjectedFault", "MergeError", "failed_jobs",
+                 "retry_failed"):
         assert name in runner.__all__, name
 
 

@@ -295,8 +295,9 @@ class TestPromiseRace:
         real_submit = engine_mod._submit_task
 
         def fake_submit(fn, arg, n_jobs):
-            if fn is engine_mod._run_chunk:
-                algorithms = {job[1] for job, _r, _s in arg}
+            if fn is engine_mod._run_chunk_retry:
+                tasks, _policy = arg
+                algorithms = {job[1] for job, _r, _s in tasks}
                 if "memoryless" in algorithms:
                     state["release"] = True
                     future: Future = Future()
@@ -304,7 +305,7 @@ class TestPromiseRace:
                     return future
                 if "lcp" in algorithms:
                     future = GatedFuture()
-                    future.set_result(engine_mod._run_chunk(arg))
+                    future.set_result(engine_mod._run_chunk_retry(arg))
                     return future
             return real_submit(fn, arg, n_jobs)
 
