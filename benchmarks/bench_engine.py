@@ -25,12 +25,25 @@ grid at several horizons, under five execution variants:
   phase-1 optimum, the LCP family and the backward solver;
 * ``kernel_unfused`` — the vectorized kernels under per-job dispatch
   (``chunk_jobs=1``), isolating the kernels' contribution from chunk
-  fusion (the per-process sweep memo still deduplicates sweeps).
+  fusion (the per-process sweep memo still deduplicates sweeps);
+* ``kernel_multi`` / ``batched`` — a *multi-instance* grid (six
+  instance seeds, same algorithms) under the vector and batched
+  kernels respectively, the whole grid in one batch: ``batched``
+  stacks co-scheduled same-shape instances into single
+  ``(B, T, m+1)`` sweep launches (``REPRO_KERNEL=batched``), so its
+  gain over ``kernel_multi`` is pure launch amortization on an
+  identical job set.
 
 The legacy variants are pinned to ``REPRO_KERNEL=scalar`` so they keep
 measuring the historical per-step code paths (and stay comparable
 across runs); the ``kernel*`` variants measure the vectorized paths.
-Every variant must produce bit-identical rows.
+Every variant must produce bit-identical rows (the multi-instance
+variants against each other — their job set is larger).
+
+The report also carries a ``restricted_solver`` section timing
+``solve_restricted`` under the scalar vs vectorized kernel on one
+restricted instance per horizon — the whole-table rewrite of the
+masked DP's forward/backward passes.
 
 Results are written as machine-readable JSON (default
 ``BENCH_engine.json`` at the repo root) so the nightly regression
@@ -61,6 +74,9 @@ DEFAULT_ALGORITHMS = ("lcp", "eager-lcp", "threshold", "memoryless",
                       "followmin", "never-off")
 VARIANTS = ("rebuild", "mmap_store", "pipelined", "fused", "warm_cache",
             "kernel", "kernel_unfused")
+#: multi-instance variants, measured on the six-seed grid
+MULTI_VARIANTS = ("kernel_multi", "batched")
+MULTI_SEEDS = tuple(range(6))
 
 
 def _run_variant(spec, variant: str, workdir: pathlib.Path,
@@ -89,9 +105,16 @@ def _run_variant(spec, variant: str, workdir: pathlib.Path,
     elif variant == "kernel_unfused":
         kwargs.update(store_dir=store_dir, batch_size=batched,
                       pipeline_depth=2)
+    elif variant in MULTI_VARIANTS:
+        # whole grid in one batch: the fused phase-1 chunk sees every
+        # co-scheduled instance, so the batched kernel can stack all
+        # same-shape sweeps into single launches
+        kwargs.update(store_dir=store_dir, batch_size=len(spec),
+                      pipeline_depth=2, chunk_jobs=None)
     else:
         kwargs["cache_dir"] = cache_dir
-    kernel = "vector" if variant.startswith("kernel") else "scalar"
+    kernel = ("batched" if variant == "batched"
+              else "vector" if variant.startswith("kernel") else "scalar")
     best = None
     try:
         with kernels.use(kernel):
@@ -134,19 +157,23 @@ def bench_engine(sizes=DEFAULT_SIZES, algorithms=DEFAULT_ALGORITHMS,
     def measure(T: int, workdir: pathlib.Path) -> list[dict]:
         spec = GridSpec(scenarios=(scenario,), algorithms=tuple(algorithms),
                         seeds=(0,), sizes=(int(T),))
+        multi = GridSpec(scenarios=(scenario,),
+                         algorithms=tuple(algorithms),
+                         seeds=MULTI_SEEDS, sizes=(int(T),))
         # warm the store and the result cache first (phase 0 / first run
         # are what 'cold' pays; the variants measure the steady state)
-        run_grid(spec, EngineConfig(n_jobs=n_jobs,
-                                    store_dir=workdir / "store",
-                                    cache_dir=workdir / "cache"))
+        for s in (spec, multi):
+            run_grid(s, EngineConfig(n_jobs=n_jobs,
+                                     store_dir=workdir / "store",
+                                     cache_dir=workdir / "cache"))
         out = []
-        reference = None
-        for variant in VARIANTS:
-            row = _run_variant(spec, variant, workdir, n_jobs)
+        references: dict = {}
+        for variant in VARIANTS + MULTI_VARIANTS:
+            vspec = multi if variant in MULTI_VARIANTS else spec
+            row = _run_variant(vspec, variant, workdir, n_jobs)
             rows = row.pop("rows")
-            if reference is None:
-                reference = rows
-            elif rows != reference:
+            reference = references.setdefault(id(vspec), rows)
+            if rows != reference:
                 raise AssertionError(
                     f"variant {variant!r} rows differ at T={T}")
             row["T"] = int(T)
@@ -174,12 +201,55 @@ def bench_engine(sizes=DEFAULT_SIZES, algorithms=DEFAULT_ALGORITHMS,
     speedup_kernel = {str(T): round(by[(T, "kernel")]["jobs_per_sec"]
                                     / by[(T, "fused")]["jobs_per_sec"], 3)
                       for T in sizes}
-    return {"bench": "engine_throughput", "version": 3,
+    # batched vs kernel: the headline launch-amortization gain over the
+    # single-instance kernel variant (the committed baseline); batched
+    # vs kernel_multi isolates it on an identical job set
+    speedup_batched = {
+        str(T): round(by[(T, "batched")]["jobs_per_sec"]
+                      / by[(T, "kernel")]["jobs_per_sec"], 3)
+        for T in sizes}
+    speedup_batched_multi = {
+        str(T): round(by[(T, "batched")]["jobs_per_sec"]
+                      / by[(T, "kernel_multi")]["jobs_per_sec"], 3)
+        for T in sizes}
+    return {"bench": "engine_throughput", "version": 4,
             "scenario": scenario, "algorithms": list(algorithms),
             "n_jobs": n_jobs, "results": results,
             "speedup_store_vs_rebuild": speedup,
             "speedup_fused_vs_store": speedup_fused,
-            "speedup_kernel_vs_fused": speedup_kernel}
+            "speedup_kernel_vs_fused": speedup_kernel,
+            "speedup_batched_vs_kernel": speedup_batched,
+            "speedup_batched_vs_kernel_multi": speedup_batched_multi,
+            "restricted_solver": bench_restricted(sizes)}
+
+
+def bench_restricted(sizes, scenario: str = "restricted-diurnal") -> dict:
+    """Time ``solve_restricted`` under the scalar vs vectorized kernel
+    (best-of-3) on one restricted instance per horizon."""
+    from repro import kernels
+    from repro.offline import solve_restricted
+    from repro.runner.scenarios import build_instance
+    out = {}
+    for T in sizes:
+        inst = build_instance(scenario, int(T), 0, pipeline="restricted")
+        timings = {}
+        for name in ("scalar", "vector"):
+            with kernels.use(name):
+                solve_restricted(inst)  # warm-up
+                best = min(
+                    _timed(lambda: solve_restricted(inst))
+                    for _repeat in range(3))
+            timings[f"{name}_seconds"] = round(best, 6)
+        timings["speedup"] = round(timings["scalar_seconds"]
+                                   / timings["vector_seconds"], 3)
+        out[str(T)] = timings
+    return out
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 def main(argv=None) -> int:
@@ -209,6 +279,9 @@ def main(argv=None) -> int:
           report["speedup_store_vs_rebuild"])
     print("speedup kernel vs fused:",
           report["speedup_kernel_vs_fused"])
+    print("speedup batched vs kernel:",
+          report["speedup_batched_vs_kernel"])
+    print("restricted solver:", report["restricted_solver"])
     print(f"wrote {args.out}")
     return 0
 

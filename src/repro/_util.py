@@ -3,7 +3,10 @@
 All kernels are NumPy-vectorized along the state axis (length ``m+1``)
 following the project's HPC conventions: the time loop is sequential by
 nature of the DP recurrences, so per-step work must be branch-free array
-arithmetic.
+arithmetic.  Every helper operates along the *last* axis, so the same
+code serves a single ``(m+1,)`` row and a whole ``(T, m+1)`` table —
+the restricted solver's vectorized backtrack precomputes all rows in
+one pass.
 """
 
 from __future__ import annotations
@@ -15,39 +18,56 @@ __all__ = [
     "suffix_min",
     "prefix_argmin",
     "suffix_argmin",
+    "suffix_argmin_first",
     "argmin_first",
     "argmin_last",
 ]
 
 
 def prefix_min(v: np.ndarray) -> np.ndarray:
-    """``out[j] = min(v[0..j])`` (running minimum)."""
-    return np.minimum.accumulate(v)
+    """``out[..., j] = min(v[..., 0..j])`` (running minimum)."""
+    return np.minimum.accumulate(v, axis=-1)
 
 
 def suffix_min(v: np.ndarray) -> np.ndarray:
-    """``out[j] = min(v[j..])`` (reverse running minimum)."""
-    return np.minimum.accumulate(v[::-1])[::-1]
+    """``out[..., j] = min(v[..., j..])`` (reverse running minimum)."""
+    return np.minimum.accumulate(v[..., ::-1], axis=-1)[..., ::-1]
 
 
 def prefix_argmin(v: np.ndarray) -> np.ndarray:
-    """``out[j] = smallest index i <= j with v[i] == min(v[0..j])``."""
-    pm = np.minimum.accumulate(v)
-    idx = np.arange(v.size, dtype=np.int64)
+    """``out[..., j] = smallest i <= j with v[..., i] == min(v[..., 0..j])``."""
+    pm = np.minimum.accumulate(v, axis=-1)
+    n = v.shape[-1]
+    idx = np.arange(n, dtype=np.int64)
     # A strict improvement at i starts a new prefix minimum; ties keep the
     # earlier index, so carrying the last strict-improvement index forward
     # yields the smallest index attaining each prefix minimum.
-    strict = np.empty(v.size, dtype=bool)
-    strict[0] = True
-    strict[1:] = v[1:] < pm[:-1]
+    strict = np.empty(v.shape, dtype=bool)
+    strict[..., 0] = True
+    strict[..., 1:] = v[..., 1:] < pm[..., :-1]
     first = np.where(strict, idx, 0)
-    return np.maximum.accumulate(first)
+    return np.maximum.accumulate(first, axis=-1)
 
 
 def suffix_argmin(v: np.ndarray) -> np.ndarray:
-    """``out[j] = largest index i >= j with v[i] == min(v[j..])``."""
-    r = prefix_argmin(v[::-1])
-    return v.size - 1 - r[::-1]
+    """``out[..., j] = largest i >= j with v[..., i] == min(v[..., j..])``."""
+    r = prefix_argmin(v[..., ::-1])
+    return v.shape[-1] - 1 - r[..., ::-1]
+
+
+def suffix_argmin_first(v: np.ndarray) -> np.ndarray:
+    """``out[..., j] = smallest i >= j with v[..., i] == min(v[..., j..])``."""
+    w = v[..., ::-1]
+    pm = np.minimum.accumulate(w, axis=-1)
+    n = v.shape[-1]
+    idx = np.arange(n, dtype=np.int64)
+    # In the reversed view the *largest* attaining index maps back to
+    # the smallest original one; an entry attains its running minimum
+    # exactly when w <= pm (pm <= w always holds).
+    attain = w <= pm
+    last = np.where(attain, idx, 0)
+    la = np.maximum.accumulate(last, axis=-1)
+    return (n - 1) - la[..., ::-1]
 
 
 def argmin_first(v: np.ndarray) -> int:

@@ -1,0 +1,88 @@
+"""Batched work-function kernel: one sweep for a stack of instances.
+
+The vectorized kernel already collapsed the per-step loop into whole-
+table ufunc passes, but every instance still pays its own kernel
+launch: ``T`` rounds of six ufunc dispatches on ``(m+1,)`` rows.  At
+small ``T``/``m`` that dispatch overhead dominates.  This kernel stacks
+``B`` *same-shape* instances into one ``(B, T, m+1)`` tensor and runs
+the identical op sequence on ``(B, m+1)`` slabs, so one launch serves
+the whole stack and the per-instance dispatch cost divides by ``B``.
+
+Bit-identity holds *per slice*: every ufunc is elementwise (or an
+``accumulate``/``argmin`` along the last axis, which never mixes
+lanes), so lane ``b`` of every intermediate equals the corresponding
+intermediate of :func:`repro.kernels.vectorized.sweep_workfunction` on
+instance ``b`` alone — same IEEE ops, same order, same operands.  The
+derivation lives in ``docs/KERNELS.md`` and ``tests/test_kernels.py``
+asserts the slice-by-slice equality.
+
+Only same-shape instances stack; callers (``cached_sweep_many``)
+group by ``(T, m)`` and fall back to per-instance sweeps for
+singletons or ragged groups.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["sweep_workfunction_many"]
+
+
+def sweep_workfunction_many(costs: np.ndarray, betas: Sequence[float]):
+    """Sweep ``B`` same-shape instances in one ``(B, T, m+1)`` pass.
+
+    ``costs`` is a ``(B, T, m+1)`` stack of cost tables, ``betas`` the
+    matching per-instance switching costs.  Returns a list of ``B``
+    :class:`~repro.kernels.SweepResult` values, each bit-identical to
+    the vector kernel run on that slice alone.
+    """
+    from . import SweepResult
+    F = np.asarray(costs, dtype=np.float64)
+    if F.ndim != 3:
+        raise ValueError(f"expected a (B, T, m+1) stack, got shape {F.shape}")
+    B, T, m = F.shape[0], F.shape[1], F.shape[2] - 1
+    if len(betas) != B:
+        raise ValueError(f"{B} cost slices but {len(betas)} betas")
+    if B == 0:
+        return []
+    if T == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return [SweepResult(lo=empty, hi=empty, opt=0.0) for _ in range(B)]
+    states = np.arange(m + 1, dtype=np.float64)
+    # One beta row per lane; lane b sees exactly the vector kernel's
+    # ``beta * states``.
+    bstates = np.asarray(betas, dtype=np.float64)[:, None] * states
+    D = np.empty((B, T, m + 1), dtype=np.float64)
+    np.add(F[:, 0], bstates, out=D[:, 0])
+    buf = np.empty((B, m + 1), dtype=np.float64)
+    acc = np.minimum.accumulate
+    sub, add, mini = np.subtract, np.add, np.minimum
+    # Hoist the (B, m+1) slab views; per step the six dispatches below
+    # are the *whole* Python cost for all B lanes.
+    slabs = [D[:, t] for t in range(T)]
+    slabs_r = [D[:, t, ::-1] for t in range(T)]
+    fslabs = [F[:, t] for t in range(T)]
+    prev, prev_r = slabs[0], slabs_r[0]
+    for t in range(1, T):
+        cur, cur_r = slabs[t], slabs_r[t]
+        # up = beta x + prefix_min(prev - beta x), per lane
+        sub(prev, bstates, out=buf)
+        acc(buf, axis=-1, out=buf)
+        add(buf, bstates, out=buf)
+        # down = suffix_min(prev), via reversed views
+        acc(prev_r, axis=-1, out=cur_r)
+        # D[:, t] = f_t + min(up, down)
+        mini(buf, cur, out=cur)
+        add(cur, fslabs[t], out=cur)
+        prev, prev_r = cur, cur_r
+    # Bounds, whole-stack: argmin along the state axis never mixes
+    # lanes, so each (b, t) entry matches the single-instance pass.
+    lo = D.argmin(axis=2).astype(np.int64, copy=False)
+    CU = D - bstates[:, None, :]
+    hi = (m - CU[:, :, ::-1].argmin(axis=2)).astype(np.int64, copy=False)
+    return [
+        SweepResult(lo=lo[b], hi=hi[b], opt=float(D[b, -1].min()))
+        for b in range(B)
+    ]

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._util import prefix_min, suffix_min
+from .. import kernels
+from .._util import prefix_argmin, prefix_min, suffix_argmin_first, suffix_min
 from .result import OfflineResult
 
 __all__ = ["solve_restricted", "restricted_cost_matrix"]
@@ -91,21 +92,11 @@ def restricted_cost_matrix(ri) -> np.ndarray:
     return F
 
 
-def solve_restricted(ri) -> OfflineResult:
-    """Optimal schedule of a restricted-model instance (``O(T m)``).
-
-    Accepts a :class:`~repro.core.instance.RestrictedInstance` or any
-    object with ``T``/``m``/``beta`` and either ``loads`` + ``f`` or a
-    precomputed ``costs`` matrix.  Returns the schedule and its eq. (2)
-    cost; feasibility ``x_t >= lambda_t`` holds by construction.
-    """
-    T, m, beta = ri.T, ri.m, ri.beta
-    if T == 0:
-        return OfflineResult(schedule=np.zeros(0, dtype=np.int64), cost=0.0,
-                             method="restricted_dp")
-    states = np.arange(m + 1, dtype=np.float64)
-    F = restricted_cost_matrix(ri)
-    Ds = np.empty((T, m + 1))
+def _forward_scalar(F: np.ndarray, beta: float,
+                    states: np.ndarray) -> np.ndarray:
+    """Per-step reference forward pass (the pre-vectorization loop)."""
+    T, width = F.shape
+    Ds = np.empty((T, width))
     Ds[0] = F[0] + beta * states
     for t in range(1, T):
         prev = Ds[t - 1]
@@ -115,12 +106,113 @@ def solve_restricted(ri) -> OfflineResult:
             up = beta * states + prefix_min(prev - beta * states)
         down = suffix_min(prev)
         Ds[t] = F[t] + np.minimum(up, down)
+    return Ds
+
+
+def _forward_table(F: np.ndarray, beta: float,
+                   states: np.ndarray) -> np.ndarray:
+    """Whole-table forward pass: six in-place ufunc calls per step on
+    hoisted row views, the restricted twin of the vector kernel's sweep
+    loop.  Bit-identical to :func:`_forward_scalar` — same ufuncs in
+    the same order, commutative operand swaps excepted."""
+    T, width = F.shape
+    bstates = beta * states
+    Ds = np.empty((T, width), dtype=np.float64)
+    np.add(F[0], bstates, out=Ds[0])
+    buf = np.empty(width, dtype=np.float64)
+    acc = np.minimum.accumulate
+    sub, add, mini = np.subtract, np.add, np.minimum
+    rows, rows_r, frows = list(Ds), list(Ds[:, ::-1]), list(F)
+    prev, prev_r = rows[0], rows_r[0]
+    with np.errstate(invalid="ignore"):
+        for t in range(1, T):
+            cur, cur_r = rows[t], rows_r[t]
+            # up = beta x + prefix_min(prev - beta x)
+            sub(prev, bstates, out=buf)
+            acc(buf, out=buf)
+            add(buf, bstates, out=buf)
+            # down = suffix_min(prev), via reversed views
+            acc(prev_r, out=cur_r)
+            # Ds[t] = f_t + min(up, down)
+            mini(buf, cur, out=cur)
+            add(cur, frows[t], out=cur)
+            prev, prev_r = cur, cur_r
+    return Ds
+
+
+def _chain_prev(nxt: int, P_row, PA_row, S_row, SA_row, beta: float) -> int:
+    """One backtrack step under the two-segment decomposition.
+
+    The transition row ``Ds[t, j] + beta max(x' - j, 0)`` splits at
+    ``x'``: below it the penalty decomposes as
+    ``(Ds[t, j] - beta j) + beta x'`` — a prefix minimum of
+    ``G = Ds - beta x`` — and at/above it the penalty vanishes, a
+    suffix minimum of ``Ds``.  Ties resolve to the smallest index, the
+    lower segment winning on equality, mirroring ``argmin``'s
+    first-minimizer rule.  Shared verbatim by the scalar and
+    vectorized backtracks so both pick bit-identical schedules.
+    """
+    if nxt == 0:
+        return int(SA_row[0])
+    low = P_row[nxt - 1] + beta * nxt
+    if low <= S_row[nxt]:
+        return int(PA_row[nxt - 1])
+    return int(SA_row[nxt])
+
+
+def _backtrack_scalar(Ds: np.ndarray, beta: float, states: np.ndarray,
+                      x: np.ndarray) -> None:
+    """Per-step reference backtrack: the decomposition evaluated one
+    row at a time."""
+    T = Ds.shape[0]
+    for t in range(T - 2, -1, -1):
+        row = Ds[t]
+        G = row - beta * states
+        x[t] = _chain_prev(int(x[t + 1]), prefix_min(G), prefix_argmin(G),
+                           suffix_min(row), suffix_argmin_first(row), beta)
+
+
+def _backtrack_table(Ds: np.ndarray, beta: float, states: np.ndarray,
+                     x: np.ndarray) -> None:
+    """Whole-table backtrack: the four segment tables (prefix/suffix
+    minima and their first attainers) are computed in a handful of
+    table-wide passes; the remaining chain is ``O(T)`` scalar reads."""
+    T = Ds.shape[0]
+    G = Ds - beta * states
+    P, PA = prefix_min(G), prefix_argmin(G)
+    S, SA = suffix_min(Ds), suffix_argmin_first(Ds)
+    for t in range(T - 2, -1, -1):
+        x[t] = _chain_prev(int(x[t + 1]), P[t], PA[t], S[t], SA[t], beta)
+
+
+def solve_restricted(ri) -> OfflineResult:
+    """Optimal schedule of a restricted-model instance (``O(T m)``).
+
+    Accepts a :class:`~repro.core.instance.RestrictedInstance` or any
+    object with ``T``/``m``/``beta`` and either ``loads`` + ``f`` or a
+    precomputed ``costs`` matrix.  Returns the schedule and its eq. (2)
+    cost; feasibility ``x_t >= lambda_t`` holds by construction.
+
+    The forward/backward passes ride the :mod:`repro.kernels` dispatch:
+    under a vectorized kernel both run as whole-table ufunc passes,
+    under ``REPRO_KERNEL=scalar`` the per-step reference loops run —
+    with bit-identical tables, cost *and* schedule either way
+    (``tests/test_kernels.py``).
+    """
+    T, m, beta = ri.T, ri.m, ri.beta
+    if T == 0:
+        return OfflineResult(schedule=np.zeros(0, dtype=np.int64), cost=0.0,
+                             method="restricted_dp")
+    states = np.arange(m + 1, dtype=np.float64)
+    F = restricted_cost_matrix(ri)
+    vectorized = kernels.is_vectorized()
+    Ds = (_forward_table if vectorized else _forward_scalar)(F, beta, states)
     x = np.empty(T, dtype=np.int64)
     x[T - 1] = int(np.argmin(Ds[T - 1]))
     cost = float(Ds[T - 1, x[T - 1]])
     if not np.isfinite(cost):
         raise ValueError("restricted instance has no feasible schedule")
-    for t in range(T - 2, -1, -1):
-        trans = Ds[t] + beta * np.maximum(x[t + 1] - states, 0.0)
-        x[t] = int(np.argmin(trans))
+    if T > 1:
+        (_backtrack_table if vectorized else _backtrack_scalar)(
+            Ds, beta, states, x)
     return OfflineResult(schedule=x, cost=cost, method="restricted_dp")

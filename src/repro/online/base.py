@@ -238,9 +238,9 @@ def run_online(instance: Instance, algorithm: OnlineAlgorithm, *,
     prediction window, if any) and the resulting schedule is priced with
     eq. (1) — via the continuous extension for fractional algorithms.
 
-    Under the vectorized kernel (:func:`repro.kernels.active` ==
-    ``"vector"``, the default) algorithms that consume work-function
-    bounds replay from one whole-table kernel sweep — ``bounds`` may
+    Under a vectorized kernel (:func:`repro.kernels.is_vectorized`,
+    i.e. ``"vector"`` — the default — or ``"batched"``) algorithms
+    that consume work-function bounds replay from one whole-table kernel sweep — ``bounds`` may
     pass a precomputed :class:`repro.kernels.SweepResult` (e.g. the
     engine's per-instance memo) — and algorithms offering
     :meth:`OnlineAlgorithm.run_table` commit their whole trajectory in
@@ -250,7 +250,7 @@ def run_online(instance: Instance, algorithm: OnlineAlgorithm, *,
     """
     T, m = instance.T, instance.m
     algorithm.reset(m, instance.beta)
-    if kernels.active() == "vector":
+    if kernels.is_vectorized():
         xs = _fast_trajectory(instance, algorithm, bounds)
         if xs is not None:
             return _priced(instance, algorithm, xs)
@@ -268,7 +268,7 @@ def run_online_many(instance: Instance, algorithms, *,
     maintenance of ``hat-C^L_tau`` — the dominant kernel of the
     Section 3 discrete algorithms — is paid once per *instance* instead
     of once per *job*, and each consumer commits its steps from the
-    same ``(x^L, x^U)`` trajectory.  Under the vectorized kernel the
+    same ``(x^L, x^U)`` trajectory.  Under a vectorized kernel the
     sweep is one whole-table kernel call (or the precomputed ``bounds``
     handed in by the engine) and other algorithms may take their
     :meth:`OnlineAlgorithm.run_table` fast path; everything else —
@@ -291,7 +291,7 @@ def run_online_many(instance: Instance, algorithms, *,
     xs = [np.empty(T, dtype=np.float64 if a.fractional else np.int64)
           for a in algorithms]
     slow_idx = list(range(len(algorithms)))
-    if kernels.active() == "vector":
+    if kernels.is_vectorized():
         slow_idx = []
         for i, algorithm in enumerate(algorithms):
             if (bounds is None and algorithm.consumes_bounds

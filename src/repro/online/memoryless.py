@@ -23,6 +23,8 @@ memoryless barrier.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from .._util import argmin_first, argmin_last
@@ -73,7 +75,10 @@ class MemorylessBalance(OnlineAlgorithm):
         T, last = F.shape[0], F.shape[1] - 1
         lo_all = F.argmin(axis=1).tolist()
         hi_all = (last - F[:, ::-1].argmin(axis=1)).tolist()
-        rows = list(F)
+        # plain-list rows: ``_fbar``'s scalar indexing is python-level
+        # either way, and list access skips the ndarray scalar boxing
+        # (float(row[i]) yields the same double bit-for-bit)
+        rows = F.tolist()
         out = np.empty(T, dtype=np.float64)
         core = self._step_core
         for t in range(T):
@@ -97,7 +102,7 @@ class MemorylessBalance(OnlineAlgorithm):
         # the segment toward the minimizer (movement grows, hitting
         # shrinks), so the first sign change pins the balance point.
         cells = [x]
-        step_int = int(np.floor(x)) + 1 if direction > 0 else int(np.ceil(x)) - 1
+        step_int = math.floor(x) + 1 if direction > 0 else math.ceil(x) - 1
         y = float(step_int)
         while (direction > 0 and y < target) or (direction < 0 and y > target):
             cells.append(y)

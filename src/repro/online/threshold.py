@@ -84,11 +84,17 @@ class ThresholdFractional(OnlineAlgorithm):
         drifts = list(G)
         q = self._q
         out = np.empty(T, dtype=np.float64)
-        subtract, clip = np.subtract, np.clip
+        # clip(q, 0, 1) == minimum(maximum(q, 0), 1) exactly (pure
+        # selections, no rounding), and np.add.reduce is the very
+        # reduction ndarray.sum dispatches to — raw-ufunc spellings of
+        # the same ops, skipping the dispatch wrappers in this loop
+        subtract, vmax, vmin = np.subtract, np.maximum, np.minimum
+        total = np.add.reduce
         for t in range(T):
             subtract(q, drifts[t], out=q)
-            clip(q, 0.0, 1.0, out=q)
-            out[t] = q.sum()
+            vmax(q, 0.0, out=q)
+            vmin(q, 1.0, out=q)
+            out[t] = total(q)
         if T:
             self._set_state(float(out[-1]))
         return out

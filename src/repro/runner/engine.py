@@ -285,7 +285,7 @@ def _solve_instance(task: tuple) -> dict:
     if pipeline == "game":
         return inst.baseline()
     if pipeline == "general":
-        if kernels.active() == "vector":
+        if kernels.is_vectorized():
             # One memoized kernel sweep serves this optimum *and* the
             # phase-2 shared replay / backward solver on the same
             # instance (the final work-function row's minimum is the
@@ -297,8 +297,25 @@ def _solve_instance(task: tuple) -> dict:
             opt = optimal_cost(inst)
         m, beta = inst.m, inst.beta
     elif pipeline == "restricted":
-        from ..offline import solve_restricted
-        opt, m, beta = solve_restricted(inst).cost, inst.m, inst.beta
+        if kernels.is_vectorized():
+            # The restricted forward DP is the work-function recurrence
+            # on the masked cost table, so the sweep's final-row
+            # minimum is solve_restricted's cost bit-identically — and
+            # a batched-prefetch pass may already have memoized it
+            # (peek first to skip rebuilding the cost table).
+            sweep = kernels.peek_sweep(coords)
+            if sweep is None:
+                from ..offline.restricted import restricted_cost_matrix
+                sweep = kernels.cached_sweep(
+                    coords, restricted_cost_matrix(inst), inst.beta)
+            opt = sweep.opt
+            if opt == float("inf"):
+                raise ValueError(
+                    "restricted instance has no feasible schedule")
+        else:
+            from ..offline import solve_restricted
+            opt = solve_restricted(inst).cost
+        m, beta = inst.m, inst.beta
     else:  # hetero: report the pooled fleet size and the type-1 beta
         from ..extensions import solve_dp_hetero
         opt = solve_dp_hetero(inst)[2]
@@ -380,13 +397,13 @@ def _run_job(task: tuple) -> dict:
         alg = spec.make(lookahead=lookahead, seed=_job_seed(job))
         bounds = None
         if (spec.shares_workfunction and alg.consumes_bounds
-                and alg.lookahead == 0 and kernels.active() == "vector"):
+                and alg.lookahead == 0 and kernels.is_vectorized()):
             # reuse (or seed) the per-process sweep memo phase 1 filled
             bounds = kernels.cached_sweep(_instance_coords(job),
                                           inst.F, inst.beta)
         return _online_row(job, spec, inst_record,
                            run_online(inst, alg, bounds=bounds).cost)
-    elif spec.shares_workfunction and kernels.active() == "vector":
+    elif spec.shares_workfunction and kernels.is_vectorized():
         # offline sweep sharer (backward_lcp): hand it the memoized
         # per-instance bound trajectory instead of a fresh sweep
         bounds = kernels.cached_sweep(_instance_coords(job),
@@ -410,11 +427,47 @@ def _run_job(task: tuple) -> dict:
 # ----------------------------------------------------------------------
 
 
+def _prefetch_sweeps(entries) -> None:
+    """Seed the sweep memo for a chunk's instances in one batched pass.
+
+    ``entries`` is an iterable of ``(coords, store_root)`` pairs.  Under
+    ``REPRO_KERNEL=batched``, the general and restricted instances among
+    them are stacked by table shape and swept through
+    :func:`repro.kernels.cached_sweep_many` — one kernel launch per
+    same-shape group — so the per-item paths that follow (phase-1
+    optimum, shared replay, backward solver) hit the memo.  A no-op
+    under every other kernel.  Purely an accelerator: an instance that
+    fails to resolve here is skipped, and the per-item path surfaces
+    the error with its full retry/quarantine accounting.
+    """
+    if kernels.active() != "batched":
+        return
+    items = []
+    for coords, store_root in dict.fromkeys(entries):
+        if kernels.peek_sweep(coords, touch=False) is not None:
+            continue
+        try:
+            inst = get_instance(coords, store_root)
+            if coords[1] == "general":
+                items.append((coords, inst.F, inst.beta))
+            elif coords[1] == "restricted":
+                from ..offline.restricted import restricted_cost_matrix
+                items.append((coords, restricted_cost_matrix(inst),
+                              inst.beta))
+        except Exception:
+            continue
+    if items:
+        kernels.cached_sweep_many(items)
+
+
 def _solve_chunk(task: tuple) -> list[dict]:
     """Fused phase-1 job: solve several instances' optima in one
     round-trip (each through :func:`_solve_instance`, so per-item
-    behavior — and test monkeypatching — is unchanged)."""
+    behavior — and test monkeypatching — is unchanged).  Under the
+    batched kernel the chunk's sweeps run as one stacked launch first
+    (:func:`_prefetch_sweeps`); the per-item solves then hit the memo."""
     coords_list, store_root = task
+    _prefetch_sweeps((coords, store_root) for coords in coords_list)
     return [_solve_instance((coords, store_root)) for coords in coords_list]
 
 
@@ -452,7 +505,7 @@ def _run_shared(tasks: list[tuple]) -> list[dict]:
     coords = _instance_coords(job0)
     inst = get_instance(coords, store_root)
     bounds = (kernels.cached_sweep(coords, inst.F, inst.beta)
-              if kernels.active() == "vector" else None)
+              if kernels.is_vectorized() else None)
     rows: list = [None] * len(tasks)
     online_idx = [i for i, (job, _rec, _root) in enumerate(tasks)
                   if get_spec(job[1]).kind == "online"]
@@ -486,6 +539,8 @@ def _run_chunk(tasks: list[tuple]) -> list[dict]:
         coords = _sharing_coords(job)
         if coords is not None:
             groups.setdefault(coords, []).append(idx)
+    _prefetch_sweeps((coords, tasks[idxs[0]][2])
+                     for coords, idxs in groups.items())
     for idxs in groups.values():
         if len(idxs) < 2:
             continue  # nothing to share; take the ordinary path
@@ -583,6 +638,7 @@ def _solve_chunk_retry(task: tuple) -> dict:
     ``{"records": [...], "retries": n}`` so the parent can account
     retries without timestamps ever entering a record."""
     coords_list, store_root, policy = task
+    _prefetch_sweeps((coords, store_root) for coords in coords_list)
     records, retries = [], 0
     for coords in coords_list:
         rec, r = _solve_with_retry(coords, store_root, policy)
@@ -667,6 +723,9 @@ def _run_chunk_retry(task: tuple) -> dict:
             done[i] = True
         else:
             pending.append(i)
+    _prefetch_sweeps(
+        (coords, tasks[i][2]) for i in pending
+        if (coords := _sharing_coords(tasks[i][0])) is not None)
     attempt = 0
     while pending:
         attempt += 1
@@ -1207,8 +1266,8 @@ _GRID_STAT_KEYS = (
     "job_hits", "job_misses", "opt_hits", "opt_solved",
     "inst_materialized", "batches", "max_pending", "rows_written",
     "overlapped_batches", "inflight_max", "inst_builds", "inst_loads",
-    "inst_memo_hits", "retries", "quarantined", "pool_restarts",
-    "cache_put_failures")
+    "inst_memo_hits", "sweep_memo_hits", "sweep_memo_misses",
+    "retries", "quarantined", "pool_restarts", "cache_put_failures")
 
 #: keyword arguments the pre-``EngineConfig`` ``run_grid`` accepted
 _RUN_GRID_KWARGS = frozenset(
@@ -1304,6 +1363,7 @@ def run_grid(spec: GridSpec, config: EngineConfig | None = None, *,
     batches_iter = _batches(jobs, config.batch_size)
     run_stats = stats if isinstance(stats, RunStats) else RunStats()
     inst_stats_before = instancestore.build_stats()
+    sweep_stats_before = kernels.sweep_stats()
     sink = ListSink() if config.sink is None else config.sink
     run = _GridRun(spec, config, cache, sink, run_stats, store_root)
     fault_plan = (None if config.fault_plan is None
@@ -1337,6 +1397,10 @@ def run_grid(spec: GridSpec, config: EngineConfig | None = None, *,
     for key in inst_stats:
         setattr(run_stats, key, getattr(run_stats, key)
                 + inst_stats[key] - inst_stats_before[key])
+    sweep_stats = kernels.sweep_stats()
+    for key in sweep_stats:
+        setattr(run_stats, key, getattr(run_stats, key)
+                + sweep_stats[key] - sweep_stats_before[key])
     if isinstance(stats, dict):
         stats.update({k: getattr(run_stats, k) for k in _GRID_STAT_KEYS})
     return sink.result()

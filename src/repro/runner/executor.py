@@ -175,6 +175,10 @@ class RunStats:
     inst_builds: int = 0
     inst_loads: int = 0
     inst_memo_hits: int = 0
+    #: sweep-memo deltas (see ``kernels.sweep_stats``); parent-process
+    #: view, like the instance-resolution counters above
+    sweep_memo_hits: int = 0
+    sweep_memo_misses: int = 0
     #: scheduler counters, maintained by :func:`run_pipeline`
     batches: int = 0
     max_pending: int = 0

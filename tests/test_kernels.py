@@ -1,23 +1,26 @@
-"""Scalar vs vectorized kernel equivalence (the PR 6 acceptance suite).
+"""Scalar vs vectorized vs batched kernel equivalence.
 
 The contract (docs/KERNELS.md): the vectorized whole-table kernels are
 **bit-identical** to the per-step scalar reference — same bound
 trajectories, same optimum float, same replayed schedules and costs —
 for every sweep-sharing algorithm, the backward solver, and whole
-engine grids across pipelines.
+engine grids across pipelines.  The batched kernel extends the
+contract per slice: every lane of a stacked sweep equals the vector
+kernel on that instance alone.
 """
 
 import numpy as np
 import pytest
 
 from repro import kernels
+from repro.kernels import batched as batched_kernel
 from repro.kernels import scalar as scalar_kernel
 from repro.kernels import vectorized as vector_kernel
 from repro.offline import solve_backward_lcp, solve_dp
 from repro.offline.backward import prefix_bounds
 from repro.online import run_online, run_online_many
 from repro.online.workfunction import WorkFunctions
-from repro.runner import GridSpec, run_grid
+from repro.runner import EngineConfig, GridSpec, run_grid
 from repro.runner.registry import _REGISTRY, get_spec
 from repro.runner.scenarios import build_instance
 
@@ -116,6 +119,135 @@ class TestDispatch:
         kernels.clear_sweep_cache()
 
 
+class TestBatchedKernel:
+    """Per-slice bit-identity of the stacked sweep and the grouping
+    behavior of ``cached_sweep_many`` (the engine's prefetch seam)."""
+
+    @pytest.mark.parametrize("B", [1, 2, 3, 5, 7])
+    def test_slices_match_vector_kernel(self, B):
+        rng = np.random.default_rng(B)
+        T, m = int(rng.integers(1, 60)), int(rng.integers(0, 9))
+        stack = rng.uniform(0.0, 10.0, size=(B, T, m + 1))
+        betas = [float(b) for b in rng.uniform(0.2, 6.0, size=B)]
+        many = batched_kernel.sweep_workfunction_many(stack, betas)
+        assert len(many) == B
+        for b in range(B):
+            single = vector_kernel.sweep_workfunction(stack[b], betas[b])
+            assert np.array_equal(many[b].lo, single.lo)
+            assert np.array_equal(many[b].hi, single.hi)
+            assert many[b].opt == single.opt  # bitwise, no tolerance
+
+    def test_empty_stack_and_empty_horizon(self):
+        assert batched_kernel.sweep_workfunction_many(
+            np.zeros((0, 5, 3)), []) == []
+        many = batched_kernel.sweep_workfunction_many(
+            np.zeros((4, 0, 3)), [1.0] * 4)
+        assert len(many) == 4
+        assert all(s.lo.size == 0 and s.opt == 0.0 for s in many)
+
+    def test_shape_and_beta_validation(self):
+        with pytest.raises(ValueError):
+            batched_kernel.sweep_workfunction_many(np.zeros((5, 3)), [1.0])
+        with pytest.raises(ValueError):
+            batched_kernel.sweep_workfunction_many(np.zeros((2, 5, 3)),
+                                                   [1.0])
+
+    def test_sweep_many_dispatch_agrees_across_kernels(self):
+        rng = np.random.default_rng(11)
+        stack = rng.uniform(0.0, 10.0, size=(3, 20, 6))
+        betas = [1.0, 2.5, 0.7]
+        results = {}
+        for name in kernels.KERNELS:
+            with kernels.use(name):
+                results[name] = kernels.sweep_workfunction_many(stack,
+                                                                betas)
+        for b in range(3):
+            for name in ("vector", "batched"):
+                assert np.array_equal(results[name][b].lo,
+                                      results["scalar"][b].lo)
+                assert np.array_equal(results[name][b].hi,
+                                      results["scalar"][b].hi)
+                assert results[name][b].opt == results["scalar"][b].opt
+
+    def test_cached_sweep_many_groups_by_shape(self, monkeypatch):
+        """Same-shape misses run as one stacked launch; ragged shapes
+        and singletons fall back to per-instance sweeps."""
+        launches, singles = [], []
+        real_many = batched_kernel.sweep_workfunction_many
+        real_one = vector_kernel.sweep_workfunction
+        monkeypatch.setattr(
+            batched_kernel, "sweep_workfunction_many",
+            lambda costs, betas: launches.append(len(betas))
+            or real_many(costs, betas))
+        monkeypatch.setattr(
+            vector_kernel, "sweep_workfunction",
+            lambda costs, beta: singles.append(1) or real_one(costs, beta))
+        rng = np.random.default_rng(3)
+        big = [rng.uniform(0, 10, size=(18, 5)) for _ in range(3)]
+        odd = rng.uniform(0, 10, size=(11, 7))
+        items = [(("i", k), tab, 1.5) for k, tab in enumerate(big)]
+        items.append((("i", 99), odd, 2.0))
+        items.append((("i", 0), big[0], 1.5))  # duplicate key
+        kernels.clear_sweep_cache()
+        with kernels.use("batched"):
+            out = kernels.cached_sweep_many(items)
+        assert launches == [3]       # one stacked launch for the trio
+        assert sum(singles) == 1     # the odd shape went alone
+        assert out[4] is out[0]      # duplicate key shares one sweep
+        for k, tab in enumerate(big):
+            ref = real_one(tab, 1.5)
+            assert out[k].opt == ref.opt
+            assert np.array_equal(out[k].lo, ref.lo)
+        with kernels.use("batched"):
+            again = kernels.cached_sweep(("i", 1), big[1], 1.5)
+        assert again is out[1]       # the batch seeded the memo
+        kernels.clear_sweep_cache()
+
+    def test_cached_sweep_many_scalar_fallback(self):
+        rng = np.random.default_rng(5)
+        items = [(("s", k), rng.uniform(0, 10, size=(9, 4)), 1.0)
+                 for k in range(3)]
+        kernels.clear_sweep_cache()
+        with kernels.use("scalar"):
+            out = kernels.cached_sweep_many(items)
+        for k in range(3):
+            ref = scalar_kernel.sweep_workfunction(items[k][1], 1.0)
+            assert out[k].opt == ref.opt
+            assert np.array_equal(out[k].lo, ref.lo)
+        kernels.clear_sweep_cache()
+
+    def test_memo_size_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_MEMO, "2")
+        kernels.clear_sweep_cache()
+        tab = np.ones((6, 4))
+        with kernels.use("vector"):
+            for k in range(5):
+                kernels.cached_sweep(("m", k), tab, 1.0)
+            assert kernels.peek_sweep(("m", 4)) is not None
+            assert kernels.peek_sweep(("m", 0)) is None
+        monkeypatch.setenv(kernels.ENV_MEMO, "nope")
+        with pytest.raises(ValueError):
+            kernels.cached_sweep(("m", 9), tab, 1.0)
+        monkeypatch.setenv(kernels.ENV_MEMO, "0")
+        with pytest.raises(ValueError):
+            kernels.cached_sweep(("m", 9), tab, 1.0)
+        kernels.clear_sweep_cache()
+
+    def test_sweep_stats_count_hits_and_misses(self):
+        kernels.clear_sweep_cache()
+        tab = np.ones((6, 4))
+        before = kernels.sweep_stats()
+        with kernels.use("vector"):
+            kernels.cached_sweep(("st", 0), tab, 1.0)
+            kernels.cached_sweep(("st", 0), tab, 1.0)
+            kernels.cached_sweep_many([(("st", 0), tab, 1.0),
+                                       (("st", 1), tab, 1.0)])
+        after = kernels.sweep_stats()
+        assert after["sweep_memo_misses"] - before["sweep_memo_misses"] == 2
+        assert after["sweep_memo_hits"] - before["sweep_memo_hits"] == 2
+        kernels.clear_sweep_cache()
+
+
 def _sharing_online_names():
     return [name for name, spec in _REGISTRY.items()
             if spec.shares_workfunction and spec.kind == "online"]
@@ -152,10 +284,12 @@ class TestReplayEquivalence:
             with kernels.use(kernel):
                 results[kernel] = run_online_many(
                     inst, [get_spec(n).make() for n in names])
-        for name, s, v in zip(names, results["scalar"],
-                              results["vector"]):
-            assert v.cost == s.cost, name
-            assert np.array_equal(v.schedule, s.schedule), name
+        for kernel in ("vector", "batched"):
+            for name, s, v in zip(names, results["scalar"],
+                                  results[kernel]):
+                assert v.cost == s.cost, (kernel, name)
+                assert np.array_equal(v.schedule, s.schedule), (kernel,
+                                                                name)
 
     def test_lookahead_consumer_falls_back_identically(self):
         from repro.online import LCP
@@ -165,9 +299,10 @@ class TestReplayEquivalence:
             with kernels.use(kernel):
                 outs[kernel] = run_online_many(
                     inst, [LCP(lookahead=3), LCP()])
-        for s, v in zip(outs["scalar"], outs["vector"]):
-            assert v.cost == s.cost
-            assert np.array_equal(v.schedule, s.schedule)
+        for kernel in ("vector", "batched"):
+            for s, v in zip(outs["scalar"], outs[kernel]):
+                assert v.cost == s.cost
+                assert np.array_equal(v.schedule, s.schedule)
 
     def test_lcp_bounds_log_matches_kernel_trajectory(self):
         """Protocol-level equality at the replay seam: the per-step
@@ -182,8 +317,8 @@ class TestReplayEquivalence:
             logs[kernel] = alg.bounds_log
         sweep = kernels.sweep_workfunction(inst.F, inst.beta)
         expected = list(zip(sweep.lo.tolist(), sweep.hi.tolist()))
-        assert logs["scalar"] == expected
-        assert logs["vector"] == expected
+        for kernel in kernels.KERNELS:
+            assert logs[kernel] == expected, kernel
 
 
 class TestBackwardSolver:
@@ -194,9 +329,10 @@ class TestBackwardSolver:
             for kernel in kernels.KERNELS:
                 with kernels.use(kernel):
                     outs[kernel] = solve_backward_lcp(inst)
-            assert outs["vector"].cost == outs["scalar"].cost
-            assert np.array_equal(outs["vector"].schedule,
-                                  outs["scalar"].schedule)
+            for kernel in ("vector", "batched"):
+                assert outs[kernel].cost == outs["scalar"].cost
+                assert np.array_equal(outs[kernel].schedule,
+                                      outs["scalar"].schedule)
 
     def test_precomputed_bounds_short_circuit(self):
         inst = build_instance("diurnal", 48, 0)
@@ -215,9 +351,97 @@ class TestBackwardSolver:
         assert (lo <= hi).all()  # Lemma 6
 
 
+class TestRestrictedKernels:
+    """The restricted solver's forward/backward passes ride the kernel
+    dispatch: scalar, vector and batched must agree bitwise on cost
+    *and* schedule, including the feasibility-tolerance edge cases."""
+
+    def _instances(self):
+        from repro.core.instance import RestrictedInstance
+        rng = np.random.default_rng(13)
+        for trial in range(4):
+            T = int(rng.integers(1, 50))
+            m = int(rng.integers(1, 8))
+            yield RestrictedInstance(
+                beta=float(rng.uniform(0.3, 4.0)), m=m,
+                f=lambda z: z ** 2 + 0.25,
+                loads=rng.uniform(0.0, m, size=T))
+        # loads sitting exactly on (and within 1e-13 of) integer
+        # feasibility floors: the 1e-12 ceil tolerance must round the
+        # same way in every path
+        m = 4
+        base = rng.integers(0, m + 1, size=30).astype(np.float64)
+        eps = rng.choice([0.0, 1e-13, -1e-13, 1e-12, -1e-12], size=30)
+        yield RestrictedInstance(
+            beta=1.0, m=m, f=lambda z: z ** 2 + 0.25,
+            loads=np.clip(base + eps, 0.0, m))
+        # full load every step (schedule forced to m) and zero load
+        yield RestrictedInstance(beta=2.0, m=3,
+                                 f=lambda z: z + 1.0,
+                                 loads=np.full(12, 3.0))
+        yield RestrictedInstance(beta=2.0, m=3, f=lambda z: z + 1.0,
+                                 loads=np.zeros(12))
+
+    def test_solver_bit_identical_across_kernels(self):
+        from repro.offline import solve_restricted
+        for k, ri in enumerate(self._instances()):
+            outs = {}
+            for name in kernels.KERNELS:
+                with kernels.use(name):
+                    outs[name] = solve_restricted(ri)
+            for name in ("vector", "batched"):
+                assert outs[name].cost == outs["scalar"].cost, (k, name)
+                assert np.array_equal(outs[name].schedule,
+                                      outs["scalar"].schedule), (k, name)
+            floors = np.maximum(np.ceil(np.asarray(ri.loads) - 1e-12), 0)
+            assert (outs["scalar"].schedule >= floors).all(), k
+
+    @pytest.mark.parametrize("kernel", kernels.KERNELS)
+    def test_infeasible_cells_never_evaluated(self, kernel):
+        """A non-broadcasting ``f`` sees only feasible utilizations:
+        the masked cells' placeholder 0.0 never reaches it."""
+        from repro.core.instance import RestrictedInstance
+        from repro.offline import solve_restricted
+        seen = []
+
+        def f(z):
+            if not np.isscalar(z) and getattr(z, "ndim", 1) != 0:
+                raise TypeError("scalar only")  # defeat broadcasting
+            seen.append(float(z))
+            return float(z) + 1.0
+
+        loads = np.array([2.0, 3.0, 1.0, 0.0, 2.5])
+        ri = RestrictedInstance(beta=1.0, m=3, f=f, loads=loads)
+        with kernels.use(kernel):
+            out = solve_restricted(ri)
+        floors = np.ceil(loads - 1e-12)
+        assert (out.schedule >= floors).all()
+        # every recorded utilization is feasible (z <= 1 up to the
+        # load tolerance), so no masked placeholder was priced
+        assert seen and max(seen) <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("kernel", kernels.KERNELS)
+    def test_infeasible_instance_raises(self, kernel):
+        """A precomputed cost table with an all-infeasible column (only
+        reachable through the duck-typed ``costs`` seam —
+        ``RestrictedInstance`` validates ``loads <= m``) raises in
+        every kernel."""
+        from repro.offline import solve_restricted
+
+        class Infeasible:
+            T, m, beta = 3, 2, 1.0
+            costs = np.array([[0.0, 1.0, 2.0],
+                              [np.inf, np.inf, np.inf],
+                              [0.0, 1.0, 2.0]])
+
+        with kernels.use(kernel):
+            with pytest.raises(ValueError, match="no feasible"):
+                solve_restricted(Infeasible())
+
+
 class TestEngineGrids:
     """Whole grids — every pipeline, sharers + backward solver mixed —
-    produce bit-identical rows under both kernels."""
+    produce bit-identical rows under every kernel."""
 
     GRIDS = {
         "general": GridSpec(
@@ -249,6 +473,68 @@ class TestEngineGrids:
                 rows[kernel] = run_grid(spec)
         kernels.clear_sweep_cache()
         assert rows["vector"] == rows["scalar"]
+        assert rows["batched"] == rows["scalar"]
+
+    def test_batched_grid_multi_seed_multi_size(self):
+        """Co-batched instances of mixed (T, m) shapes: same-shape
+        groups stack, ragged ones fall back — rows stay bit-identical
+        to the scalar reference, serial and parallel alike."""
+        spec = GridSpec(
+            scenarios=("diurnal",),
+            algorithms=("lcp", "eager-lcp", "backward_lcp", "threshold",
+                        "dp"),
+            seeds=(0, 1, 2), sizes=(16, 24))
+        rows = {}
+        for kernel in kernels.KERNELS:
+            kernels.clear_sweep_cache()
+            with kernels.use(kernel):
+                rows[kernel] = run_grid(spec)
+        kernels.clear_sweep_cache()
+        with kernels.use("batched"):
+            parallel = run_grid(spec, config=EngineConfig(n_jobs=2))
+        kernels.clear_sweep_cache()
+        assert rows["batched"] == rows["scalar"]
+        assert rows["vector"] == rows["scalar"]
+        assert parallel == rows["scalar"]
+
+    def test_batched_grid_launches_one_stacked_sweep(self, monkeypatch):
+        """Under REPRO_KERNEL=batched the fused phase-1 chunk sweeps
+        all same-shape co-scheduled instances in one stacked launch;
+        every later consumer (phase-1 optimum, shared replay, backward
+        solver) hits the memo — no single-instance sweep runs at all."""
+        launches, singles = [], []
+        real_many = batched_kernel.sweep_workfunction_many
+        real_one = vector_kernel.sweep_workfunction
+        monkeypatch.setattr(
+            batched_kernel, "sweep_workfunction_many",
+            lambda costs, betas: launches.append(len(betas))
+            or real_many(costs, betas))
+        monkeypatch.setattr(
+            vector_kernel, "sweep_workfunction",
+            lambda costs, beta: singles.append(1) or real_one(costs, beta))
+        spec = GridSpec(scenarios=("diurnal",),
+                        algorithms=("lcp", "eager-lcp", "backward_lcp"),
+                        seeds=(0, 1), sizes=(24,))
+        kernels.clear_sweep_cache()
+        with kernels.use("batched"):
+            rows = run_grid(spec)
+        kernels.clear_sweep_cache()
+        assert len(rows) == 6
+        assert launches == [2]  # two same-shape instances, one launch
+        assert sum(singles) == 0
+
+    def test_grid_stats_surface_sweep_memo_counters(self):
+        spec = GridSpec(scenarios=("diurnal",),
+                        algorithms=("lcp", "eager-lcp", "backward_lcp"),
+                        seeds=(0, 1), sizes=(24,))
+        stats: dict = {}
+        kernels.clear_sweep_cache()
+        with kernels.use("batched"):
+            run_grid(spec, stats=stats)
+        kernels.clear_sweep_cache()
+        assert stats["sweep_memo_misses"] == 2   # one per instance
+        # phase-1 optimum + phase-2 shared replay hit per instance
+        assert stats["sweep_memo_hits"] >= 4
 
     def test_fused_chunks_share_one_sweep_with_backward(self):
         """With the vectorized kernel, a fused chunk serves the LCP
