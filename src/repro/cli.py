@@ -22,7 +22,13 @@ Subcommands, mirroring the library's pillars:
   queue: ``enqueue`` splits a grid into contiguous job leases,
   ``run`` drains them (any number of concurrent workers, crash-safe
   via heartbeat + reclaim), ``merge`` reassembles the per-worker rows
-  into one bit-identical result set, ``status`` shows lease counts.
+  into one bit-identical result set, ``status`` shows lease counts
+  (``--json`` for the machine-readable service payload).
+* ``repro serve``     — long-running HTTP grid service over a shared
+  lease queue: submits are cache-probed (hits answered instantly,
+  only misses enqueued), idempotent by grid digest, admission-
+  controlled (429 over budget) and drained cleanly by
+  ``POST /shutdown``.
 
 Examples::
 
@@ -46,7 +52,8 @@ Examples::
         --algorithms lcp,threshold --seeds 0,1 -T 96 --lease-jobs 4
     repro work run --queue /tmp/q --cache-dir /tmp/cache  # xN workers
     repro work merge --queue /tmp/q --out merged.jsonl
-    repro work status --queue /tmp/q
+    repro work status --queue /tmp/q --json
+    repro serve --queue /tmp/q --cache-dir /tmp/cache --port 8600
 """
 
 from __future__ import annotations
@@ -334,6 +341,39 @@ def build_parser() -> argparse.ArgumentParser:
                               help="lease counts per grid, plus "
                                    "quarantined jobs and stale workers")
     wsp.add_argument("--queue", metavar="DIR", required=True)
+    wsp.add_argument("--grid-id", default=None,
+                     help="report one grid (default: every grid)")
+    wsp.add_argument("--json", action="store_true",
+                     help="machine-readable status: the same payload "
+                          "the grid service's GET /grids/<id> serves")
+
+    sp = sub.add_parser("serve",
+                        help="HTTP grid service over a shared lease "
+                             "queue (submit grids with POST /grids)")
+    sp.add_argument("--queue", metavar="DIR", required=True,
+                    help="lease-queue directory the worker fleet "
+                         "shares")
+    sp.add_argument("--cache-dir", metavar="DIR", default=None,
+                    help="job cache probed on submit; hits are "
+                         "answered without enqueueing")
+    sp.add_argument("--cache-backend", choices=("auto", "json",
+                                                "sqlite"),
+                    default="auto", help="cache backend (default "
+                                         "auto-detect)")
+    sp.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default %(default)s)")
+    sp.add_argument("--port", type=int, default=8600,
+                    help="bind port; 0 picks an ephemeral port "
+                         "(default %(default)s)")
+    sp.add_argument("--budget", type=int, default=None, metavar="N",
+                    help="admission control: max outstanding queued "
+                         "jobs before submits get 429")
+    sp.add_argument("--lease-jobs", type=int, default=None,
+                    metavar="N",
+                    help="contiguous jobs per enqueued lease "
+                         "(default %d)" % _DEFAULT_LEASE_JOBS)
+    sp.add_argument("--verbose", action="store_true",
+                    help="log every request to stderr")
     return p
 
 
@@ -756,7 +796,17 @@ def _cmd_work(args) -> int:
     # status: lease counts per grid, plus failure/staleness visibility
     from .runner import failed_jobs
     queue = LeaseQueue(args.queue)
-    grids = queue.grids()
+    grids = ([args.grid_id] if args.grid_id is not None
+             else queue.grids())
+    if args.json:
+        # the exact payload the grid service's GET /grids/<id>
+        # serves, from the same grid_status function
+        import json as _json
+        from .runner import grid_status
+        payloads = [grid_status(queue, grid_id) for grid_id in grids]
+        print(_json.dumps(payloads[0] if args.grid_id is not None
+                          else payloads, sort_keys=True))
+        return 0
     if not grids:
         print(f"queue {args.queue}: no grids enqueued")
         return 0
@@ -778,6 +828,31 @@ def _cmd_work(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the HTTP grid service until a drain shutdown ends it."""
+    from .runner import GridService
+    kwargs = {}
+    if args.budget is not None:
+        kwargs["budget"] = args.budget
+    if args.lease_jobs is not None:
+        kwargs["lease_jobs"] = args.lease_jobs
+    service = GridService(
+        args.queue, cache_dir=args.cache_dir,
+        cache_backend=(None if args.cache_backend == "auto"
+                       else args.cache_backend),
+        host=args.host, port=args.port, verbose=args.verbose,
+        **kwargs)
+    print(f"serving grids on {service.url} (queue {args.queue}, "
+          f"cache {args.cache_dir or 'disabled'}, "
+          f"budget {service.budget})", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    print("grid service drained; exiting")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .analysis.report import assemble_report, missing_experiments
     print(assemble_report(args.results_dir))
@@ -796,6 +871,7 @@ def main(argv=None) -> int:
             "sweep": _cmd_sweep, "bench": _cmd_bench,
             "lowerbound": _cmd_lowerbound, "report": _cmd_report,
             "cache": _cmd_cache, "work": _cmd_work,
+            "serve": _cmd_serve,
             }[args.command](args)
 
 

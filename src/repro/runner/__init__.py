@@ -34,8 +34,14 @@ The runner is the substrate every large-scale experiment stands on:
   harness behind the chaos tests: a :class:`FaultPlan` names failures
   by (site, match, nth) and the instrumented seams raise — or kill the
   worker — exactly where a real failure would.
+* :mod:`repro.runner.service` / :mod:`repro.runner.client` — the
+  serving layer: a stdlib-HTTP ``repro serve`` daemon that answers
+  cache hits instantly and enqueues only misses on the lease queue
+  (admission control, structured errors, drain shutdown), plus the
+  retrying :class:`ServiceClient` that talks to it.
 """
 
+from .client import RequestError, ServiceClient, ServiceUnavailable
 from .engine import (GridSpec, aggregate_rows, instance_key, job_key,
                      run_grid)
 from .executor import (EngineConfig, PipelineBatch, RetryPolicy,
@@ -43,9 +49,12 @@ from .executor import (EngineConfig, PipelineBatch, RetryPolicy,
                        shutdown_pool)
 from .faults import FaultPlan, FaultSpec, InjectedFault
 from .instancestore import InstanceStore, get_instance
-from .jobcache import JobCache, migrate_cache
+from .jobcache import (JobCache, busy_stats, migrate_cache,
+                       with_busy_retry)
 from .leasequeue import (Lease, LeaseLost, LeaseQueue, failed_jobs,
-                         merge_results, retry_failed, work)
+                         grid_status, merge_results, retry_failed,
+                         work)
+from .service import GridService, ServiceError
 from .registry import (PIPELINES, AlgorithmSpec, algorithm_names,
                        algorithm_table, game_names, get_spec,
                        make_algorithm, make_solver, pipeline_optimum,
@@ -63,13 +72,15 @@ __all__ = [
     "Scenario", "build_instance", "get_scenario", "scenario_names",
     "trace_suite",
     "GridSpec", "InstanceStore", "JobCache", "aggregate_rows",
-    "get_instance", "instance_key", "job_key", "migrate_cache",
-    "run_grid",
+    "busy_stats", "get_instance", "instance_key", "job_key",
+    "migrate_cache", "run_grid", "with_busy_retry",
     "EngineConfig", "PipelineBatch", "RetryPolicy", "RunStats",
     "parallel_map", "run_pipeline", "shutdown_pool",
     "FaultPlan", "FaultSpec", "InjectedFault",
-    "Lease", "LeaseLost", "LeaseQueue", "failed_jobs", "merge_results",
-    "retry_failed", "work",
+    "Lease", "LeaseLost", "LeaseQueue", "failed_jobs", "grid_status",
+    "merge_results", "retry_failed", "work",
+    "GridService", "RequestError", "ServiceClient", "ServiceError",
+    "ServiceUnavailable",
     "JsonlSink", "ListSink", "MergeError", "ResultSink", "SqliteSink",
     "make_sink", "read_jsonl_rows", "read_sqlite_rows",
 ]

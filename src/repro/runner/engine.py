@@ -94,7 +94,7 @@ from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
 
 from .. import kernels
-from . import faults, instancestore
+from . import faults, instancestore, jobcache
 from .executor import (EngineConfig, PipelineBatch, RetryPolicy, RunStats,
                        chunk_list, iter_batches, parallel_map,
                        pool_generation, resolve_config, respawn_pool,
@@ -1267,7 +1267,8 @@ _GRID_STAT_KEYS = (
     "inst_materialized", "batches", "max_pending", "rows_written",
     "overlapped_batches", "inflight_max", "inst_builds", "inst_loads",
     "inst_memo_hits", "sweep_memo_hits", "sweep_memo_misses",
-    "retries", "quarantined", "pool_restarts", "cache_put_failures")
+    "retries", "quarantined", "pool_restarts", "cache_put_failures",
+    "sqlite_busy_retries")
 
 #: keyword arguments the pre-``EngineConfig`` ``run_grid`` accepted
 _RUN_GRID_KWARGS = frozenset(
@@ -1364,6 +1365,7 @@ def run_grid(spec: GridSpec, config: EngineConfig | None = None, *,
     run_stats = stats if isinstance(stats, RunStats) else RunStats()
     inst_stats_before = instancestore.build_stats()
     sweep_stats_before = kernels.sweep_stats()
+    busy_stats_before = jobcache.busy_stats()
     sink = ListSink() if config.sink is None else config.sink
     run = _GridRun(spec, config, cache, sink, run_stats, store_root)
     fault_plan = (None if config.fault_plan is None
@@ -1401,6 +1403,10 @@ def run_grid(spec: GridSpec, config: EngineConfig | None = None, *,
     for key in sweep_stats:
         setattr(run_stats, key, getattr(run_stats, key)
                 + sweep_stats[key] - sweep_stats_before[key])
+    busy_stats = jobcache.busy_stats()
+    for key in busy_stats:
+        setattr(run_stats, key, getattr(run_stats, key)
+                + busy_stats[key] - busy_stats_before[key])
     if isinstance(stats, dict):
         stats.update({k: getattr(run_stats, k) for k in _GRID_STAT_KEYS})
     return sink.result()

@@ -200,6 +200,9 @@ class RunStats:
     quarantined: int = 0
     pool_restarts: int = 0
     cache_put_failures: int = 0
+    #: SQLITE_BUSY contention absorbed by ``jobcache.with_busy_retry``
+    #: (parent-process delta, like the sweep-memo counters above)
+    sqlite_busy_retries: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view of every counter (legacy ``stats`` shape)."""

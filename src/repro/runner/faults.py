@@ -19,6 +19,8 @@ Sites (each fired with a token the ``match`` substring selects on):
 ``worker_exit``   one phase-2 chunk *start*, worker processes only —
                   the process SIGKILLs itself (pool-crash injection)
 ``sqlite_lock``   one SQLite cache-backend insert (token: cache key)
+``queue_claim``   one lease-queue claim attempt (token: worker id)
+``http_request``  one ServiceClient HTTP request (token: METHOD path)
 ===============  ====================================================
 
 Determinism: each process counts matching invocations per
@@ -70,7 +72,8 @@ ENV_VAR = "REPRO_FAULTS"
 
 #: the instrumented sites a spec may target
 FAULT_SITES = ("run_job", "solve_instance", "materialize", "cache_put",
-               "sink_write", "worker_exit", "sqlite_lock")
+               "sink_write", "worker_exit", "sqlite_lock",
+               "queue_claim", "http_request")
 
 #: what a triggered spec does: raise InjectedFault, raise a SQLite
 #: lock error, or SIGKILL the worker process

@@ -44,13 +44,57 @@ import numpy as np
 
 from . import faults
 
-__all__ = ["JobCache", "connect_wal", "content_key", "jsonify",
-           "migrate_cache"]
+__all__ = ["JobCache", "busy_stats", "connect_wal", "content_key",
+           "jsonify", "migrate_cache", "with_busy_retry"]
 
 #: filename of the sqlite backend inside a cache directory
 DB_NAME = "cache.db"
 
 BACKENDS = ("json", "sqlite")
+
+#: default SQLITE_BUSY retry budget and backoff schedule
+BUSY_RETRIES = 4
+BUSY_BACKOFF = 0.02
+BUSY_BACKOFF_MAX = 0.5
+
+#: injectable sleep (tests patch this to capture the schedule)
+_BUSY_SLEEP = time.sleep
+
+# Monotonic per-process counter; consumers (run_grid) take
+# before/after deltas, mirroring the kernels sweep-memo pattern.
+_BUSY_STATS = {"sqlite_busy_retries": 0}
+
+
+def busy_stats() -> dict:
+    """Snapshot of the monotonic per-process ``sqlite_busy_retries``
+    counter (one increment per retried ``database is locked`` error)."""
+    return dict(_BUSY_STATS)
+
+
+def with_busy_retry(fn, *, retries: int = BUSY_RETRIES,
+                    backoff: float = BUSY_BACKOFF,
+                    backoff_max: float = BUSY_BACKOFF_MAX):
+    """Call ``fn()``, absorbing transient SQLITE_BUSY contention.
+
+    A ``sqlite3.OperationalError`` whose message mentions ``locked``
+    (the SQLITE_BUSY / SQLITE_LOCKED family — what a concurrent
+    ``BEGIN IMMEDIATE`` or a saturated busy timeout surfaces) is
+    retried up to ``retries`` times with capped exponential backoff
+    (``min(backoff * 2**(attempt-1), backoff_max)``), each retry
+    counted in :func:`busy_stats`.  Any other error — and a lock that
+    outlives the budget — propagates to the caller unchanged.  Shared
+    by the sqlite cache backend, the lease queue and the grid service.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except sqlite3.OperationalError as exc:
+            if "locked" not in str(exc) or attempt >= retries:
+                raise
+            attempt += 1
+            _BUSY_STATS["sqlite_busy_retries"] += 1
+            _BUSY_SLEEP(min(backoff * 2 ** (attempt - 1), backoff_max))
 
 
 def connect_wal(db_path: pathlib.Path) -> sqlite3.Connection:
@@ -290,12 +334,19 @@ class _SqliteBackend:
         blob = json.dumps(jsonify(record), sort_keys=True)
         created = time.time() if created is None else float(created)
         values = (kind, key, blob, created, created)
-        try:
+        def _attempt():
             faults.fire("sqlite_lock", key)
             self._connection().execute(self._INSERT, values)
+
+        try:
+            # transient lock contention heals inside the busy-retry
+            # budget; the fault site sits inside the retried closure so
+            # an injected nth=(1,) lock exercises exactly that path
+            with_busy_retry(_attempt)
         except sqlite3.OperationalError:
-            # transient (lock timeout, disk full, ...): the database is
-            # healthy — surface the error, never quarantine the cache
+            # still failing (persistent lock, disk full, ...): the
+            # database is healthy — surface the error, never
+            # quarantine the cache
             self._discard()
             raise
         except sqlite3.DatabaseError:

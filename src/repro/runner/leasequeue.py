@@ -45,9 +45,10 @@ import re
 import socket
 import time
 
+from . import faults
 from .engine import ENGINE_VERSION, GridSpec, run_grid
 from .executor import EngineConfig, RunStats
-from .jobcache import connect_wal
+from .jobcache import connect_wal, with_busy_retry
 from .sinks import JsonlSink, ListSink, MergeError
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "LeaseQueue",
     "MergeError",
     "failed_jobs",
+    "grid_status",
     "merge_results",
     "retry_failed",
     "work",
@@ -105,6 +107,24 @@ def default_worker_id() -> str:
 def _safe_name(worker: str) -> str:
     """Filesystem-safe form of a worker id (results file name)."""
     return re.sub(r"[^A-Za-z0-9._-]+", "_", worker) or "worker"
+
+
+def _contiguous_runs(indexes, cap: int) -> list[tuple[int, int]]:
+    """Group sorted job ``indexes`` into ``[start, stop)`` runs of
+    consecutive indexes, each at most ``cap`` jobs long (the subset
+    form of the enqueue splitter)."""
+    runs: list[tuple[int, int]] = []
+    start = prev = None
+    for i in indexes:
+        if start is not None and i == prev + 1 and i - start < cap:
+            prev = i
+            continue
+        if start is not None:
+            runs.append((start, prev + 1))
+        start = prev = i
+    if start is not None:
+        runs.append((start, prev + 1))
+    return runs
 
 
 class LeaseQueue:
@@ -172,36 +192,61 @@ class LeaseQueue:
     # -- producing work ------------------------------------------------
 
     def enqueue(self, spec: GridSpec, *,
-                lease_jobs: int = DEFAULT_LEASE_JOBS) -> str:
+                lease_jobs: int = DEFAULT_LEASE_JOBS,
+                jobs=None) -> str:
         """Split ``spec`` into contiguous leases; return its grid id.
 
         Idempotent: enqueueing a spec that is already queued (same
         content hash) changes nothing and returns the existing id.
+
+        ``jobs`` restricts the leases to a subset of global job
+        indexes (the grid service passes the cache-*miss* set):
+        the indexes are grouped into contiguous runs of at most
+        ``lease_jobs`` and only those ranges become leases — the
+        grid's ``total`` still counts every job, so the merge's
+        coverage check expects the caller to supply the skipped rows
+        (cache-hit envelopes).  An empty subset enqueues the grid
+        with no leases at all: immediately finished.
         """
         if lease_jobs < 1:
             raise ValueError("lease_jobs must be positive")
         grid_id = spec.cache_key()
         total = len(spec)
-        conn = self._txn()
-        try:
-            row = conn.execute(
-                "SELECT total FROM grids WHERE grid_id = ?",
-                (grid_id,)).fetchone()
-            if row is None:
-                conn.execute(
-                    "INSERT INTO grids (grid_id, spec, total, lease_jobs,"
-                    " created) VALUES (?, ?, ?, ?, ?)",
-                    (grid_id, json.dumps(spec.to_dict(), sort_keys=True),
-                     total, lease_jobs, self._clock()))
-                conn.executemany(
-                    "INSERT INTO leases (grid_id, start, stop)"
-                    " VALUES (?, ?, ?)",
-                    [(grid_id, start, min(start + lease_jobs, total))
-                     for start in range(0, total, lease_jobs)])
-            conn.execute("COMMIT")
-        except BaseException:
-            conn.execute("ROLLBACK")
-            raise
+        if jobs is None:
+            ranges = [(start, min(start + lease_jobs, total))
+                      for start in range(0, total, lease_jobs)]
+        else:
+            indexes = sorted(set(int(j) for j in jobs))
+            if indexes and not (0 <= indexes[0]
+                                and indexes[-1] < total):
+                raise ValueError(f"job indexes out of range for a "
+                                 f"{total}-job grid")
+            ranges = _contiguous_runs(indexes, lease_jobs)
+
+        def _attempt():
+            conn = self._txn()
+            try:
+                row = conn.execute(
+                    "SELECT total FROM grids WHERE grid_id = ?",
+                    (grid_id,)).fetchone()
+                if row is None:
+                    conn.execute(
+                        "INSERT INTO grids (grid_id, spec, total,"
+                        " lease_jobs, created) VALUES (?, ?, ?, ?, ?)",
+                        (grid_id,
+                         json.dumps(spec.to_dict(), sort_keys=True),
+                         total, lease_jobs, self._clock()))
+                    conn.executemany(
+                        "INSERT INTO leases (grid_id, start, stop)"
+                        " VALUES (?, ?, ?)",
+                        [(grid_id, start, stop)
+                         for start, stop in ranges])
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+
+        with_busy_retry(_attempt)
         return grid_id
 
     # -- inspecting ----------------------------------------------------
@@ -262,6 +307,14 @@ class LeaseQueue:
         counts = self.counts(grid_id)
         return counts["pending"] == 0 and counts["leased"] == 0
 
+    def outstanding_jobs(self) -> int:
+        """Total jobs inside not-yet-done leases across the whole
+        queue — the grid service's admission-control pressure gauge."""
+        row = self._conn.execute(
+            "SELECT COALESCE(SUM(stop - start), 0) FROM leases"
+            " WHERE state != 'done'").fetchone()
+        return int(row[0])
+
     # -- the lease lifecycle -------------------------------------------
 
     def claim(self, worker: str, *, ttl: float = DEFAULT_TTL,
@@ -270,34 +323,43 @@ class LeaseQueue:
 
         The claim is one ``BEGIN IMMEDIATE`` transaction: concurrent
         workers serialize on the queue's write lock, so a range is
-        leased exactly once until it expires or completes.
+        leased exactly once until it expires or completes.  Transient
+        SQLITE_BUSY contention — and the injected ``queue_claim``
+        fault site (token: the worker id) — heal inside the shared
+        busy-retry budget.
         """
-        now = self._clock()
-        conn = self._txn()
-        try:
-            sql = ("SELECT grid_id, start, stop FROM leases"
-                   " WHERE state = 'pending'")
-            args: tuple = ()
-            if grid_id is not None:
-                sql += " AND grid_id = ?"
-                args = (grid_id,)
-            row = conn.execute(
-                sql + " ORDER BY grid_id, start LIMIT 1", args).fetchone()
-            if row is None:
+
+        def _attempt():
+            faults.fire("queue_claim", worker)
+            now = self._clock()
+            conn = self._txn()
+            try:
+                sql = ("SELECT grid_id, start, stop FROM leases"
+                       " WHERE state = 'pending'")
+                args: tuple = ()
+                if grid_id is not None:
+                    sql += " AND grid_id = ?"
+                    args = (grid_id,)
+                row = conn.execute(
+                    sql + " ORDER BY grid_id, start LIMIT 1",
+                    args).fetchone()
+                if row is None:
+                    conn.execute("COMMIT")
+                    return None
+                gid, start, stop = row
+                deadline = now + ttl
+                conn.execute(
+                    "UPDATE leases SET state = 'leased', worker = ?,"
+                    " deadline = ?, claims = claims + 1"
+                    " WHERE grid_id = ? AND start = ?",
+                    (worker, deadline, gid, start))
                 conn.execute("COMMIT")
-                return None
-            gid, start, stop = row
-            deadline = now + ttl
-            conn.execute(
-                "UPDATE leases SET state = 'leased', worker = ?,"
-                " deadline = ?, claims = claims + 1"
-                " WHERE grid_id = ? AND start = ?",
-                (worker, deadline, gid, start))
-            conn.execute("COMMIT")
-        except BaseException:
-            conn.execute("ROLLBACK")
-            raise
-        return Lease(gid, start, stop, worker, deadline)
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            return Lease(gid, start, stop, worker, deadline)
+
+        return with_busy_retry(_attempt)
 
     def heartbeat(self, lease: Lease, ttl: float = DEFAULT_TTL) -> None:
         """Push the lease's deadline ``ttl`` seconds into the future.
@@ -342,7 +404,8 @@ class LeaseQueue:
         if grid_id is not None:
             sql += " AND grid_id = ?"
             args.append(grid_id)
-        return self._conn.execute(sql, args).rowcount
+        return with_busy_retry(
+            lambda: self._conn.execute(sql, args).rowcount)
 
     def stale(self, grid_id: str | None = None) -> int:
         """Leased ranges whose heartbeat deadline has already passed —
@@ -634,3 +697,60 @@ def retry_failed(root, grid_id: str | None = None) -> tuple[int, int]:
     if not failed:
         return 0, 0
     return len(failed), queue.reset_covering(grid_id, failed)
+
+
+def grid_status(root, grid_id: str | None = None, *,
+                include_rows: bool = True) -> dict:
+    """One grid's machine-readable status — the single source of truth
+    behind both ``repro work status --json`` and the grid service's
+    ``GET /grids/<id>``.
+
+    The payload::
+
+        {"grid": id, "total": n_jobs,
+         "state": "pending" | "done" | "degraded",
+         "leases": {"pending": p, "leased": l, "done": d},
+         "stale": stale_leases,
+         "jobs": {"done": ok, "quarantined": failed,
+                  "pending": not_yet_merged},
+         "rows": [...]}          # only once every lease is drained
+
+    ``state`` semantics: ``done`` means every lease drained and every
+    job produced a healthy row; ``degraded`` means the grid cannot
+    currently make progress toward ``done`` on its own — quarantined
+    jobs remain after the drain, or leased ranges have outlived their
+    heartbeat deadline (the worker fleet is presumed dead) — so the
+    caller sees the unfinished remainder instead of waiting forever;
+    ``pending`` means live workers are (or may still start) draining.
+    Merged ``rows`` (in grid job order, quarantine rows included) are
+    attached only when the drain is complete and ``include_rows`` is
+    true.
+    """
+    queue = root if isinstance(root, LeaseQueue) else LeaseQueue(root)
+    grid_id = _resolve_grid(queue, grid_id)
+    total = queue.total(grid_id)
+    counts = queue.counts(grid_id)
+    stale = queue.stale(grid_id)
+    merged = _collect_rows(queue, grid_id)
+    quarantined = sorted(seq for seq, row in merged.items()
+                         if _is_failed(row))
+    drained = counts["pending"] == 0 and counts["leased"] == 0
+    covered = len(merged) == total
+    if drained:
+        state = "done" if covered and not quarantined else "degraded"
+    else:
+        state = "degraded" if stale else "pending"
+    status = {
+        "grid": grid_id,
+        "total": total,
+        "state": state,
+        "leases": counts,
+        "stale": stale,
+        "jobs": {"done": len(merged) - len(quarantined),
+                 "quarantined": len(quarantined),
+                 "pending": total - len(merged)},
+        "quarantined_seqs": quarantined,
+    }
+    if drained and covered and include_rows:
+        status["rows"] = merge_results(queue, grid_id)
+    return status

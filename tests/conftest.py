@@ -41,12 +41,34 @@ def _isolate_executor_state():
     how later tests schedule chunks — the full-suite-only flake in
     ``test_parallel_rows_bit_identical_under_both_backends``.  Tear
     down any pool a test created and always clear fault-plan state.
+
+    The pinned-down cross-test coupling behind that flake is wider
+    than the pool object itself: pool workers fork a *snapshot* of the
+    parent — its ``REPRO_*`` environment (kernel selection, fault
+    plan, memo sizing), its sweep memo and its instance memo — so any
+    test that leaks one of those changes what later-forked workers
+    compute relative to the in-process reference run.  Restore the
+    environment knobs and drop the per-process memos after every test;
+    both are cheap (the memos are tiny LRUs) and make each test's
+    forks start from the same parent state.
     """
-    from repro.runner import executor, faults
+    import os
+
+    from repro import kernels
+    from repro.runner import executor, faults, instancestore
+    env_keys = (kernels.ENV_VAR, kernels.ENV_MEMO, faults.ENV_VAR)
+    env_before = {key: os.environ.get(key) for key in env_keys}
     pool_before = executor._POOL
     yield
     faults.deactivate()
     faults.reset()
+    for key, value in env_before.items():
+        if value is None:
+            os.environ.pop(key, None)
+        elif os.environ.get(key) != value:
+            os.environ[key] = value
+    kernels.clear_sweep_cache()
+    instancestore.clear_memo()
     if executor._POOL is not None and executor._POOL is not pool_before:
         executor.shutdown_pool()
 

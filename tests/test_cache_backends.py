@@ -36,15 +36,29 @@ class TestSqliteBackend:
 
     def test_parallel_rows_bit_identical_under_both_backends(self,
                                                             tmp_path):
-        from repro.runner import shutdown_pool
+        # Hermetic by construction (the PR 7 full-suite-only flake):
+        # every combo forks its pool from an identical parent state —
+        # no inherited pool, no warm sweep/instance memos — so a state
+        # leak from an earlier test cannot skew one combo against the
+        # in-process reference.  The status check turns a silent
+        # wrong-row mismatch into a diagnosable quarantine report.
+        from repro import kernels
+        from repro.runner import instancestore, shutdown_pool
         rows = {}
         for backend in ("json", "sqlite"):
             for n_jobs in (1, 4):
+                shutdown_pool()
+                kernels.clear_sweep_cache()
+                instancestore.clear_memo()
                 cache = JobCache(tmp_path / f"{backend}-{n_jobs}",
                                  backend=backend)
                 rows[(backend, n_jobs)] = run_grid(SMALL, n_jobs=n_jobs,
                                                    cache_dir=cache)
         shutdown_pool()
+        for combo, combo_rows in rows.items():
+            failed = [r for r in combo_rows
+                      if r.get("status") == "failed"]
+            assert not failed, (combo, failed)
         reference = rows[("json", 1)]
         assert all(r == reference for r in rows.values())
 

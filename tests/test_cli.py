@@ -140,3 +140,36 @@ class TestLowerBound:
         serial = capsys.readouterr().out
         assert main(args + ["--n-jobs", "2"]) == 0
         assert capsys.readouterr().out == serial
+
+
+class TestWorkStatusAndServe:
+    def test_work_status_json_matches_service_payload(self, tmp_path,
+                                                      capsys):
+        import json
+
+        from repro.runner import GridSpec, LeaseQueue, grid_status
+        spec = GridSpec(scenarios=("diurnal",), algorithms=("lcp",),
+                        seeds=(0,), sizes=(16,))
+        queue = LeaseQueue(tmp_path / "q")
+        grid_id = queue.enqueue(spec)
+        queue.close()
+        rc = main(["work", "status", "--queue", str(tmp_path / "q"),
+                   "--json"])
+        assert rc == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert payloads == [grid_status(tmp_path / "q", grid_id)]
+        # --grid-id narrows to one payload, same shared function
+        rc = main(["work", "status", "--queue", str(tmp_path / "q"),
+                   "--grid-id", grid_id, "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == grid_status(tmp_path / "q", grid_id)
+        assert payload["state"] == "pending"
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--queue", "/tmp/q"])
+        assert args.port == 8600
+        assert args.host == "127.0.0.1"
+        assert args.cache_dir is None
+        assert args.cache_backend == "auto"

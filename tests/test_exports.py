@@ -48,6 +48,14 @@ def test_runner_exports_cover_executor_and_leasequeue():
         assert name in runner.__all__, name
 
 
+def test_runner_exports_cover_serving_layer():
+    import repro.runner as runner
+    for name in ("GridService", "ServiceClient", "ServiceError",
+                 "RequestError", "ServiceUnavailable", "grid_status",
+                 "busy_stats", "with_busy_retry"):
+        assert name in runner.__all__, name
+
+
 def test_version_string():
     import repro
     parts = repro.__version__.split(".")

@@ -252,3 +252,78 @@ class TestCrashRecovery:
         # and the torn tail are both absorbed; rows are bit-identical
         # to a single-process run
         assert merge_results(tmp_path / "q") == run_grid(SMALL)
+
+
+class TestSubsetEnqueueAndStatus:
+    """Partial enqueue (cache-aware submits) and the shared
+    ``grid_status`` payload the CLI and the grid service both serve."""
+
+    def test_contiguous_runs_groups_and_caps(self):
+        from repro.runner.leasequeue import _contiguous_runs
+        assert _contiguous_runs([0, 1, 2, 5, 6, 9], 2) == \
+            [(0, 2), (2, 3), (5, 7), (9, 10)]
+        assert _contiguous_runs([], 4) == []
+        assert _contiguous_runs([3], 4) == [(3, 4)]
+
+    def test_enqueue_subset_leases_only_those_jobs(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        grid_id = queue.enqueue(SMALL, lease_jobs=4, jobs=[0, 1, 2, 5])
+        # grid total is still the full spec; only the subset is leased
+        assert queue.total(grid_id) == len(SMALL)
+        assert queue.outstanding_jobs() == 4
+        ranges = []
+        while (lease := queue.claim("w")) is not None:
+            ranges.append((lease.start, lease.stop))
+        assert ranges == [(0, 3), (5, 6)] or ranges == [(0, 4), (5, 6)]
+
+    def test_enqueue_subset_rejects_out_of_range(self, tmp_path):
+        with pytest.raises(ValueError, match="out of range"):
+            LeaseQueue(tmp_path).enqueue(SMALL, jobs=[0, len(SMALL)])
+
+    def test_enqueue_empty_subset_is_immediately_drained(self, tmp_path):
+        queue = LeaseQueue(tmp_path)
+        grid_id = queue.enqueue(SMALL, jobs=[])
+        assert queue.claim("w") is None
+        assert queue.finished(grid_id)
+        assert queue.outstanding_jobs() == 0
+
+    def test_grid_status_transitions(self, tmp_path):
+        from repro.runner import grid_status
+        queue = LeaseQueue(tmp_path)
+        grid_id = queue.enqueue(SMALL, lease_jobs=4)
+        status = grid_status(tmp_path)
+        assert status["grid"] == grid_id
+        assert status["state"] == "pending"
+        assert status["jobs"]["pending"] == len(SMALL)
+        assert "rows" not in status
+        work(tmp_path, worker="w", config=EngineConfig(batch_size=4))
+        done = grid_status(tmp_path, grid_id)
+        assert done["state"] == "done"
+        assert done["jobs"]["done"] == len(SMALL)
+        assert done["jobs"]["pending"] == 0
+        assert done["rows"] == run_grid(SMALL)
+        assert grid_status(tmp_path, grid_id,
+                           include_rows=False).get("rows") is None
+
+    def test_grid_status_degraded_on_stale_heartbeat(self, tmp_path):
+        from repro.runner import grid_status
+        clock = FakeClock()
+        queue = LeaseQueue(tmp_path, clock=clock)
+        queue.enqueue(SMALL, lease_jobs=len(SMALL))
+        assert queue.claim("doomed", ttl=10.0) is not None
+        clock.now = 1000.0  # the worker never heartbeats again
+        status = grid_status(queue)
+        assert status["state"] == "degraded"
+        assert status["stale"] >= 1
+
+    def test_queue_claim_lock_fault_heals_via_busy_retry(self, tmp_path):
+        from repro.runner import FaultPlan, FaultSpec, busy_stats
+        from repro.runner import faults as faults_mod
+        queue = LeaseQueue(tmp_path)
+        queue.enqueue(SMALL, lease_jobs=4)
+        faults_mod.activate(FaultPlan(specs=(
+            FaultSpec(site="queue_claim", nth=(1,), kind="lock"),)))
+        before = busy_stats()["sqlite_busy_retries"]
+        lease = queue.claim("w")
+        assert lease is not None  # the transient lock healed in-place
+        assert busy_stats()["sqlite_busy_retries"] > before
